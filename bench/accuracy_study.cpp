@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Paper Section 3.4 (model accuracy): the authors profiled Emerald
+ * against a Tegra K1 with 14 microbenchmarks and report draw-time
+ * correlation (98%, 32.2% mean abs rel error) and pixel-fill-rate
+ * correlation (76.5%, 33%).
+ *
+ * No GPU hardware exists in this environment, so the hardware
+ * reference is substituted with a calibrated first-order analytical
+ * model (ideal-throughput cost model of the same draws) — this
+ * reproduces the *methodology* and reports the same metrics; see
+ * DESIGN.md's substitution table.
+ */
+
+#include "core/shader_builder.hh"
+#include "harness.hh"
+#include "scenes/procedural.hh"
+#include "scenes/shaders.hh"
+
+using namespace emerald;
+using namespace emerald::bench;
+
+namespace
+{
+
+struct MicroBench
+{
+    const char *name;
+    unsigned sphereSegs; // Geometry density knob.
+    float radius;        // Screen coverage knob.
+    bool heavy;          // Fragment shader cost knob.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    unsigned fbw = 256, fbh = 192;
+
+    // 14 microbenchmarks spanning geometry load, screen coverage and
+    // shader cost (the paper's used draw-call microbenchmarks too).
+    const MicroBench micro[14] = {
+        {"ub01-tiny-geom", 8, 0.4f, false},
+        {"ub02-tiny-geom-big", 8, 1.2f, false},
+        {"ub03-low-geom", 16, 0.6f, false},
+        {"ub04-low-geom-big", 16, 1.4f, false},
+        {"ub05-mid-geom", 32, 0.5f, false},
+        {"ub06-mid-geom-big", 32, 1.3f, false},
+        {"ub07-high-geom", 56, 0.6f, false},
+        {"ub08-high-geom-big", 56, 1.4f, false},
+        {"ub09-tiny-heavy", 8, 0.8f, true},
+        {"ub10-low-heavy", 16, 1.0f, true},
+        {"ub11-mid-heavy", 32, 1.2f, true},
+        {"ub12-high-heavy", 48, 1.2f, true},
+        {"ub13-dense", 64, 0.9f, false},
+        {"ub14-dense-heavy", 64, 0.9f, true},
+    };
+
+    std::printf("=== Section 3.4: draw-time accuracy study ===\n");
+    std::printf("%-20s %12s %12s %10s %12s %10s\n", "microbench",
+                "emerald(cy)", "ref(cy)", "err", "fill(px/cy)",
+                "ref fill");
+
+    std::vector<double> sim_time, ref_time, sim_fill, ref_fill;
+    double abs_err_sum = 0;
+
+    for (const MicroBench &mb : micro) {
+        soc::StandaloneGpu rig(fbw, fbh);
+
+        scenes::Workload w;
+        w.name = mb.name;
+        w.mesh = scenes::makeSphere(mb.radius, mb.sphereSegs,
+                                    mb.sphereSegs / 2);
+        w.heavyShader = mb.heavy;
+        w.textureSize = 256;
+        w.camera.radius = 3.0f;
+        scenes::SceneRenderer scene(rig.pipeline(), std::move(w),
+                                    rig.functionalMemory());
+        renderFrame(rig, scene, 0);
+        core::FrameStats s = renderFrame(rig, scene, 1);
+
+        // First-order analytical reference ("hardware" stand-in):
+        // geometry-limited + fragment-limited + fixed overhead, with
+        // idealized per-unit throughputs.
+        unsigned cores = rig.gpu().numCores();
+        double vs_instr = 30.0, fs_instr = mb.heavy ? 28.0 : 12.0;
+        double geom = static_cast<double>(s.vertices) * vs_instr /
+                      (cores * 32.0);
+        double frag = static_cast<double>(s.fragments) *
+                      (fs_instr + 8.0) / (cores * 32.0);
+        double raster = static_cast<double>(s.rasterTiles) /
+                        rig.gpu().numClusters();
+        double ref = 3000.0 + geom + std::max(frag, raster) * 2.2;
+
+        double err = std::fabs(static_cast<double>(s.cycles) - ref) /
+                     ref;
+        abs_err_sum += err;
+        sim_time.push_back(static_cast<double>(s.cycles));
+        ref_time.push_back(ref);
+        double fill = static_cast<double>(s.fragments) /
+                      static_cast<double>(s.cycles);
+        double rfill = static_cast<double>(s.fragments) / ref;
+        sim_fill.push_back(fill);
+        ref_fill.push_back(rfill);
+        std::printf("%-20s %12llu %12.0f %9.1f%% %12.4f %10.4f\n",
+                    mb.name, (unsigned long long)s.cycles, ref,
+                    err * 100.0, fill, rfill);
+        std::fflush(stdout);
+    }
+
+    std::printf("\ndraw time:  correlation %.1f%%, mean abs rel err "
+                "%.1f%%\n",
+                correlation(sim_time, ref_time) * 100.0,
+                abs_err_sum / 14.0 * 100.0);
+    std::printf("fill rate:  correlation %.1f%%\n",
+                correlation(sim_fill, ref_fill) * 100.0);
+    std::printf("\npaper reports: draw-time correlation 98%% (32.2%% "
+                "mean abs err), fill-rate correlation 76.5%% vs Tegra "
+                "K1 hardware\n");
+    return 0;
+}

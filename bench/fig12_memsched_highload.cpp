@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paper Fig. 12: performance under the high-load scenario
+ * (133 Mb/s/pin DRAM): total frame time and GPU rendering time,
+ * normalized to BAS.
+ * Expected shape: HMC ~+45% GPU time; DASH +9-16%; larger models
+ * (M1/M3) hurt most.
+ */
+
+#include "harness.hh"
+
+using namespace emerald;
+using namespace emerald::bench;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    bool quick = cfg.getBool("quick", false);
+
+    std::printf("=== Fig. 12: high-load scenario, normalized to BAS "
+                "===\n");
+
+    auto models = caseStudy1Models();
+    if (quick)
+        models = {scenes::WorkloadId::M2_Cube};
+    auto configs = allMemConfigs();
+
+    std::printf("%-14s | %-35s | %-35s\n", "",
+                "total frame time", "GPU rendering time");
+    std::printf("%-14s | %8s %8s %8s %8s | %8s %8s %8s %8s\n",
+                "model", "BAS", "DCB", "DTB", "HMC", "BAS", "DCB",
+                "DTB", "HMC");
+
+    std::vector<double> avg_total(4, 0.0), avg_gpu(4, 0.0);
+    for (scenes::WorkloadId model : models) {
+        std::vector<double> total_ms, gpu_ms;
+        for (soc::MemConfig config : configs) {
+            soc::SocTop soc(caseStudy1Params(model, config, true));
+            soc.run();
+            total_ms.push_back(soc.meanTotalFrameMs());
+            gpu_ms.push_back(soc.meanGpuFrameMs());
+        }
+        std::printf("%-14s |", scenes::workloadName(model));
+        for (std::size_t i = 0; i < 4; ++i) {
+            double n = total_ms[i] / total_ms[0];
+            avg_total[i] += n;
+            std::printf(" %8.3f", n);
+        }
+        std::printf(" |");
+        for (std::size_t i = 0; i < 4; ++i) {
+            double n = gpu_ms[i] / gpu_ms[0];
+            avg_gpu[i] += n;
+            std::printf(" %8.3f", n);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("%-14s |", "AVG");
+    for (double v : avg_total)
+        std::printf(" %8.3f", v / static_cast<double>(models.size()));
+    std::printf(" |");
+    for (double v : avg_gpu)
+        std::printf(" %8.3f", v / static_cast<double>(models.size()));
+    std::printf("\n\npaper shape: HMC ~1.45x GPU time; DASH ~1.1-1.16x "
+                "on the larger models\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DFSL in action (paper case study II): render an animated workload
+ * while the DFSL controller alternates evaluation and run phases,
+ * adapting the WT granularity to the content. Prints the per-frame
+ * WT choice and execution time.
+ *
+ * Usage: dfsl_adaptive [--workload=W1..W6] [--frames=24]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/dfsl.hh"
+#include "sim/config.hh"
+#include "scenes/workloads.hh"
+#include "soc/configs.hh"
+
+using namespace emerald;
+
+namespace
+{
+
+scenes::WorkloadId
+workloadFromName(const std::string &name)
+{
+    using scenes::WorkloadId;
+    if (name == "W1")
+        return WorkloadId::W1_Sibenik;
+    if (name == "W2")
+        return WorkloadId::W2_Spot;
+    if (name == "W3")
+        return WorkloadId::W3_Cube;
+    if (name == "W4")
+        return WorkloadId::W4_Suzanne;
+    if (name == "W6")
+        return WorkloadId::W6_Teapot;
+    return WorkloadId::W5_SuzanneAlpha;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 24));
+    auto id = workloadFromName(cfg.getString("workload", "W5"));
+
+    soc::StandaloneGpu rig(256, 192);
+    scenes::SceneRenderer scene(rig.pipeline(),
+                                scenes::makeWorkload(id),
+                                rig.functionalMemory());
+
+    core::DfslParams dp;
+    dp.minWT = 1;
+    dp.maxWT = 10;
+    dp.runFrames = 8;
+    core::DfslController dfsl(dp);
+
+    std::printf("DFSL on %s (eval %u frames, run %u frames)\n",
+                scene.workload().name.c_str(),
+                dp.maxWT - dp.minWT + 1, dp.runFrames);
+    std::printf("%-6s %-5s %-6s %14s\n", "frame", "phase", "WT",
+                "cycles");
+
+    for (unsigned f = 0; f < frames; ++f) {
+        unsigned wt = dfsl.wtForNextFrame();
+        rig.pipeline().setWtSize(wt);
+
+        bool done = false;
+        core::FrameStats stats;
+        scene.renderFrame(f, [&](const core::FrameStats &s) {
+            stats = s;
+            done = true;
+        });
+        if (!rig.runUntil([&] { return done; })) {
+            std::fprintf(stderr, "frame %u stalled\n", f);
+            return 1;
+        }
+        bool eval = dfsl.evaluating();
+        dfsl.frameCompleted(stats.cycles);
+        std::printf("%-6u %-5s %-6u %14llu\n", f, eval ? "eval" : "run",
+                    wt, (unsigned long long)stats.cycles);
+    }
+    std::printf("best WT discovered: %u\n", dfsl.bestWT());
+    return 0;
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Regenerates every paper table/figure (see EXPERIMENTS.md).
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+echo "ALL_BENCHES_DONE" >> /root/repo/bench_output.txt

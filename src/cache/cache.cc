@@ -1,0 +1,204 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::cache
+{
+
+Cache::Cache(Simulation &sim, const std::string &name,
+             ClockDomain &domain, const CacheParams &params)
+    : SimObject(sim, name),
+      statHits(*this, "hits", "demand hits"),
+      statMisses(*this, "misses", "demand misses"),
+      statMshrMerges(*this, "mshr_merges",
+                     "misses merged into an existing MSHR"),
+      statWritebacks(*this, "writebacks", "dirty lines written back"),
+      statRejects(*this, "rejects",
+                  "requests rejected (MSHR/queue full)"),
+      _params(params), _domain(domain),
+      _mshrs(params.mshrs, params.targetsPerMshr),
+      _sendEvent([this] { drainSendQueue(); }, name + ".send"),
+      _respEvent([this] { deliverResponses(); }, name + ".resp")
+{
+    panic_if(!isPowerOf2(params.lineSize), "line size must be 2^n");
+    std::uint64_t lines = params.sizeBytes / params.lineSize;
+    panic_if(lines == 0 || lines % params.assoc != 0,
+             "cache %s geometry invalid", name.c_str());
+    _numSets = lines / params.assoc;
+    panic_if(!isPowerOf2(_numSets), "set count must be 2^n");
+    _lines.resize(lines);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / _params.lineSize) & (_numSets - 1);
+}
+
+int
+Cache::findWay(std::size_t set, Addr line_addr) const
+{
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        const Line &line = _lines[set * _params.assoc + w];
+        if (line.valid && line.tag == line_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::isCached(Addr addr) const
+{
+    Addr line = lineAddrOf(addr);
+    return findWay(setIndex(line), line) >= 0;
+}
+
+bool
+Cache::tryAccept(MemPacket *pkt)
+{
+    Addr line_addr = lineAddrOf(pkt->addr);
+    std::size_t set = setIndex(line_addr);
+    int way = findWay(set, line_addr);
+
+    if (way >= 0) {
+        Line &line = _lines[set * _params.assoc +
+                            static_cast<unsigned>(way)];
+        line.lastUse = ++_useCounter;
+        if (pkt->write)
+            line.dirty = true;
+        ++statHits;
+        respondLater(pkt);
+        return true;
+    }
+
+    // Miss: merge into an existing MSHR when possible.
+    if (Mshr *mshr = _mshrs.find(line_addr)) {
+        if (!_mshrs.canAddTarget(*mshr)) {
+            ++statRejects;
+            return false;
+        }
+        mshr->targets.push_back(pkt);
+        ++statMisses;
+        ++statMshrMerges;
+        return true;
+    }
+
+    if (!_mshrs.available() ||
+        _sendQueue.size() >= _params.sendQueueDepth) {
+        ++statRejects;
+        return false;
+    }
+
+    Mshr &mshr = _mshrs.allocate(line_addr);
+    mshr.targets.push_back(pkt);
+    ++statMisses;
+
+    auto *fill = new MemPacket(line_addr, _params.lineSize, false,
+                               pkt->tclass, pkt->kind, pkt->requestorId,
+                               this, line_addr);
+    mshr.fillSent = true;
+    pushDownstream(fill);
+    return true;
+}
+
+void
+Cache::memResponse(MemPacket *fill)
+{
+    Addr line_addr = fill->token;
+    Mshr *mshr = _mshrs.find(line_addr);
+    panic_if(!mshr, "%s: fill for unknown line 0x%llx", name().c_str(),
+             (unsigned long long)line_addr);
+
+    bool dirty = false;
+    for (const MemPacket *target : mshr->targets)
+        dirty |= target->write;
+
+    installLine(line_addr, dirty);
+
+    for (MemPacket *target : mshr->targets)
+        respondLater(target);
+    _mshrs.release(line_addr);
+    delete fill;
+}
+
+void
+Cache::installLine(Addr line_addr, bool dirty)
+{
+    std::size_t set = setIndex(line_addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        Line &line = _lines[set * _params.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++statWritebacks;
+        auto *wb = new MemPacket(victim->tag, _params.lineSize, true,
+                                 _params.trafficClass,
+                                 AccessKind::Writeback,
+                                 _params.requestorId, nullptr);
+        pushDownstream(wb);
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = line_addr;
+    victim->lastUse = ++_useCounter;
+}
+
+void
+Cache::pushDownstream(MemPacket *pkt)
+{
+    panic_if(!_downstream, "%s has no downstream sink", name().c_str());
+    _sendQueue.push_back(pkt);
+    if (!_sendEvent.scheduled())
+        schedule(_sendEvent, curTick());
+}
+
+void
+Cache::drainSendQueue()
+{
+    while (!_sendQueue.empty()) {
+        if (!_downstream->tryAccept(_sendQueue.front())) {
+            // Downstream is busy; back off a few cycles (the queue
+            // ahead of us is the bottleneck, not our retry rate).
+            schedule(_sendEvent, _domain.clockEdge(4));
+            return;
+        }
+        _sendQueue.pop_front();
+    }
+}
+
+void
+Cache::respondLater(MemPacket *pkt)
+{
+    Tick when = curTick() + _domain.cyclesToTicks(_params.hitLatency);
+    _respQueue.emplace(when, pkt);
+    if (!_respEvent.scheduled())
+        schedule(_respEvent, when);
+    else if (_respEvent.when() > when)
+        reschedule(_respEvent, when);
+}
+
+void
+Cache::deliverResponses()
+{
+    Tick now = curTick();
+    while (!_respQueue.empty() && _respQueue.begin()->first <= now) {
+        MemPacket *pkt = _respQueue.begin()->second;
+        _respQueue.erase(_respQueue.begin());
+        completePacket(pkt);
+    }
+    if (!_respQueue.empty())
+        schedule(_respEvent, _respQueue.begin()->first);
+}
+
+} // namespace emerald::cache

@@ -1,0 +1,34 @@
+#include "cache/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::cache
+{
+
+Mshr *
+MshrFile::find(Addr line_addr)
+{
+    auto it = _entries.find(line_addr);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+Mshr &
+MshrFile::allocate(Addr line_addr)
+{
+    panic_if(!available(), "MSHR file overflow");
+    panic_if(find(line_addr), "duplicate MSHR for line 0x%llx",
+             (unsigned long long)line_addr);
+    Mshr &mshr = _entries[line_addr];
+    mshr.lineAddr = line_addr;
+    return mshr;
+}
+
+void
+MshrFile::release(Addr line_addr)
+{
+    std::size_t erased = _entries.erase(line_addr);
+    panic_if(erased == 0, "releasing unknown MSHR 0x%llx",
+             (unsigned long long)line_addr);
+}
+
+} // namespace emerald::cache

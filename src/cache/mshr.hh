@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Miss status holding registers for the non-blocking caches.
+ */
+
+#ifndef EMERALD_CACHE_MSHR_HH
+#define EMERALD_CACHE_MSHR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet.hh"
+#include "sim/types.hh"
+
+namespace emerald::cache
+{
+
+/** One outstanding line fill with its waiting requests. */
+struct Mshr
+{
+    Addr lineAddr = 0;
+    bool fillSent = false;
+    /** Original requests to answer once the line arrives. */
+    std::vector<MemPacket *> targets;
+};
+
+/** A fixed-capacity MSHR file indexed by line address. */
+class MshrFile
+{
+  public:
+    MshrFile(unsigned num_entries, unsigned targets_per_entry)
+        : _numEntries(num_entries), _targetsPerEntry(targets_per_entry)
+    {}
+
+    /** Look up the MSHR covering @p line_addr, or nullptr. */
+    Mshr *find(Addr line_addr);
+
+    /** True when a new MSHR can be allocated. */
+    bool available() const { return _entries.size() < _numEntries; }
+
+    /**
+     * Allocate an MSHR for @p line_addr.
+     * @pre available() and no entry for the line exists.
+     */
+    Mshr &allocate(Addr line_addr);
+
+    /** True when @p mshr can absorb one more target. */
+    bool
+    canAddTarget(const Mshr &mshr) const
+    {
+        return mshr.targets.size() < _targetsPerEntry;
+    }
+
+    /** Release the MSHR for @p line_addr. */
+    void release(Addr line_addr);
+
+    std::size_t inUse() const { return _entries.size(); }
+
+  private:
+    unsigned _numEntries;
+    unsigned _targetsPerEntry;
+    std::unordered_map<Addr, Mshr> _entries;
+};
+
+} // namespace emerald::cache
+
+#endif // EMERALD_CACHE_MSHR_HH

@@ -1,0 +1,113 @@
+#include "core/clipper.hh"
+
+#include <vector>
+
+namespace emerald::core
+{
+
+namespace
+{
+
+constexpr float wEpsilon = 1e-5f;
+
+/** Signed distance to the clip plane (>= 0 keeps the vertex). */
+float
+planeDistance(const ClipVertex &v, int plane)
+{
+    // plane 0: w >= epsilon; plane 1: z + w >= 0 (near).
+    return plane == 0 ? v.pos.w - wEpsilon : v.pos.z + v.pos.w;
+}
+
+ClipVertex
+lerpVertex(const ClipVertex &a, const ClipVertex &b, float t)
+{
+    ClipVertex out;
+    out.pos.x = a.pos.x + (b.pos.x - a.pos.x) * t;
+    out.pos.y = a.pos.y + (b.pos.y - a.pos.y) * t;
+    out.pos.z = a.pos.z + (b.pos.z - a.pos.z) * t;
+    out.pos.w = a.pos.w + (b.pos.w - a.pos.w) * t;
+    for (unsigned i = 0; i < maxVaryings; ++i)
+        out.attrs[i] = a.attrs[i] + (b.attrs[i] - a.attrs[i]) * t;
+    return out;
+}
+
+std::vector<ClipVertex>
+clipAgainstPlane(const std::vector<ClipVertex> &poly, int plane)
+{
+    std::vector<ClipVertex> out;
+    const std::size_t n = poly.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const ClipVertex &cur = poly[i];
+        const ClipVertex &next = poly[(i + 1) % n];
+        float dc = planeDistance(cur, plane);
+        float dn = planeDistance(next, plane);
+        bool cur_in = dc >= 0.0f;
+        bool next_in = dn >= 0.0f;
+        if (cur_in)
+            out.push_back(cur);
+        if (cur_in != next_in) {
+            float t = dc / (dc - dn);
+            out.push_back(lerpVertex(cur, next, t));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+trivialReject(const ClipVertex verts[3])
+{
+    auto all_outside = [&](auto pred) {
+        return pred(verts[0]) && pred(verts[1]) && pred(verts[2]);
+    };
+    if (all_outside([](const ClipVertex &v) { return v.pos.x < -v.pos.w; }))
+        return true;
+    if (all_outside([](const ClipVertex &v) { return v.pos.x > v.pos.w; }))
+        return true;
+    if (all_outside([](const ClipVertex &v) { return v.pos.y < -v.pos.w; }))
+        return true;
+    if (all_outside([](const ClipVertex &v) { return v.pos.y > v.pos.w; }))
+        return true;
+    if (all_outside([](const ClipVertex &v) { return v.pos.z < -v.pos.w; }))
+        return true;
+    if (all_outside([](const ClipVertex &v) { return v.pos.z > v.pos.w; }))
+        return true;
+    return false;
+}
+
+bool
+clipTriangle(const ClipVertex verts[3], ClipResult &out)
+{
+    out.count = 0;
+    if (trivialReject(verts))
+        return false;
+
+    bool needs_clip = false;
+    for (int i = 0; i < 3; ++i) {
+        if (planeDistance(verts[i], 0) < 0.0f ||
+            planeDistance(verts[i], 1) < 0.0f) {
+            needs_clip = true;
+        }
+    }
+    if (!needs_clip) {
+        out.count = 1;
+        out.tris[0] = {verts[0], verts[1], verts[2]};
+        return true;
+    }
+
+    std::vector<ClipVertex> poly = {verts[0], verts[1], verts[2]};
+    for (int plane = 0; plane < 2 && !poly.empty(); ++plane)
+        poly = clipAgainstPlane(poly, plane);
+    if (poly.size() < 3)
+        return false;
+
+    // Fan triangulation preserves winding.
+    for (std::size_t i = 1; i + 1 < poly.size() && out.count < 3; ++i) {
+        out.tris[out.count] = {poly[0], poly[i], poly[i + 1]};
+        ++out.count;
+    }
+    return out.count > 0;
+}
+
+} // namespace emerald::core

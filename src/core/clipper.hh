@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Clipping and culling (paper Fig. 2 step 5 / Fig. 3 stage E).
+ *
+ * Trivially invisible primitives (fully outside one frustum plane)
+ * are rejected; primitives crossing the near plane are clipped
+ * Sutherland-Hodgman style into a small fan. The remaining planes
+ * are handled by the rasterizer's screen-space scissor.
+ */
+
+#ifndef EMERALD_CORE_CLIPPER_HH
+#define EMERALD_CORE_CLIPPER_HH
+
+#include <array>
+
+#include "core/draw_call.hh"
+#include "core/math.hh"
+
+namespace emerald::core
+{
+
+/** A clip-space vertex with its varyings. */
+struct ClipVertex
+{
+    Vec4 pos;
+    std::array<float, maxVaryings> attrs = {};
+};
+
+/** Result of clipping one triangle: up to 3 output triangles. */
+struct ClipResult
+{
+    unsigned count = 0;
+    std::array<std::array<ClipVertex, 3>, 3> tris;
+};
+
+/** True when all three vertices are outside one frustum plane. */
+bool trivialReject(const ClipVertex verts[3]);
+
+/**
+ * Clip @p verts against the w-epsilon and near planes.
+ * @return false when nothing remains.
+ */
+bool clipTriangle(const ClipVertex verts[3], ClipResult &out);
+
+} // namespace emerald::core
+
+#endif // EMERALD_CORE_CLIPPER_HH

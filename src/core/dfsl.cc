@@ -1,0 +1,51 @@
+#include "core/dfsl.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::core
+{
+
+DfslController::DfslController(const DfslParams &params)
+    : _params(params), _wtBest(params.minWT)
+{
+    fatal_if(params.minWT == 0 || params.maxWT < params.minWT,
+             "bad DFSL WT range");
+}
+
+bool
+DfslController::evaluating() const
+{
+    return _currFrame % phaseLength() < evalFrames();
+}
+
+unsigned
+DfslController::wtForNextFrame() const
+{
+    std::uint64_t pos = _currFrame % phaseLength();
+    if (pos < evalFrames())
+        return _params.minWT + static_cast<unsigned>(pos);
+    return _wtBest;
+}
+
+void
+DfslController::frameCompleted(std::uint64_t exec_cycles)
+{
+    // Algorithm 1: reset the search at the start of each phase,
+    // track the best-performing WT during evaluation, then run with
+    // it.
+    std::uint64_t pos = _currFrame % phaseLength();
+    if (pos == 0) {
+        _minExecTime = ~std::uint64_t(0);
+        _wtBest = _params.minWT;
+    }
+    if (pos < evalFrames()) {
+        unsigned wt = _params.minWT + static_cast<unsigned>(pos);
+        if (exec_cycles < _minExecTime) {
+            _minExecTime = exec_cycles;
+            _wtBest = wt;
+        }
+    }
+    ++_currFrame;
+}
+
+} // namespace emerald::core

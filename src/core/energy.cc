@@ -1,0 +1,77 @@
+#include "core/energy.hh"
+
+namespace emerald::core
+{
+
+EnergyModel::EnergyModel(gpu::GpuTop &gpu, GraphicsPipeline &pipeline,
+                         mem::MemorySystem &memory,
+                         const EnergyParams &params)
+    : _gpu(gpu), _pipeline(pipeline), _memory(memory), _params(params)
+{
+    snapshot();
+}
+
+EnergyModel::Counters
+EnergyModel::gather() const
+{
+    Counters c;
+    for (unsigned i = 0; i < _gpu.numCores(); ++i) {
+        gpu::SimtCore &core = _gpu.core(i);
+        c.threadInstrs += core.statThreadInstrs.value();
+        c.l1Accesses +=
+            static_cast<double>(core.l1i().accesses()) +
+            static_cast<double>(core.l1d().accesses()) +
+            static_cast<double>(core.l1t().accesses()) +
+            static_cast<double>(core.l1z().accesses()) +
+            static_cast<double>(core.l1c().accesses());
+    }
+    c.l2Accesses = static_cast<double>(_gpu.l2().accesses());
+    for (unsigned ch = 0; ch < _memory.numChannels(); ++ch) {
+        const mem::DramChannel &channel = _memory.channel(ch);
+        c.dramActivations += channel.statRowClosedMisses.value() +
+                             channel.statRowConflicts.value();
+        c.dramBytes += channel.statBytesRead.value() +
+                       channel.statBytesWritten.value();
+    }
+    c.rasterTiles = _pipeline.statRasterTiles.value();
+    return c;
+}
+
+void
+EnergyModel::snapshot()
+{
+    _base = gather();
+}
+
+EnergyReport
+EnergyModel::report(Tick active_ticks) const
+{
+    Counters now = gather();
+    EnergyReport out;
+
+    double instrs = now.threadInstrs - _base.threadInstrs;
+    // Every thread instruction: execute + ~3 register file accesses.
+    out.coreDynamic_uj =
+        instrs * (_params.alu_pj + 3.0 * _params.reg_access_pj) / 1e6;
+
+    out.cacheL1_uj = (now.l1Accesses - _base.l1Accesses) *
+                     _params.l1_access_pj / 1e6;
+    out.cacheL2_uj = (now.l2Accesses - _base.l2Accesses) *
+                     _params.l2_access_pj / 1e6;
+    out.dram_uj =
+        ((now.dramActivations - _base.dramActivations) *
+             _params.dram_act_pj +
+         (now.dramBytes - _base.dramBytes) *
+             _params.dram_rw_pj_per_byte) /
+        1e6;
+    out.raster_uj = (now.rasterTiles - _base.rasterTiles) *
+                    _params.raster_tile_pj / 1e6;
+
+    double seconds = secondsFromTicks(active_ticks);
+    double static_mw = _params.soc_static_mw +
+                       _params.core_idle_mw * _gpu.numCores();
+    out.staticEnergy_uj = static_mw * 1e-3 * seconds * 1e6;
+    return out;
+}
+
+} // namespace emerald::core

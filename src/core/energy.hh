@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A first-order GPU/SoC energy model (extension).
+ *
+ * The paper lists "developing Emerald-compatible GPUWattch
+ * configurations for mobile GPUs" as future work, and motivates DFSL
+ * by energy: "lower GPU energy consumption by reducing average
+ * rendering time per frame assuming the GPU can be put into a low
+ * power state between frames". This model makes that argument
+ * quantitative: event energies (instructions, cache accesses, DRAM
+ * activates/transfers, raster work) plus leakage/idle power
+ * integrated over the active window.
+ *
+ * Energy numbers are first-order per-event constants in the spirit
+ * of GPUWattch/McPAT-class models, scaled for a mobile SoC; absolute
+ * joules are indicative, ratios are the point.
+ */
+
+#ifndef EMERALD_CORE_ENERGY_HH
+#define EMERALD_CORE_ENERGY_HH
+
+#include "core/graphics_pipeline.hh"
+#include "gpu/gpu_top.hh"
+#include "mem/memory_system.hh"
+
+namespace emerald::core
+{
+
+/** Per-event energies in picojoules; defaults are mobile-SoC scale. */
+struct EnergyParams
+{
+    double alu_pj = 2.0;            ///< Per thread ALU op.
+    double sfu_pj = 8.0;            ///< Per thread SFU op.
+    double reg_access_pj = 0.8;     ///< Per thread reg read/write.
+    double l1_access_pj = 28.0;     ///< Per L1 access (any kind).
+    double l2_access_pj = 95.0;     ///< Per L2 access.
+    double dram_act_pj = 3200.0;    ///< Per row activation.
+    double dram_rw_pj_per_byte = 18.0;
+    double raster_tile_pj = 140.0;  ///< Fixed-function raster tile.
+    double core_idle_mw = 14.0;     ///< Per-core leakage+clock power.
+    double soc_static_mw = 80.0;    ///< Rest-of-GPU static power.
+};
+
+/** Breakdown of one measurement window. */
+struct EnergyReport
+{
+    double coreDynamic_uj = 0.0;
+    double cacheL1_uj = 0.0;
+    double cacheL2_uj = 0.0;
+    double dram_uj = 0.0;
+    double raster_uj = 0.0;
+    double staticEnergy_uj = 0.0;
+
+    double
+    total_uj() const
+    {
+        return coreDynamic_uj + cacheL1_uj + cacheL2_uj + dram_uj +
+               raster_uj + staticEnergy_uj;
+    }
+};
+
+/**
+ * Computes energy from the stats deltas of a GPU + pipeline + memory
+ * over a window. Snapshot at the start, report at the end.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(gpu::GpuTop &gpu, GraphicsPipeline &pipeline,
+                mem::MemorySystem &memory,
+                const EnergyParams &params = EnergyParams());
+
+    /** Begin a measurement window at the current stats values. */
+    void snapshot();
+
+    /**
+     * Energy consumed since the last snapshot().
+     * @param active_ticks the window length used for static power
+     *        (e.g. the frame's render time).
+     */
+    EnergyReport report(Tick active_ticks) const;
+
+    const EnergyParams &params() const { return _params; }
+
+  private:
+    struct Counters
+    {
+        double threadInstrs = 0.0;
+        double l1Accesses = 0.0;
+        double l2Accesses = 0.0;
+        double dramActivations = 0.0;
+        double dramBytes = 0.0;
+        double rasterTiles = 0.0;
+    };
+
+    Counters gather() const;
+
+    gpu::GpuTop &_gpu;
+    GraphicsPipeline &_pipeline;
+    mem::MemorySystem &_memory;
+    EnergyParams _params;
+    Counters _base;
+};
+
+} // namespace emerald::core
+
+#endif // EMERALD_CORE_ENERGY_HH

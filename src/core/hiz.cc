@@ -1,0 +1,53 @@
+#include "core/hiz.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emerald::core
+{
+
+HiZBuffer::HiZBuffer(unsigned fb_width, unsigned fb_height)
+    : _tilesX(static_cast<unsigned>(
+          divCeil(fb_width, rasterTilePx))),
+      _tilesY(static_cast<unsigned>(
+          divCeil(fb_height, rasterTilePx))),
+      _maxZ(std::size_t(_tilesX) * _tilesY, 1.0f)
+{
+}
+
+void
+HiZBuffer::clear(float depth)
+{
+    std::fill(_maxZ.begin(), _maxZ.end(), depth);
+    _rejected = 0;
+}
+
+bool
+HiZBuffer::test(int tx, int ty, float tile_min_z) const
+{
+    if (tx < 0 || ty < 0 || tx >= static_cast<int>(_tilesX) ||
+        ty >= static_cast<int>(_tilesY)) {
+        return true;
+    }
+    return tile_min_z <= _maxZ[index(tx, ty)];
+}
+
+void
+HiZBuffer::update(int tx, int ty, float tile_max_z)
+{
+    if (tx < 0 || ty < 0 || tx >= static_cast<int>(_tilesX) ||
+        ty >= static_cast<int>(_tilesY)) {
+        return;
+    }
+    float &bound = _maxZ[index(tx, ty)];
+    bound = std::min(bound, tile_max_z);
+}
+
+float
+HiZBuffer::bound(int tx, int ty) const
+{
+    return _maxZ[index(tx, ty)];
+}
+
+} // namespace emerald::core

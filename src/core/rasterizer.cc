@@ -1,0 +1,152 @@
+#include "core/rasterizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emerald::core
+{
+
+ScreenVertex
+viewportTransform(const Vec4 &clip_pos, const float *attrs,
+                  unsigned num_varyings, unsigned fb_width,
+                  unsigned fb_height)
+{
+    ScreenVertex out;
+    float inv_w = 1.0f / clip_pos.w;
+    float ndc_x = clip_pos.x * inv_w;
+    float ndc_y = clip_pos.y * inv_w;
+    float ndc_z = clip_pos.z * inv_w;
+    out.x = (ndc_x * 0.5f + 0.5f) * static_cast<float>(fb_width);
+    // Screen y grows downward.
+    out.y = (0.5f - ndc_y * 0.5f) * static_cast<float>(fb_height);
+    out.z = ndc_z * 0.5f + 0.5f;
+    out.invW = inv_w;
+    for (unsigned i = 0; i < num_varyings && i < maxVaryings; ++i)
+        out.attrsOverW[i] = attrs[i] * inv_w;
+    return out;
+}
+
+bool
+setupPrimitive(const ScreenVertex verts[3], unsigned fb_width,
+               unsigned fb_height, bool cull_backface, SetupPrim &out)
+{
+    out.v = {verts[0], verts[1], verts[2]};
+
+    auto signed_area2 = [](const ScreenVertex &a, const ScreenVertex &b,
+                           const ScreenVertex &c) {
+        return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    };
+
+    float area2 = signed_area2(out.v[0], out.v[1], out.v[2]);
+    if (area2 == 0.0f)
+        return false;
+    if (area2 < 0.0f) {
+        if (cull_backface)
+            return false;
+        std::swap(out.v[1], out.v[2]);
+        area2 = -area2;
+    }
+    out.area2 = area2;
+
+    // Edge i is opposite vertex i: positive inside.
+    for (int i = 0; i < 3; ++i) {
+        const ScreenVertex &a = out.v[(i + 1) % 3];
+        const ScreenVertex &b = out.v[(i + 2) % 3];
+        out.edgeA[i] = a.y - b.y;
+        out.edgeB[i] = b.x - a.x;
+        out.edgeC[i] = a.x * b.y - a.y * b.x;
+    }
+
+    float min_x = std::min({out.v[0].x, out.v[1].x, out.v[2].x});
+    float max_x = std::max({out.v[0].x, out.v[1].x, out.v[2].x});
+    float min_y = std::min({out.v[0].y, out.v[1].y, out.v[2].y});
+    float max_y = std::max({out.v[0].y, out.v[1].y, out.v[2].y});
+
+    int px0 = std::max(0, static_cast<int>(std::floor(min_x)));
+    int py0 = std::max(0, static_cast<int>(std::floor(min_y)));
+    int px1 = std::min(static_cast<int>(fb_width) - 1,
+                       static_cast<int>(std::ceil(max_x)));
+    int py1 = std::min(static_cast<int>(fb_height) - 1,
+                       static_cast<int>(std::ceil(max_y)));
+    if (px0 > px1 || py0 > py1)
+        return false;
+
+    out.tileX0 = px0 / static_cast<int>(rasterTilePx);
+    out.tileY0 = py0 / static_cast<int>(rasterTilePx);
+    out.tileX1 = px1 / static_cast<int>(rasterTilePx);
+    out.tileY1 = py1 / static_cast<int>(rasterTilePx);
+    return true;
+}
+
+bool
+rasterizeTile(const SetupPrim &prim, int tx, int ty,
+              unsigned num_varyings, unsigned fb_width,
+              unsigned fb_height, FragmentTile &out)
+{
+    out.tileX = tx;
+    out.tileY = ty;
+    out.coverMask = 0;
+
+    const float inv_area = 1.0f / prim.area2;
+    const int base_x = tx * static_cast<int>(rasterTilePx);
+    const int base_y = ty * static_cast<int>(rasterTilePx);
+
+    for (unsigned py = 0; py < rasterTilePx; ++py) {
+        int y = base_y + static_cast<int>(py);
+        if (y >= static_cast<int>(fb_height))
+            break;
+        for (unsigned px = 0; px < rasterTilePx; ++px) {
+            int x = base_x + static_cast<int>(px);
+            if (x >= static_cast<int>(fb_width))
+                break;
+            float cx = static_cast<float>(x) + 0.5f;
+            float cy = static_cast<float>(y) + 0.5f;
+
+            float e[3];
+            bool inside = true;
+            for (int i = 0; i < 3; ++i) {
+                e[i] = prim.edgeA[i] * cx + prim.edgeB[i] * cy +
+                       prim.edgeC[i];
+                if (e[i] < 0.0f) {
+                    inside = false;
+                    break;
+                }
+                if (e[i] == 0.0f) {
+                    // Top-left fill rule on shared edges.
+                    bool top_left =
+                        prim.edgeA[i] > 0.0f ||
+                        (prim.edgeA[i] == 0.0f && prim.edgeB[i] < 0.0f);
+                    if (!top_left) {
+                        inside = false;
+                        break;
+                    }
+                }
+            }
+            if (!inside)
+                continue;
+
+            float b0 = e[0] * inv_area;
+            float b1 = e[1] * inv_area;
+            float b2 = e[2] * inv_area;
+
+            unsigned slot = py * rasterTilePx + px;
+            out.coverMask |= static_cast<std::uint16_t>(1u << slot);
+            out.z[slot] = b0 * prim.v[0].z + b1 * prim.v[1].z +
+                          b2 * prim.v[2].z;
+
+            float inv_w = b0 * prim.v[0].invW + b1 * prim.v[1].invW +
+                          b2 * prim.v[2].invW;
+            float w = inv_w != 0.0f ? 1.0f / inv_w : 0.0f;
+            for (unsigned i = 0; i < num_varyings && i < maxVaryings;
+                 ++i) {
+                float over_w = b0 * prim.v[0].attrsOverW[i] +
+                               b1 * prim.v[1].attrsOverW[i] +
+                               b2 * prim.v[2].attrsOverW[i];
+                out.attrs[slot][i] = over_w * w;
+            }
+        }
+    }
+    return out.coverMask != 0;
+}
+
+} // namespace emerald::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Primitive setup and rasterization (paper Fig. 3 stages G-I).
+ *
+ * Setup builds edge equations and the raster-tile bounding box;
+ * coarse rasterization walks candidate raster tiles; fine
+ * rasterization produces covered fragments with perspective-correct
+ * attribute interpolation. Raster tiles are rasterTilePx x
+ * rasterTilePx pixels (paper Table 7: 4x4).
+ */
+
+#ifndef EMERALD_CORE_RASTERIZER_HH
+#define EMERALD_CORE_RASTERIZER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/draw_call.hh"
+#include "core/math.hh"
+
+namespace emerald::core
+{
+
+/** Raster tile edge length in pixels. */
+constexpr unsigned rasterTilePx = 4;
+constexpr unsigned rasterTilePixels = rasterTilePx * rasterTilePx;
+
+/** A post-viewport vertex. Attributes are pre-divided by w. */
+struct ScreenVertex
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    /** Screen-space depth in [0, 1]. */
+    float z = 0.0f;
+    float invW = 1.0f;
+    /** Varyings multiplied by invW (perspective interpolation). */
+    std::array<float, maxVaryings> attrsOverW = {};
+};
+
+/** A primitive after setup, ready for rasterization. */
+struct SetupPrim
+{
+    std::array<ScreenVertex, 3> v;
+    /** Edge functions e[i] = A*x + B*y + C. */
+    float edgeA[3] = {};
+    float edgeB[3] = {};
+    float edgeC[3] = {};
+    float area2 = 0.0f;
+    /** Raster-tile bounding box, inclusive. */
+    int tileX0 = 0, tileY0 = 0, tileX1 = -1, tileY1 = -1;
+
+    int
+    tileCount() const
+    {
+        if (tileX1 < tileX0 || tileY1 < tileY0)
+            return 0;
+        return (tileX1 - tileX0 + 1) * (tileY1 - tileY0 + 1);
+    }
+};
+
+/** One raster tile of covered fragments. */
+struct FragmentTile
+{
+    int tileX = 0;
+    int tileY = 0;
+    /** Row-major 4x4 coverage. */
+    std::uint16_t coverMask = 0;
+    float z[rasterTilePixels] = {};
+    std::array<std::array<float, maxVaryings>, rasterTilePixels> attrs =
+        {};
+
+    bool
+    fullyCovered() const
+    {
+        return coverMask == 0xffffu;
+    }
+};
+
+/** Transform one clip-space vertex to screen space. */
+ScreenVertex viewportTransform(const Vec4 &clip_pos,
+                               const float *attrs,
+                               unsigned num_varyings, unsigned fb_width,
+                               unsigned fb_height);
+
+/**
+ * Primitive setup.
+ * @param cull_backface drop clockwise primitives; counter-clockwise
+ *        input is normalized so edges are positive inside.
+ * @return false when the primitive is degenerate, backfaced, or
+ *         fully off screen.
+ */
+bool setupPrimitive(const ScreenVertex verts[3], unsigned fb_width,
+                    unsigned fb_height, bool cull_backface,
+                    SetupPrim &out);
+
+/**
+ * Fine-rasterize raster tile (tx, ty) of @p prim.
+ * @return true when at least one fragment is covered.
+ */
+bool rasterizeTile(const SetupPrim &prim, int tx, int ty,
+                   unsigned num_varyings, unsigned fb_width,
+                   unsigned fb_height, FragmentTile &out);
+
+} // namespace emerald::core
+
+#endif // EMERALD_CORE_RASTERIZER_HH

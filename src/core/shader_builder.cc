@@ -1,0 +1,67 @@
+#include "core/shader_builder.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emerald::core
+{
+
+using gpu::isa::assemble;
+using gpu::isa::Program;
+
+const Program *
+ShaderBuilder::buildVertex(const std::string &name,
+                           const std::string &source)
+{
+    _programs.push_back(
+        std::make_unique<Program>(assemble(name, source)));
+    return _programs.back().get();
+}
+
+const Program *
+ShaderBuilder::buildKernel(const std::string &name,
+                           const std::string &source)
+{
+    _programs.push_back(
+        std::make_unique<Program>(assemble(name, source)));
+    return _programs.back().get();
+}
+
+const Program *
+ShaderBuilder::buildFragment(const std::string &name,
+                             const std::string &source,
+                             const RenderState &state,
+                             bool allow_early_z)
+{
+    // First pass: inspect the user shader for discard and register
+    // pressure.
+    Program probe = assemble(name + ".user", source);
+
+    bool early_z = allow_early_z && state.depthTest &&
+                   !probe.usesDiscard && state.depthWrite;
+    _lastEarlyZ = early_z;
+
+    // Color staging quad: first registers above the user's.
+    unsigned base = std::min(probe.numRegs, 60u);
+
+    std::string full;
+    if (early_z)
+        full += "ztest %z\n";
+    full += source;
+    full += "\n";
+    if (state.depthTest && !early_z)
+        full += "ztest %z\n";
+    for (int i = 0; i < 4; ++i) {
+        full += strprintf("mov.f32 r%u, o[%d]\n", base + i, i);
+    }
+    full += state.blend ? strprintf("blend r%u\n", base)
+                        : strprintf("stfb r%u\n", base);
+    full += "exit\n";
+
+    _programs.push_back(
+        std::make_unique<Program>(assemble(name, full)));
+    return _programs.back().get();
+}
+
+} // namespace emerald::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * State-driven shader construction.
+ *
+ * Emerald performs raster operations *in the shader* (paper
+ * Section 3.3.1, stages L-N): depth test and blending are real ISA
+ * instructions appended (late-Z) or prepended (early-Z) to the user's
+ * fragment shader according to the render state. Early-Z is used only
+ * when the shader cannot discard fragments and depth write is on —
+ * matching the paper's eligibility rule.
+ */
+
+#ifndef EMERALD_CORE_SHADER_BUILDER_HH
+#define EMERALD_CORE_SHADER_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/draw_call.hh"
+#include "gpu/isa/assembler.hh"
+
+namespace emerald::core
+{
+
+/** Assembles and owns shader programs. */
+class ShaderBuilder
+{
+  public:
+    /** Assemble a vertex shader (used verbatim). */
+    const gpu::isa::Program *buildVertex(const std::string &name,
+                                         const std::string &source);
+
+    /**
+     * Assemble a fragment shader and weave in the ROP sequence
+     * demanded by @p state. The user source leaves its color in
+     * o[0..3] and must not contain exit/ztest/blend/stfb itself.
+     */
+    const gpu::isa::Program *buildFragment(const std::string &name,
+                                           const std::string &source,
+                                           const RenderState &state,
+                                           bool allow_early_z = true);
+
+    /** Assemble a compute kernel (used verbatim). */
+    const gpu::isa::Program *buildKernel(const std::string &name,
+                                         const std::string &source);
+
+    /** Whether the last buildFragment chose early-Z. */
+    bool lastUsedEarlyZ() const { return _lastEarlyZ; }
+
+  private:
+    std::vector<std::unique_ptr<gpu::isa::Program>> _programs;
+    bool _lastEarlyZ = false;
+};
+
+} // namespace emerald::core
+
+#endif // EMERALD_CORE_SHADER_BUILDER_HH

@@ -1,0 +1,129 @@
+#include "core/texture.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace emerald::core
+{
+
+Texture::Texture(unsigned width, unsigned height, Addr base_addr)
+    : _width(width), _height(height), _base(base_addr),
+      _texels(std::size_t(width) * height, 0xffffffffu)
+{
+    panic_if(width == 0 || height == 0, "empty texture");
+}
+
+void
+Texture::setTexel(unsigned x, unsigned y, std::uint32_t rgba)
+{
+    _texels[index(x % _width, y % _height)] = rgba;
+}
+
+std::uint32_t
+Texture::texel(unsigned x, unsigned y) const
+{
+    return _texels[index(x % _width, y % _height)];
+}
+
+Addr
+Texture::texelAddr(unsigned x, unsigned y) const
+{
+    x %= _width;
+    y %= _height;
+    unsigned blocks_per_row = (_width + blockW - 1) / blockW;
+    unsigned bx = x / blockW;
+    unsigned by = y / blockH;
+    unsigned in_block = (y % blockH) * blockW + (x % blockW);
+    Addr block_index = Addr(by) * blocks_per_row + bx;
+    return _base + (block_index * (blockW * blockH) + in_block) * 4;
+}
+
+void
+Texture::fillChecker(unsigned cell, std::uint32_t a, std::uint32_t b)
+{
+    for (unsigned y = 0; y < _height; ++y) {
+        for (unsigned x = 0; x < _width; ++x) {
+            bool odd = ((x / cell) + (y / cell)) & 1;
+            _texels[index(x, y)] = odd ? a : b;
+        }
+    }
+}
+
+void
+Texture::fillNoise(std::uint64_t seed)
+{
+    Random rng(seed);
+    for (auto &texel : _texels) {
+        auto r = static_cast<std::uint32_t>(rng.below(256));
+        auto g = static_cast<std::uint32_t>(rng.below(256));
+        auto b = static_cast<std::uint32_t>(rng.below(256));
+        texel = r | (g << 8) | (b << 16) | 0xff000000u;
+    }
+}
+
+void
+TextureSet::bind(int unit, Texture *texture)
+{
+    if (unit >= static_cast<int>(_units.size()))
+        _units.resize(static_cast<std::size_t>(unit) + 1, nullptr);
+    _units[static_cast<std::size_t>(unit)] = texture;
+}
+
+Texture *
+TextureSet::texture(int unit) const
+{
+    if (unit < 0 || unit >= static_cast<int>(_units.size()))
+        return nullptr;
+    return _units[static_cast<std::size_t>(unit)];
+}
+
+void
+TextureSet::sample(int unit, float u, float v, float rgba[4],
+                   std::vector<Addr> &texel_addrs)
+{
+    Texture *tex = texture(unit);
+    if (!tex) {
+        rgba[0] = rgba[1] = rgba[2] = 1.0f;
+        rgba[3] = 1.0f;
+        return;
+    }
+
+    // Wrap addressing, bilinear filter.
+    float fu = u - std::floor(u);
+    float fv = v - std::floor(v);
+    float px = fu * static_cast<float>(tex->width()) - 0.5f;
+    float py = fv * static_cast<float>(tex->height()) - 0.5f;
+    int x0 = static_cast<int>(std::floor(px));
+    int y0 = static_cast<int>(std::floor(py));
+    float ax = px - static_cast<float>(x0);
+    float ay = py - static_cast<float>(y0);
+
+    auto wrap = [](int c, unsigned n) -> unsigned {
+        int m = c % static_cast<int>(n);
+        return static_cast<unsigned>(m < 0 ? m + static_cast<int>(n)
+                                           : m);
+    };
+
+    unsigned xs[2] = {wrap(x0, tex->width()), wrap(x0 + 1, tex->width())};
+    unsigned ys[2] = {wrap(y0, tex->height()),
+                      wrap(y0 + 1, tex->height())};
+
+    float acc[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+    for (int j = 0; j < 2; ++j) {
+        for (int i = 0; i < 2; ++i) {
+            float w = (i ? ax : 1.0f - ax) * (j ? ay : 1.0f - ay);
+            std::uint32_t t = tex->texel(xs[i], ys[j]);
+            acc[0] += w * static_cast<float>(t & 0xff) / 255.0f;
+            acc[1] += w * static_cast<float>((t >> 8) & 0xff) / 255.0f;
+            acc[2] += w * static_cast<float>((t >> 16) & 0xff) / 255.0f;
+            acc[3] += w * static_cast<float>((t >> 24) & 0xff) / 255.0f;
+            texel_addrs.push_back(tex->texelAddr(xs[i], ys[j]));
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        rgba[i] = acc[i];
+}
+
+} // namespace emerald::core

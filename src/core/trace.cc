@@ -1,0 +1,296 @@
+#include "core/trace.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace emerald::core
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x454d5452; // "EMTR"
+constexpr std::uint32_t traceVersion = 1;
+
+struct Writer
+{
+    std::FILE *f;
+
+    bool
+    u32(std::uint32_t v)
+    {
+        return std::fwrite(&v, sizeof(v), 1, f) == 1;
+    }
+
+    bool
+    bytes(const void *p, std::size_t n)
+    {
+        return n == 0 || std::fwrite(p, 1, n, f) == n;
+    }
+
+    bool
+    str(const std::string &s)
+    {
+        return u32(static_cast<std::uint32_t>(s.size())) &&
+               bytes(s.data(), s.size());
+    }
+
+    template <typename T>
+    bool
+    vec(const std::vector<T> &v)
+    {
+        return u32(static_cast<std::uint32_t>(v.size())) &&
+               bytes(v.data(), v.size() * sizeof(T));
+    }
+};
+
+struct Reader
+{
+    std::FILE *f;
+    bool ok = true;
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        ok = ok && std::fread(&v, sizeof(v), 1, f) == 1;
+        return v;
+    }
+
+    bool
+    bytes(void *p, std::size_t n)
+    {
+        ok = ok && (n == 0 || std::fread(p, 1, n, f) == n);
+        return ok;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (!ok || n > (1u << 24)) {
+            ok = false;
+            return {};
+        }
+        std::string s(n, '\0');
+        bytes(s.data(), n);
+        return s;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vec()
+    {
+        std::uint32_t n = u32();
+        if (!ok || n > (1u << 26)) {
+            ok = false;
+            return {};
+        }
+        std::vector<T> v(n);
+        bytes(v.data(), n * sizeof(T));
+        return v;
+    }
+};
+
+} // namespace
+
+bool
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    Writer w{f};
+    bool ok = w.u32(traceMagic) && w.u32(traceVersion) &&
+              w.u32(trace.fbWidth) && w.u32(trace.fbHeight) &&
+              w.u32(static_cast<std::uint32_t>(trace.frames.size()));
+    for (const auto &frame : trace.frames) {
+        ok = ok && w.u32(static_cast<std::uint32_t>(frame.size()));
+        for (const TraceDraw &draw : frame) {
+            ok = ok && w.str(draw.vsSource) && w.str(draw.fsSource);
+            ok = ok &&
+                 w.u32(static_cast<std::uint32_t>(draw.primType));
+            std::uint32_t state_bits =
+                (draw.state.depthTest ? 1u : 0u) |
+                (draw.state.depthWrite ? 2u : 0u) |
+                (draw.state.blend ? 4u : 0u) |
+                (draw.state.cullBackface ? 8u : 0u);
+            ok = ok && w.u32(state_bits);
+            ok = ok && w.u32(draw.floatsPerVertex) &&
+                 w.u32(draw.numVaryings);
+            ok = ok && w.vec(draw.vertexData) &&
+                 w.vec(draw.constants);
+            ok = ok &&
+                 w.u32(static_cast<std::uint32_t>(
+                     draw.textures.size()));
+            for (const TraceTexture &tex : draw.textures) {
+                ok = ok &&
+                     w.u32(static_cast<std::uint32_t>(tex.unit)) &&
+                     w.u32(tex.width) && w.u32(tex.height) &&
+                     w.vec(tex.texels);
+            }
+        }
+    }
+    std::fclose(f);
+    return ok;
+}
+
+std::optional<Trace>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    Reader r{f};
+    Trace trace;
+    if (r.u32() != traceMagic || r.u32() != traceVersion) {
+        std::fclose(f);
+        return std::nullopt;
+    }
+    trace.fbWidth = r.u32();
+    trace.fbHeight = r.u32();
+    std::uint32_t n_frames = r.u32();
+    if (!r.ok || n_frames > (1u << 20)) {
+        std::fclose(f);
+        return std::nullopt;
+    }
+    trace.frames.resize(n_frames);
+    for (auto &frame : trace.frames) {
+        std::uint32_t n_draws = r.u32();
+        if (!r.ok || n_draws > (1u << 16))
+            break;
+        frame.resize(n_draws);
+        for (TraceDraw &draw : frame) {
+            draw.vsSource = r.str();
+            draw.fsSource = r.str();
+            draw.primType = static_cast<PrimitiveType>(r.u32());
+            std::uint32_t state_bits = r.u32();
+            draw.state.depthTest = state_bits & 1u;
+            draw.state.depthWrite = state_bits & 2u;
+            draw.state.blend = state_bits & 4u;
+            draw.state.cullBackface = state_bits & 8u;
+            draw.floatsPerVertex = r.u32();
+            draw.numVaryings = r.u32();
+            draw.vertexData = r.vec<float>();
+            draw.constants = r.vec<float>();
+            std::uint32_t n_tex = r.u32();
+            if (!r.ok || n_tex > 64)
+                break;
+            draw.textures.resize(n_tex);
+            for (TraceTexture &tex : draw.textures) {
+                tex.unit = static_cast<int>(r.u32());
+                tex.width = r.u32();
+                tex.height = r.u32();
+                tex.texels = r.vec<std::uint32_t>();
+            }
+        }
+    }
+    std::fclose(f);
+    if (!r.ok)
+        return std::nullopt;
+    return trace;
+}
+
+TracePlayer::TracePlayer(GraphicsPipeline &pipeline, Trace trace,
+                         mem::FunctionalMemory &memory)
+    : _pipeline(pipeline), _trace(std::move(trace)), _memory(memory)
+{
+    fatal_if(_trace.fbWidth != pipeline.fbWidth() ||
+                 _trace.fbHeight != pipeline.fbHeight(),
+             "trace resolution %ux%u does not match the pipeline",
+             _trace.fbWidth, _trace.fbHeight);
+    _fb = std::make_unique<Framebuffer>(_trace.fbWidth,
+                                        _trace.fbHeight);
+}
+
+TracePlayer::DrawAssets &
+TracePlayer::assetsFor(unsigned frame, unsigned draw_idx)
+{
+    auto key = std::make_pair(frame, draw_idx);
+    auto it = _assets.find(key);
+    if (it != _assets.end())
+        return it->second;
+
+    const TraceDraw &draw = _trace.frames[frame][draw_idx];
+    DrawAssets assets;
+
+    assets.vertexBuffer =
+        _memory.allocate(draw.vertexData.size() * 4, 128);
+    _memory.write(assets.vertexBuffer, draw.vertexData.data(),
+                  draw.vertexData.size() * 4);
+
+    // Programs are cached on (source, ROP-relevant state).
+    std::string vs_key = "V\x01" + draw.vsSource;
+    auto vs_it = _programCache.find(vs_key);
+    if (vs_it == _programCache.end()) {
+        vs_it = _programCache
+                    .emplace(vs_key, _shaders.buildVertex(
+                                         "trace.vs", draw.vsSource))
+                    .first;
+    }
+    assets.vs = vs_it->second;
+
+    std::string fs_key =
+        strprintf("F\x01%d%d%d\x01", draw.state.depthTest ? 1 : 0,
+                  draw.state.depthWrite ? 1 : 0,
+                  draw.state.blend ? 1 : 0) +
+        draw.fsSource;
+    auto fs_it = _programCache.find(fs_key);
+    if (fs_it == _programCache.end()) {
+        fs_it = _programCache
+                    .emplace(fs_key,
+                             _shaders.buildFragment("trace.fs",
+                                                    draw.fsSource,
+                                                    draw.state))
+                    .first;
+    }
+    assets.fs = fs_it->second;
+
+    assets.textures = std::make_unique<TextureSet>();
+    for (const TraceTexture &tex : draw.textures) {
+        auto texture = std::make_unique<Texture>(
+            tex.width, tex.height,
+            _memory.allocate(std::uint64_t(tex.width) * tex.height * 4,
+                             128));
+        for (unsigned y = 0; y < tex.height; ++y)
+            for (unsigned x = 0; x < tex.width; ++x)
+                texture->setTexel(x, y,
+                                  tex.texels[std::size_t(y) *
+                                                 tex.width +
+                                             x]);
+        assets.textures->bind(tex.unit, texture.get());
+        assets.textureObjs.push_back(std::move(texture));
+    }
+
+    return _assets.emplace(key, std::move(assets)).first->second;
+}
+
+void
+TracePlayer::playFrame(unsigned idx,
+                       std::function<void(const FrameStats &)> on_done)
+{
+    fatal_if(idx >= frameCount(), "trace frame %u out of range", idx);
+    _pipeline.beginFrame(_fb.get());
+    const auto &frame = _trace.frames[idx];
+    for (unsigned d = 0; d < frame.size(); ++d) {
+        const TraceDraw &src = frame[d];
+        DrawAssets &assets = assetsFor(idx, d);
+        DrawCall draw;
+        draw.vertexProgram = assets.vs;
+        draw.fragmentProgram = assets.fs;
+        draw.primType = src.primType;
+        draw.vertexCount = src.vertexCount();
+        draw.vertexBufferAddr = assets.vertexBuffer;
+        draw.floatsPerVertex = src.floatsPerVertex;
+        draw.numVaryings = src.numVaryings;
+        draw.constants = src.constants;
+        draw.textures = assets.textures.get();
+        draw.memory = &_memory;
+        draw.state = src.state;
+        _pipeline.submitDraw(std::move(draw));
+    }
+    _pipeline.endFrame(std::move(on_done));
+}
+
+} // namespace emerald::core

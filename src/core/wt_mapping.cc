@@ -1,0 +1,34 @@
+#include "core/wt_mapping.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::core
+{
+
+WtMapping::WtMapping(unsigned fb_width, unsigned fb_height,
+                     unsigned num_cores, unsigned wt_size)
+    : _tcCols(static_cast<unsigned>(divCeil(fb_width, tcTilePx))),
+      _tcRows(static_cast<unsigned>(divCeil(fb_height, tcTilePx))),
+      _numCores(num_cores), _wtSize(wt_size)
+{
+    panic_if(num_cores == 0, "WT mapping needs at least one core");
+    panic_if(wt_size == 0, "WT size must be positive");
+}
+
+void
+WtMapping::setWtSize(unsigned wt_size)
+{
+    panic_if(wt_size == 0, "WT size must be positive");
+    _wtSize = wt_size;
+}
+
+unsigned
+WtMapping::coreOf(unsigned tc_x, unsigned tc_y) const
+{
+    unsigned wt_x = tc_x / _wtSize;
+    unsigned wt_y = tc_y / _wtSize;
+    unsigned wt_cols = static_cast<unsigned>(divCeil(_tcCols, _wtSize));
+    return (wt_y * wt_cols + wt_x) % _numCores;
+}
+
+} // namespace emerald::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Work-tile (WT) mapping: how TC tiles are assigned to SIMT cores
+ * (paper Fig. 15 and case study II).
+ *
+ * Screen space is divided into TC tiles. A WT of size N groups N x N
+ * TC tiles; WTs are assigned to cores round-robin. WT=1 maximizes
+ * load balance; large WTs maximize locality. DFSL tunes N per frame.
+ */
+
+#ifndef EMERALD_CORE_WT_MAPPING_HH
+#define EMERALD_CORE_WT_MAPPING_HH
+
+#include "core/rasterizer.hh"
+#include "sim/types.hh"
+
+namespace emerald::core
+{
+
+/** TC tile edge length in raster tiles (paper Table 7: 2x2). */
+constexpr unsigned tcTileRasterTiles = 2;
+/** TC tile edge length in pixels (2 x 4 = 8). */
+constexpr unsigned tcTilePx = tcTileRasterTiles * rasterTilePx;
+
+class WtMapping
+{
+  public:
+    WtMapping(unsigned fb_width, unsigned fb_height, unsigned num_cores,
+              unsigned wt_size = 1);
+
+    void setWtSize(unsigned wt_size);
+    unsigned wtSize() const { return _wtSize; }
+
+    unsigned tcCols() const { return _tcCols; }
+    unsigned tcRows() const { return _tcRows; }
+    unsigned numCores() const { return _numCores; }
+
+    /** Core owning TC tile (tc_x, tc_y). */
+    unsigned coreOf(unsigned tc_x, unsigned tc_y) const;
+
+    /** Core owning the TC tile containing pixel (x, y). */
+    unsigned
+    coreOfPixel(unsigned x, unsigned y) const
+    {
+        return coreOf(x / tcTilePx, y / tcTilePx);
+    }
+
+    /** Flat TC tile index (for interlock maps). */
+    unsigned
+    tcIndex(unsigned tc_x, unsigned tc_y) const
+    {
+        return tc_y * _tcCols + tc_x;
+    }
+
+  private:
+    unsigned _tcCols;
+    unsigned _tcRows;
+    unsigned _numCores;
+    unsigned _wtSize;
+};
+
+} // namespace emerald::core
+
+#endif // EMERALD_CORE_WT_MAPPING_HH

@@ -1,0 +1,526 @@
+#include "gpu/isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "gpu/isa/cfg.hh"
+#include "sim/logging.hh"
+
+namespace emerald::gpu::isa
+{
+
+namespace
+{
+
+[[noreturn]] void
+asmError(int line, const std::string &msg)
+{
+    throw AsmError(strprintf("line %d: %s", line, msg.c_str()));
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split on commas that are outside brackets. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+parseIndexed(const std::string &tok, char prefix, int &index)
+{
+    // Matches e.g. "c[12]" for prefix 'c'.
+    if (tok.size() < 4 || tok[0] != prefix || tok[1] != '[' ||
+        tok.back() != ']') {
+        return false;
+    }
+    index = std::atoi(tok.substr(2, tok.size() - 3).c_str());
+    return true;
+}
+
+bool
+isNumber(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    char c = tok[0];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '+' || c == '.';
+}
+
+const std::map<std::string, Opcode> opcodeTable = {
+    {"nop", Opcode::NOP},     {"mov", Opcode::MOV},
+    {"add", Opcode::ADD},     {"sub", Opcode::SUB},
+    {"mul", Opcode::MUL},     {"div", Opcode::DIV},
+    {"mad", Opcode::MAD},     {"min", Opcode::MIN},
+    {"max", Opcode::MAX},     {"abs", Opcode::ABS},
+    {"neg", Opcode::NEG},     {"flr", Opcode::FLR},
+    {"frc", Opcode::FRC},     {"and", Opcode::AND},
+    {"or", Opcode::OR},       {"xor", Opcode::XOR},
+    {"not", Opcode::NOT},     {"shl", Opcode::SHL},
+    {"shr", Opcode::SHR},     {"cvt", Opcode::CVT},
+    {"setp", Opcode::SETP},   {"selp", Opcode::SELP},
+    {"rcp", Opcode::RCP},     {"rsq", Opcode::RSQ},
+    {"sqrt", Opcode::SQRT},   {"ex2", Opcode::EX2},
+    {"lg2", Opcode::LG2},     {"sin", Opcode::SIN},
+    {"cos", Opcode::COS},     {"pow", Opcode::POW},
+    {"ldg", Opcode::LDG},     {"stg", Opcode::STG},
+    {"lds", Opcode::LDS},     {"sts", Opcode::STS},
+    {"tex", Opcode::TEX},     {"sto", Opcode::STO},
+    {"ztest", Opcode::ZTEST}, {"blend", Opcode::BLEND},
+    {"stfb", Opcode::STFB},   {"discard", Opcode::DISCARD},
+    {"bra", Opcode::BRA},     {"bar", Opcode::BAR},
+    {"exit", Opcode::EXIT},
+};
+
+const std::map<std::string, SpecialReg> specialTable = {
+    {"x", SpecialReg::FragX},        {"y", SpecialReg::FragY},
+    {"z", SpecialReg::FragZ},        {"vid", SpecialReg::VertId},
+    {"tid.x", SpecialReg::TidX},     {"tid.y", SpecialReg::TidY},
+    {"ctaid.x", SpecialReg::CtaIdX}, {"ctaid.y", SpecialReg::CtaIdY},
+    {"ntid.x", SpecialReg::NTidX},   {"ntid.y", SpecialReg::NTidY},
+};
+
+const std::map<std::string, CmpOp> cmpTable = {
+    {"eq", CmpOp::EQ}, {"ne", CmpOp::NE}, {"lt", CmpOp::LT},
+    {"le", CmpOp::LE}, {"gt", CmpOp::GT}, {"ge", CmpOp::GE},
+};
+
+const std::map<std::string, DataType> typeTable = {
+    {"f32", DataType::F32},
+    {"s32", DataType::S32},
+    {"u32", DataType::U32},
+};
+
+struct ParsedLine
+{
+    Instruction instr;
+    std::string branchLabel;
+    int sourceLine = 0;
+};
+
+Operand
+parseOperand(const std::string &tok, DataType type, int line)
+{
+    Operand op;
+    int idx = 0;
+
+    if (tok.size() >= 2 && tok[0] == 'r' &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        op.kind = Operand::Kind::Reg;
+        op.index = std::atoi(tok.c_str() + 1);
+        if (op.index < 0 || op.index >= static_cast<int>(maxRegs))
+            asmError(line, "register out of range: " + tok);
+        return op;
+    }
+    if (tok.size() >= 2 && tok[0] == 'p' &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        op.kind = Operand::Kind::Pred;
+        op.index = std::atoi(tok.c_str() + 1);
+        if (op.index < 0 || op.index >= static_cast<int>(maxPreds))
+            asmError(line, "predicate out of range: " + tok);
+        return op;
+    }
+    if (parseIndexed(tok, 'c', idx)) {
+        op.kind = Operand::Kind::Const;
+        op.index = idx;
+        return op;
+    }
+    if (parseIndexed(tok, 'a', idx)) {
+        op.kind = Operand::Kind::Attr;
+        op.index = idx;
+        if (idx < 0 || idx >= static_cast<int>(maxAttrs))
+            asmError(line, "attribute out of range: " + tok);
+        return op;
+    }
+    if (parseIndexed(tok, 'o', idx)) {
+        op.kind = Operand::Kind::Out;
+        op.index = idx;
+        if (idx < 0 || idx >= static_cast<int>(maxOutputs))
+            asmError(line, "output out of range: " + tok);
+        return op;
+    }
+    if (tok[0] == '%') {
+        auto it = specialTable.find(tok.substr(1));
+        if (it == specialTable.end())
+            asmError(line, "unknown special register: " + tok);
+        op.kind = Operand::Kind::Special;
+        op.special = it->second;
+        return op;
+    }
+    if (isNumber(tok)) {
+        op.kind = Operand::Kind::Imm;
+        if (type == DataType::F32)
+            op.imm.f = std::strtof(tok.c_str(), nullptr);
+        else if (type == DataType::S32)
+            op.imm.i = static_cast<std::int32_t>(
+                std::strtol(tok.c_str(), nullptr, 0));
+        else
+            op.imm.u = static_cast<std::uint32_t>(
+                std::strtoul(tok.c_str(), nullptr, 0));
+        return op;
+    }
+    asmError(line, "cannot parse operand: " + tok);
+}
+
+/** Parse "[rN]" / "[rN + K]" / "[rN - K]". */
+void
+parseMemOperand(const std::string &tok, Operand &base,
+                std::int32_t &offset, int line)
+{
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']')
+        asmError(line, "expected memory operand: " + tok);
+    std::string inner = trim(tok.substr(1, tok.size() - 2));
+    std::size_t plus = inner.find('+');
+    std::size_t minus = inner.find('-');
+    std::string reg = inner;
+    offset = 0;
+    if (plus != std::string::npos) {
+        reg = trim(inner.substr(0, plus));
+        offset = std::atoi(trim(inner.substr(plus + 1)).c_str());
+    } else if (minus != std::string::npos) {
+        reg = trim(inner.substr(0, minus));
+        offset = -std::atoi(trim(inner.substr(minus + 1)).c_str());
+    }
+    base = parseOperand(reg, DataType::U32, line);
+    if (base.kind != Operand::Kind::Reg)
+        asmError(line, "memory base must be a register: " + tok);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &name, const std::string &source)
+{
+    std::vector<ParsedLine> lines;
+    std::map<std::string, int> labels;
+
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments.
+        std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        std::size_t slashes = raw.find("//");
+        if (slashes != std::string::npos)
+            raw = raw.substr(0, slashes);
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+
+        // Labels (possibly followed by an instruction).
+        while (true) {
+            std::size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string label = trim(text.substr(0, colon));
+            bool ident = !label.empty();
+            for (char c : label) {
+                if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                    c != '_') {
+                    ident = false;
+                }
+            }
+            if (!ident)
+                break;
+            if (labels.count(label))
+                asmError(line_no, "duplicate label: " + label);
+            labels[label] = static_cast<int>(lines.size());
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        ParsedLine parsed;
+        parsed.sourceLine = line_no;
+        Instruction &instr = parsed.instr;
+
+        // Guard predicate.
+        if (text[0] == '@') {
+            std::size_t sp = text.find_first_of(" \t");
+            if (sp == std::string::npos)
+                asmError(line_no, "guard without instruction");
+            std::string guard = text.substr(1, sp - 1);
+            text = trim(text.substr(sp));
+            if (!guard.empty() && guard[0] == '!') {
+                instr.guardNegate = true;
+                guard = guard.substr(1);
+            }
+            if (guard.size() < 2 || guard[0] != 'p')
+                asmError(line_no, "bad guard predicate");
+            instr.guard = std::atoi(guard.c_str() + 1);
+            if (instr.guard < 0 ||
+                instr.guard >= static_cast<int>(maxPreds)) {
+                asmError(line_no, "guard predicate out of range");
+            }
+        }
+
+        // Mnemonic with dot modifiers.
+        std::size_t sp = text.find_first_of(" \t");
+        std::string mnemonic =
+            sp == std::string::npos ? text : text.substr(0, sp);
+        std::string rest =
+            sp == std::string::npos ? "" : trim(text.substr(sp));
+
+        std::vector<std::string> parts;
+        {
+            std::string cur;
+            for (char c : mnemonic) {
+                if (c == '.') {
+                    parts.push_back(cur);
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+            parts.push_back(cur);
+        }
+
+        auto op_it = opcodeTable.find(parts[0]);
+        if (op_it == opcodeTable.end())
+            asmError(line_no, "unknown opcode: " + parts[0]);
+        instr.op = op_it->second;
+
+        // Modifiers: types, comparison ops, "2d".
+        std::vector<DataType> types;
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            if (auto t = typeTable.find(parts[i]); t != typeTable.end())
+                types.push_back(t->second);
+            else if (auto c = cmpTable.find(parts[i]);
+                     c != cmpTable.end())
+                instr.cmp = c->second;
+            else if (parts[i] == "2d")
+                ; // TEX dimensionality; only 2D is supported.
+            else if (parts[i] == "sync")
+                ; // bar.sync
+            else
+                asmError(line_no, "unknown modifier: ." + parts[i]);
+        }
+        if (!types.empty())
+            instr.type = types[0];
+        if (types.size() > 1) {
+            // cvt.<dst>.<src>
+            instr.srcType = types[1];
+        } else {
+            instr.srcType = instr.type;
+        }
+
+        std::vector<std::string> ops = splitOperands(rest);
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                asmError(line_no,
+                         strprintf("%s expects %zu operands, got %zu",
+                                   parts[0].c_str(), n, ops.size()));
+            }
+        };
+
+        switch (instr.op) {
+          case Opcode::NOP:
+          case Opcode::BAR:
+          case Opcode::EXIT:
+          case Opcode::DISCARD:
+            need(0);
+            break;
+          case Opcode::BRA:
+            need(1);
+            parsed.branchLabel = ops[0];
+            break;
+          case Opcode::MOV:
+          case Opcode::ABS:
+          case Opcode::NEG:
+          case Opcode::FLR:
+          case Opcode::FRC:
+          case Opcode::NOT:
+          case Opcode::RCP:
+          case Opcode::RSQ:
+          case Opcode::SQRT:
+          case Opcode::EX2:
+          case Opcode::LG2:
+          case Opcode::SIN:
+          case Opcode::COS:
+          case Opcode::CVT:
+            need(2);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            instr.src[0] = parseOperand(ops[1], instr.srcType, line_no);
+            break;
+          case Opcode::ADD:
+          case Opcode::SUB:
+          case Opcode::MUL:
+          case Opcode::DIV:
+          case Opcode::MIN:
+          case Opcode::MAX:
+          case Opcode::AND:
+          case Opcode::OR:
+          case Opcode::XOR:
+          case Opcode::SHL:
+          case Opcode::SHR:
+          case Opcode::POW:
+            need(3);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            instr.src[0] = parseOperand(ops[1], instr.type, line_no);
+            instr.src[1] = parseOperand(ops[2], instr.type, line_no);
+            break;
+          case Opcode::MAD:
+            need(4);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            instr.src[0] = parseOperand(ops[1], instr.type, line_no);
+            instr.src[1] = parseOperand(ops[2], instr.type, line_no);
+            instr.src[2] = parseOperand(ops[3], instr.type, line_no);
+            break;
+          case Opcode::SETP:
+            need(3);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            if (instr.dst.kind != Operand::Kind::Pred)
+                asmError(line_no, "setp destination must be pN");
+            instr.src[0] = parseOperand(ops[1], instr.type, line_no);
+            instr.src[1] = parseOperand(ops[2], instr.type, line_no);
+            break;
+          case Opcode::SELP:
+            need(4);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            instr.src[0] = parseOperand(ops[1], instr.type, line_no);
+            instr.src[1] = parseOperand(ops[2], instr.type, line_no);
+            instr.src[2] = parseOperand(ops[3], instr.type, line_no);
+            if (instr.src[2].kind != Operand::Kind::Pred)
+                asmError(line_no, "selp selector must be pN");
+            break;
+          case Opcode::LDG:
+          case Opcode::LDS:
+            need(2);
+            instr.dst = parseOperand(ops[0], instr.type, line_no);
+            parseMemOperand(ops[1], instr.src[0], instr.memOffset,
+                            line_no);
+            break;
+          case Opcode::STG:
+          case Opcode::STS:
+            need(2);
+            parseMemOperand(ops[0], instr.src[0], instr.memOffset,
+                            line_no);
+            instr.src[1] = parseOperand(ops[1], instr.type, line_no);
+            break;
+          case Opcode::TEX: {
+            need(4);
+            instr.dst = parseOperand(ops[0], DataType::F32, line_no);
+            if (instr.dst.kind != Operand::Kind::Reg)
+                asmError(line_no, "tex destination must be a register");
+            if (ops[1].size() < 2 || ops[1][0] != 't')
+                asmError(line_no, "tex unit must be tN");
+            instr.texUnit = std::atoi(ops[1].c_str() + 1);
+            instr.src[0] = parseOperand(ops[2], DataType::F32, line_no);
+            instr.src[1] = parseOperand(ops[3], DataType::F32, line_no);
+            break;
+          }
+          case Opcode::STO:
+            need(2);
+            instr.dst = parseOperand(ops[0], DataType::F32, line_no);
+            if (instr.dst.kind != Operand::Kind::Out)
+                asmError(line_no, "sto destination must be o[N]");
+            instr.src[0] = parseOperand(ops[1], DataType::F32, line_no);
+            break;
+          case Opcode::ZTEST:
+            need(1);
+            instr.src[0] = parseOperand(ops[0], DataType::F32, line_no);
+            break;
+          case Opcode::BLEND:
+          case Opcode::STFB:
+            need(1);
+            instr.src[0] = parseOperand(ops[0], DataType::F32, line_no);
+            if (instr.src[0].kind != Operand::Kind::Reg)
+                asmError(line_no, "expected quad base register");
+            break;
+          default:
+            asmError(line_no, "unhandled opcode");
+        }
+
+        lines.push_back(parsed);
+    }
+
+    if (lines.empty())
+        throw AsmError("empty program: " + name);
+
+    Program prog;
+    prog.name = name;
+    prog.code.reserve(lines.size());
+
+    for (ParsedLine &parsed : lines) {
+        if (parsed.instr.op == Opcode::BRA) {
+            auto it = labels.find(parsed.branchLabel);
+            if (it == labels.end()) {
+                asmError(parsed.sourceLine,
+                         "undefined label: " + parsed.branchLabel);
+            }
+            parsed.instr.target = it->second;
+        }
+        prog.code.push_back(parsed.instr);
+    }
+
+    // Register/predicate usage and feature flags.
+    auto note_reg = [&prog](const Operand &op, unsigned extra = 0) {
+        if (op.kind == Operand::Kind::Reg) {
+            prog.numRegs = std::max(
+                prog.numRegs,
+                static_cast<unsigned>(op.index) + 1 + extra);
+        } else if (op.kind == Operand::Kind::Pred) {
+            prog.numPreds = std::max(
+                prog.numPreds, static_cast<unsigned>(op.index) + 1);
+        }
+    };
+    for (const Instruction &instr : prog.code) {
+        note_reg(instr.dst, instr.op == Opcode::TEX ? 3 : 0);
+        for (const Operand &src : instr.src)
+            note_reg(src, (instr.op == Opcode::BLEND ||
+                           instr.op == Opcode::STFB)
+                              ? 3
+                              : 0);
+        if (instr.guard >= 0) {
+            prog.numPreds = std::max(
+                prog.numPreds, static_cast<unsigned>(instr.guard) + 1);
+        }
+        if (instr.op == Opcode::DISCARD)
+            prog.usesDiscard = true;
+        if (instr.op == Opcode::ZTEST)
+            prog.usesZTest = true;
+    }
+    if (prog.numRegs > maxRegs)
+        throw AsmError("program uses too many registers: " + name);
+
+    resolveReconvergence(prog);
+    return prog;
+}
+
+} // namespace emerald::gpu::isa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Assembler for the Emerald shader ISA.
+ *
+ * Grammar (one instruction per line):
+ *
+ *   LABEL:
+ *   [@pN | @!pN] op[.mod[.mod]] operand {, operand}
+ *
+ * Operands: rN (register), pN (predicate), c[N] (constant), a[N]
+ * (input attribute), o[N] (output attribute), tN (texture unit),
+ * %x %y %z %vid %tid.x ... (specials), numeric literals, [rN +- K]
+ * (memory), and label identifiers for bra.
+ *
+ * Examples:
+ *   setp.lt.f32 p0, r1, c[3]
+ *   @p0 bra SKIP
+ *   tex.2d r4, t0, r8, r9      # writes quad r4..r7
+ *   ztest %z
+ *   stfb r4                    # commits quad r4..r7
+ *
+ * Comments run from '#' or '//' to end of line.
+ */
+
+#ifndef EMERALD_GPU_ISA_ASSEMBLER_HH
+#define EMERALD_GPU_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "gpu/isa/instruction.hh"
+
+namespace emerald::gpu::isa
+{
+
+/** Raised on malformed assembly input. */
+class AsmError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Assemble @p source into a validated Program with reconvergence
+ * points resolved.
+ * @throws AsmError on syntax or semantic errors.
+ */
+Program assemble(const std::string &name, const std::string &source);
+
+} // namespace emerald::gpu::isa
+
+#endif // EMERALD_GPU_ISA_ASSEMBLER_HH

@@ -1,0 +1,154 @@
+#include "gpu/isa/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace emerald::gpu::isa
+{
+
+std::vector<BasicBlock>
+buildBasicBlocks(const Program &prog)
+{
+    const int n = static_cast<int>(prog.code.size());
+    std::set<int> leaders;
+    leaders.insert(0);
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &instr = prog.code[pc];
+        if (instr.op == Opcode::BRA) {
+            if (instr.target >= 0 && instr.target < n)
+                leaders.insert(instr.target);
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        } else if (instr.op == Opcode::EXIT) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        }
+    }
+
+    std::vector<BasicBlock> blocks;
+    std::map<int, int> blockOfLeader;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        BasicBlock bb;
+        bb.first = *it;
+        auto next = std::next(it);
+        bb.last = (next == leaders.end() ? n : *next) - 1;
+        blockOfLeader[bb.first] = static_cast<int>(blocks.size());
+        blocks.push_back(bb);
+    }
+
+    const int exitBlock = static_cast<int>(blocks.size());
+    for (BasicBlock &bb : blocks) {
+        const Instruction &last = prog.code[bb.last];
+        if (last.op == Opcode::EXIT) {
+            bb.successors.push_back(exitBlock);
+        } else if (last.op == Opcode::BRA) {
+            bb.successors.push_back(blockOfLeader.at(last.target));
+            // A guarded branch can fall through.
+            if (last.guard >= 0) {
+                if (bb.last + 1 < n) {
+                    bb.successors.push_back(
+                        blockOfLeader.at(bb.last + 1));
+                } else {
+                    bb.successors.push_back(exitBlock);
+                }
+            }
+        } else {
+            if (bb.last + 1 < n)
+                bb.successors.push_back(blockOfLeader.at(bb.last + 1));
+            else
+                bb.successors.push_back(exitBlock);
+        }
+        std::sort(bb.successors.begin(), bb.successors.end());
+        bb.successors.erase(
+            std::unique(bb.successors.begin(), bb.successors.end()),
+            bb.successors.end());
+    }
+    return blocks;
+}
+
+void
+resolveReconvergence(Program &prog)
+{
+    std::vector<BasicBlock> blocks = buildBasicBlocks(prog);
+    const int nb = static_cast<int>(blocks.size());
+    const int exitBlock = nb; // Virtual exit node.
+
+    // Iterative post-dominator dataflow over the small CFG:
+    // pdom(exit) = {exit}; pdom(b) = {b} U intersection of pdom(s).
+    std::vector<std::set<int>> pdom(static_cast<std::size_t>(nb) + 1);
+    std::set<int> all;
+    for (int b = 0; b <= nb; ++b)
+        all.insert(b);
+    for (int b = 0; b < nb; ++b)
+        pdom[static_cast<std::size_t>(b)] = all;
+    pdom[static_cast<std::size_t>(exitBlock)] = {exitBlock};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = nb - 1; b >= 0; --b) {
+            const BasicBlock &bb = blocks[static_cast<std::size_t>(b)];
+            std::set<int> meet;
+            bool first = true;
+            for (int succ : bb.successors) {
+                const auto &sp = pdom[static_cast<std::size_t>(succ)];
+                if (first) {
+                    meet = sp;
+                    first = false;
+                } else {
+                    std::set<int> tmp;
+                    std::set_intersection(
+                        meet.begin(), meet.end(), sp.begin(), sp.end(),
+                        std::inserter(tmp, tmp.begin()));
+                    meet = std::move(tmp);
+                }
+            }
+            meet.insert(b);
+            if (meet != pdom[static_cast<std::size_t>(b)]) {
+                pdom[static_cast<std::size_t>(b)] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator that is
+    // post-dominated by every other strict post-dominator.
+    auto ipdom = [&](int b) -> int {
+        const auto &cand = pdom[static_cast<std::size_t>(b)];
+        for (int d : cand) {
+            if (d == b)
+                continue;
+            bool immediate = true;
+            for (int e : cand) {
+                if (e == b || e == d)
+                    continue;
+                // d must be "closest": every other strict pdom e of b
+                // must also post-dominate d.
+                const auto &dp = pdom[static_cast<std::size_t>(d)];
+                if (!dp.count(e)) {
+                    immediate = false;
+                    break;
+                }
+            }
+            if (immediate)
+                return d;
+        }
+        return exitBlock;
+    };
+
+    for (int b = 0; b < nb; ++b) {
+        const BasicBlock &bb = blocks[static_cast<std::size_t>(b)];
+        Instruction &last = prog.code[bb.last];
+        if (last.op != Opcode::BRA)
+            continue;
+        int rb = ipdom(b);
+        last.reconvergePc =
+            rb == exitBlock ? -1 : blocks[static_cast<std::size_t>(rb)]
+                                       .first;
+    }
+}
+
+} // namespace emerald::gpu::isa

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Control-flow analysis: basic blocks and immediate post-dominators.
+ *
+ * The SIMT stack reconverges divergent warps at the immediate
+ * post-dominator of each branch, the scheme GPGPU-Sim (and thus the
+ * paper's SIMT core) uses. The assembler calls
+ * resolveReconvergence() to annotate every branch with its
+ * reconvergence pc; a reconvergePc of -1 means the paths only rejoin
+ * at thread exit.
+ */
+
+#ifndef EMERALD_GPU_ISA_CFG_HH
+#define EMERALD_GPU_ISA_CFG_HH
+
+#include <vector>
+
+#include "gpu/isa/instruction.hh"
+
+namespace emerald::gpu::isa
+{
+
+/** A basic block: [first, last] instruction index range. */
+struct BasicBlock
+{
+    int first = 0;
+    int last = 0;
+    std::vector<int> successors;
+};
+
+/** Partition @p prog into basic blocks (exposed for tests). */
+std::vector<BasicBlock> buildBasicBlocks(const Program &prog);
+
+/**
+ * Compute each branch's reconvergence pc (immediate post-dominator)
+ * and store it in Instruction::reconvergePc.
+ */
+void resolveReconvergence(Program &prog);
+
+} // namespace emerald::gpu::isa
+
+#endif // EMERALD_GPU_ISA_CFG_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Functional execution of Emerald ISA instructions.
+ *
+ * The executor operates on whole warps: one call executes one
+ * instruction for every active thread, updating thread contexts and
+ * reporting the memory accesses the timing model must charge.
+ * Function and timing are decoupled (see sim/packet.hh): functional
+ * effects happen here at issue time; the SIMT core turns the reported
+ * accesses into coalesced timing traffic.
+ */
+
+#ifndef EMERALD_GPU_ISA_EXECUTOR_HH
+#define EMERALD_GPU_ISA_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/isa/instruction.hh"
+#include "mem/functional_memory.hh"
+#include "sim/packet.hh"
+
+namespace emerald::gpu::isa
+{
+
+/** Per-thread architectural state. */
+struct ThreadContext
+{
+    std::uint32_t r[maxRegs] = {};
+    bool p[maxPreds] = {};
+    float a[maxAttrs] = {};
+    float o[maxOutputs] = {};
+
+    // Fragment inputs.
+    int fragX = 0;
+    int fragY = 0;
+    float fragZ = 0.0f;
+    // Vertex input.
+    std::uint32_t vertexId = 0;
+    // Compute inputs.
+    std::uint32_t tidX = 0, tidY = 0;
+    std::uint32_t ctaIdX = 0, ctaIdY = 0;
+    std::uint32_t ntidX = 1, ntidY = 1;
+
+    /** Cleared by EXIT, DISCARD, or a failed ZTEST. */
+    bool alive = true;
+    /** Set when the fragment was killed (discard or depth fail). */
+    bool killed = false;
+};
+
+/** Texture sampling callback; implemented by core::TextureSet. */
+class TextureSamplerIface
+{
+  public:
+    virtual ~TextureSamplerIface() = default;
+
+    /**
+     * Bilinearly sample texture @p unit at (u, v) into @p rgba and
+     * append the texel addresses touched to @p texel_addrs.
+     */
+    virtual void sample(int unit, float u, float v, float rgba[4],
+                        std::vector<Addr> &texel_addrs) = 0;
+};
+
+/** Raster-operation callbacks; implemented by core::Framebuffer. */
+class RopIface
+{
+  public:
+    virtual ~RopIface() = default;
+
+    /**
+     * Depth test (and write on pass) at pixel (x, y).
+     * @param addr receives the depth buffer address for timing.
+     * @return true when the fragment survives.
+     */
+    virtual bool depthTest(int x, int y, float z, Addr &addr) = 0;
+
+    /** Read-modify-write alpha blend at (x, y). */
+    virtual void blendPixel(int x, int y, const float rgba[4],
+                            Addr &addr) = 0;
+
+    /** Opaque color write at (x, y). */
+    virtual void storePixel(int x, int y, const float rgba[4],
+                            Addr &addr) = 0;
+};
+
+/** Execution environment shared by the threads of one warp. */
+struct ExecEnv
+{
+    mem::FunctionalMemory *global = nullptr;
+    TextureSamplerIface *textures = nullptr;
+    RopIface *rop = nullptr;
+    const float *constants = nullptr;
+    unsigned numConstants = 0;
+    /** Per-CTA shared memory backing store (compute only). */
+    std::uint8_t *sharedMem = nullptr;
+    unsigned sharedSize = 0;
+};
+
+/** One thread's memory access, pre-coalescing. */
+struct ThreadMemAccess
+{
+    Addr addr = 0;
+    std::uint16_t size = 0;
+    bool write = false;
+};
+
+/** Side effects of executing one instruction across a warp. */
+struct StepEffects
+{
+    /** Memory accesses to charge, tagged with their stream kind. */
+    std::vector<ThreadMemAccess> accesses;
+    AccessKind kind = AccessKind::GlobalData;
+    /** Lanes whose branch was taken (BRA only). */
+    std::uint32_t takenMask = 0;
+    /** Lanes that passed their guard and executed. */
+    std::uint32_t execMask = 0;
+
+    void
+    clear()
+    {
+        accesses.clear();
+        kind = AccessKind::GlobalData;
+        takenMask = 0;
+        execMask = 0;
+    }
+};
+
+/**
+ * Execute @p instr for all lanes set in @p active_mask.
+ * Branch direction is reported through @p effects; pc management is
+ * the caller's job (see Warp / SimtStack).
+ */
+void executeWarpInstruction(const Instruction &instr,
+                            std::uint32_t active_mask,
+                            ThreadContext *threads, ExecEnv &env,
+                            StepEffects &effects);
+
+} // namespace emerald::gpu::isa
+
+#endif // EMERALD_GPU_ISA_EXECUTOR_HH

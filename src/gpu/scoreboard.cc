@@ -1,0 +1,103 @@
+#include "gpu/scoreboard.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::gpu
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+
+Scoreboard::Scoreboard(unsigned num_warps)
+    : _pendingWrites(static_cast<std::size_t>(num_warps) * numSlots, 0)
+{
+}
+
+std::vector<unsigned>
+Scoreboard::destSlots(const Instruction &instr)
+{
+    std::vector<unsigned> slots;
+    if (instr.op == Opcode::SETP) {
+        slots.push_back(predSlot(instr.dst.index));
+        return slots;
+    }
+    if (instr.dst.kind == Operand::Kind::Reg) {
+        unsigned count = instr.op == Opcode::TEX ? 4 : 1;
+        for (unsigned i = 0; i < count; ++i)
+            slots.push_back(static_cast<unsigned>(instr.dst.index) + i);
+    }
+    return slots;
+}
+
+std::vector<unsigned>
+Scoreboard::srcSlots(const Instruction &instr)
+{
+    std::vector<unsigned> slots;
+    if (instr.guard >= 0)
+        slots.push_back(predSlot(instr.guard));
+    for (const Operand &src : instr.src) {
+        if (src.kind == Operand::Kind::Reg) {
+            unsigned count = (instr.op == Opcode::BLEND ||
+                              instr.op == Opcode::STFB)
+                                 ? 4
+                                 : 1;
+            for (unsigned i = 0; i < count; ++i)
+                slots.push_back(static_cast<unsigned>(src.index) + i);
+        } else if (src.kind == Operand::Kind::Pred) {
+            slots.push_back(predSlot(src.index));
+        }
+    }
+    return slots;
+}
+
+bool
+Scoreboard::ready(unsigned warp, const Instruction &instr) const
+{
+    for (unsigned slot : srcSlots(instr)) {
+        if (pending(warp, slot))
+            return false;
+    }
+    for (unsigned slot : destSlots(instr)) {
+        if (pending(warp, slot))
+            return false;
+    }
+    return true;
+}
+
+void
+Scoreboard::markPending(unsigned warp,
+                        const std::vector<unsigned> &slots)
+{
+    for (unsigned slot : slots)
+        ++_pendingWrites[warp * numSlots + slot];
+}
+
+void
+Scoreboard::release(unsigned warp, const std::vector<unsigned> &slots)
+{
+    for (unsigned slot : slots) {
+        auto &count = _pendingWrites[warp * numSlots + slot];
+        panic_if(count == 0, "scoreboard underflow");
+        --count;
+    }
+}
+
+bool
+Scoreboard::idle(unsigned warp) const
+{
+    for (unsigned slot = 0; slot < numSlots; ++slot) {
+        if (pending(warp, slot))
+            return false;
+    }
+    return true;
+}
+
+void
+Scoreboard::resetWarp(unsigned warp)
+{
+    for (unsigned slot = 0; slot < numSlots; ++slot)
+        _pendingWrites[warp * numSlots + slot] = 0;
+}
+
+} // namespace emerald::gpu

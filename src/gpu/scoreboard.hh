@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-warp register scoreboard: tracks pending writes so the issue
+ * logic can enforce RAW/WAW dependences. Predicates are tracked in
+ * the same namespace, offset past the general registers.
+ */
+
+#ifndef EMERALD_GPU_SCOREBOARD_HH
+#define EMERALD_GPU_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/isa/instruction.hh"
+
+namespace emerald::gpu
+{
+
+class Scoreboard
+{
+  public:
+    /** Slot index of a predicate register in the pending table. */
+    static constexpr unsigned
+    predSlot(int pred)
+    {
+        return isa::maxRegs + static_cast<unsigned>(pred);
+    }
+
+    static constexpr unsigned numSlots = isa::maxRegs + isa::maxPreds;
+
+    explicit Scoreboard(unsigned num_warps);
+
+    /** Registers written by @p instr (dest regs; quads for TEX). */
+    static std::vector<unsigned> destSlots(const isa::Instruction &instr);
+
+    /** Register/pred slots read by @p instr (incl. guard, bases). */
+    static std::vector<unsigned> srcSlots(const isa::Instruction &instr);
+
+    /** True when @p instr has no hazard in warp @p warp. */
+    bool ready(unsigned warp, const isa::Instruction &instr) const;
+
+    /** Mark @p slots pending in @p warp (one write each). */
+    void markPending(unsigned warp, const std::vector<unsigned> &slots);
+
+    /** Release one pending write on each of @p slots. */
+    void release(unsigned warp, const std::vector<unsigned> &slots);
+
+    /** True when nothing is pending for @p warp. */
+    bool idle(unsigned warp) const;
+
+    /** Clear all state for @p warp (new task assigned). */
+    void resetWarp(unsigned warp);
+
+  private:
+    bool pending(unsigned warp, unsigned slot) const
+    {
+        return _pendingWrites[warp * numSlots + slot] != 0;
+    }
+
+    std::vector<std::uint8_t> _pendingWrites;
+};
+
+} // namespace emerald::gpu
+
+#endif // EMERALD_GPU_SCOREBOARD_HH

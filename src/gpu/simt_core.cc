@@ -1,0 +1,459 @@
+#include "gpu/simt_core.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::gpu
+{
+
+using isa::Instruction;
+using isa::LatencyClass;
+using isa::Opcode;
+
+SimtCore::SimtCore(Simulation &sim, const std::string &name,
+                   ClockDomain &domain, const SimtCoreParams &params,
+                   MemSink &downstream)
+    : SimObject(sim, name), Clocked(domain, name),
+      statCyclesActive(*this, "cycles_active",
+                       "cycles with work resident"),
+      statWarpInstrs(*this, "warp_instrs", "warp instructions issued"),
+      statThreadInstrs(*this, "thread_instrs",
+                       "thread instructions executed"),
+      statTasksVertex(*this, "tasks_vertex", "vertex warps run"),
+      statTasksFragment(*this, "tasks_fragment", "fragment warps run"),
+      statTasksCompute(*this, "tasks_compute", "compute warps run"),
+      statStallNoReadyWarp(*this, "stall_no_ready_warp",
+                           "scheduler cycles with no ready warp"),
+      statLsuStalls(*this, "lsu_stalls",
+                    "LSU head-of-line blocking cycles"),
+      _params(params), _downstream(downstream),
+      _warps(params.maxWarps), _scoreboard(params.maxWarps),
+      _issuePtr(params.schedulers, 0)
+{
+    auto make_cache = [&](const char *cache_name,
+                          cache::CacheParams cp) {
+        cp.trafficClass = TrafficClass::Gpu;
+        cp.requestorId = gpuRequestorId;
+        auto c = std::make_unique<cache::Cache>(
+            sim, name + "." + cache_name, domain, cp);
+        c->setDownstream(downstream);
+        return c;
+    };
+    _l1i = make_cache("l1i", params.l1i);
+    _l1d = make_cache("l1d", params.l1d);
+    _l1t = make_cache("l1t", params.l1t);
+    _l1z = make_cache("l1z", params.l1z);
+    _l1c = make_cache("l1c", params.l1c);
+}
+
+cache::Cache &
+SimtCore::l1ForKind(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::Inst: return *_l1i;
+      case AccessKind::Texture: return *_l1t;
+      case AccessKind::Depth: return *_l1z;
+      case AccessKind::Constant:
+      case AccessKind::Vertex: return *_l1c;
+      default: return *_l1d;
+    }
+}
+
+bool
+SimtCore::tryAddTask(WarpTask &&task)
+{
+    if (_taskQueue.size() >= _params.taskQueueDepth)
+        return false;
+    _taskQueue.push_back(std::move(task));
+    activate();
+    return true;
+}
+
+bool
+SimtCore::idle() const
+{
+    if (!_taskQueue.empty() || !_lsuQueue.empty() ||
+        !_writebacks.empty()) {
+        return false;
+    }
+    for (const Warp &warp : _warps) {
+        if (warp.valid)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+SimtCore::allocMemInstr(unsigned slot, std::vector<unsigned> regs,
+                        bool init_fetch)
+{
+    unsigned id;
+    if (!_memInstrFreeList.empty()) {
+        id = _memInstrFreeList.back();
+        _memInstrFreeList.pop_back();
+    } else {
+        id = static_cast<unsigned>(_memInstrs.size());
+        _memInstrs.emplace_back();
+    }
+    MemInstrState &state = _memInstrs[id];
+    state.inUse = true;
+    state.slot = slot;
+    state.regSlots = std::move(regs);
+    state.outstanding = 0;
+    state.initFetch = init_fetch;
+    return id;
+}
+
+void
+SimtCore::launchQueuedTasks()
+{
+    while (!_taskQueue.empty()) {
+        WarpTask &task = _taskQueue.front();
+        unsigned regs_needed =
+            task.program->numRegs * isa::warpSize;
+        if (_regsInUse + regs_needed > _params.numRegisters ||
+            _threadsInUse + isa::warpSize > _params.maxThreads) {
+            return;
+        }
+        int free_slot = -1;
+        for (unsigned i = 0; i < _warps.size(); ++i) {
+            if (!_warps[i].valid) {
+                free_slot = static_cast<int>(i);
+                break;
+            }
+        }
+        if (free_slot < 0)
+            return;
+
+        Warp &warp = _warps[static_cast<unsigned>(free_slot)];
+        warp.valid = true;
+        warp.task = std::move(task);
+        _taskQueue.pop_front();
+        warp.stack.reset(warp.task.activeMask);
+        warp.pendingInitFetch = 0;
+        warp.pendingMemInstrs = 0;
+        warp.atBarrier = false;
+        warp.draining = false;
+        warp.lastFetchLine = -1;
+        warp.warpInstrsExecuted = 0;
+        _scoreboard.resetWarp(static_cast<unsigned>(free_slot));
+        _regsInUse += regs_needed;
+        _threadsInUse += isa::warpSize;
+
+        switch (warp.task.type) {
+          case WarpTaskType::Vertex: ++statTasksVertex; break;
+          case WarpTaskType::Fragment: ++statTasksFragment; break;
+          case WarpTaskType::Compute: ++statTasksCompute; break;
+        }
+
+        if (!warp.task.initFetch.empty()) {
+            auto lines = coalesce(warp.task.initFetch,
+                                  _params.l1c.lineSize);
+            unsigned id = allocMemInstr(
+                static_cast<unsigned>(free_slot), {}, true);
+            MemInstrState &state = _memInstrs[id];
+            for (const CoalescedAccess &line : lines) {
+                if (line.write)
+                    continue;
+                ++state.outstanding;
+                _lsuQueue.push_back({line.lineAddr, false,
+                                     warp.task.initFetchKind,
+                                     static_cast<int>(id)});
+            }
+            if (state.outstanding == 0) {
+                state.inUse = false;
+                _memInstrFreeList.push_back(id);
+            } else {
+                warp.pendingInitFetch = state.outstanding;
+            }
+        }
+    }
+}
+
+void
+SimtCore::chargeInstructionFetch(Warp &warp, unsigned)
+{
+    std::int64_t line = warp.stack.pc() / _params.instrsPerFetchLine;
+    if (line == warp.lastFetchLine)
+        return;
+    warp.lastFetchLine = line;
+    // Synthetic instruction addresses: stable per program.
+    Addr base = 0x40000000ULL ^
+                (reinterpret_cast<std::uintptr_t>(warp.task.program) &
+                 0x0FFFF000ULL);
+    Addr addr = base + static_cast<Addr>(line) * _params.l1i.lineSize;
+    _lsuQueue.push_back({addr, false, AccessKind::Inst, -1});
+}
+
+void
+SimtCore::executeWarp(unsigned slot)
+{
+    Warp &warp = _warps[slot];
+    const Instruction &instr =
+        warp.task.program->code[static_cast<std::size_t>(
+            warp.stack.pc())];
+
+    chargeInstructionFetch(warp, slot);
+
+    std::uint32_t active = warp.stack.activeMask();
+    executeWarpInstruction(instr, active, warp.task.threads.data(),
+                           warp.task.env, _effects);
+
+    ++statWarpInstrs;
+    statThreadInstrs += std::popcount(_effects.execMask);
+    ++warp.warpInstrsExecuted;
+
+    std::uint32_t alive = warp.aliveMask();
+    if (instr.isBranch())
+        warp.stack.branch(instr, _effects.takenMask, alive);
+    else
+        warp.stack.advance();
+
+    if (instr.op == Opcode::EXIT || instr.op == Opcode::DISCARD ||
+        instr.op == Opcode::ZTEST) {
+        warp.stack.pruneDead(alive);
+    }
+
+    // Latency / memory handling.
+    LatencyClass lat = instr.latencyClass();
+    std::vector<unsigned> dests = Scoreboard::destSlots(instr);
+
+    auto fixed_latency = [&](Cycle cycles) {
+        if (dests.empty())
+            return;
+        _scoreboard.markPending(slot, dests);
+        Tick release = curTick() + clockDomain().cyclesToTicks(cycles);
+        _writebacks.emplace(release, std::make_pair(slot, dests));
+    };
+
+    switch (lat) {
+      case LatencyClass::Alu:
+      case LatencyClass::Control:
+        fixed_latency(_params.aluLatency);
+        break;
+      case LatencyClass::Sfu:
+        fixed_latency(_params.sfuLatency);
+        break;
+      case LatencyClass::MemShared:
+        fixed_latency(_params.sharedMemLatency);
+        break;
+      case LatencyClass::MemGlobal:
+      case LatencyClass::Tex:
+      case LatencyClass::Rop: {
+        auto lines = coalesce(_effects.accesses,
+                              _params.l1d.lineSize);
+        unsigned reads = 0;
+        for (const CoalescedAccess &line : lines) {
+            if (!line.write)
+                ++reads;
+        }
+        if (reads > 0) {
+            unsigned id = allocMemInstr(slot, dests, false);
+            _memInstrs[id].outstanding = reads;
+            if (!dests.empty())
+                _scoreboard.markPending(slot, dests);
+            ++warp.pendingMemInstrs;
+            for (const CoalescedAccess &line : lines) {
+                _lsuQueue.push_back({line.lineAddr, line.write,
+                                     _effects.kind,
+                                     line.write
+                                         ? -1
+                                         : static_cast<int>(id)});
+            }
+        } else {
+            // Stores only (or fully predicated-off): no read deps.
+            for (const CoalescedAccess &line : lines) {
+                _lsuQueue.push_back(
+                    {line.lineAddr, line.write, _effects.kind, -1});
+            }
+            fixed_latency(_params.aluLatency);
+        }
+        break;
+      }
+    }
+
+    if (instr.op == Opcode::BAR)
+        barrierArrive(slot);
+
+    if (warp.executionDone())
+        warp.draining = true;
+}
+
+void
+SimtCore::barrierArrive(unsigned slot)
+{
+    Warp &warp = _warps[slot];
+    if (warp.task.ctaKey < 0 || warp.task.ctaWarps <= 1)
+        return; // Degenerate barrier: nothing to wait for.
+    warp.atBarrier = true;
+    unsigned &arrived = _barrierArrived[warp.task.ctaKey];
+    ++arrived;
+    if (arrived >= warp.task.ctaWarps) {
+        arrived = 0;
+        for (Warp &other : _warps) {
+            if (other.valid && other.task.ctaKey == warp.task.ctaKey)
+                other.atBarrier = false;
+        }
+    }
+}
+
+bool
+SimtCore::issueFrom(unsigned scheduler)
+{
+    const unsigned n = static_cast<unsigned>(_warps.size());
+    for (unsigned step = 1; step <= n; ++step) {
+        unsigned slot = (_issuePtr[scheduler] + step) % n;
+        if (slot % _params.schedulers != scheduler)
+            continue;
+        Warp &warp = _warps[slot];
+        if (!warp.valid || warp.draining || warp.atBarrier ||
+            warp.pendingInitFetch > 0 ||
+            warp.pendingMemInstrs >=
+                _params.maxPendingMemInstrsPerWarp ||
+            warp.stack.empty()) {
+            continue;
+        }
+        int pc = warp.stack.pc();
+        if (pc < 0 ||
+            pc >= static_cast<int>(warp.task.program->code.size())) {
+            panic("%s: warp pc %d out of range in %s", name().c_str(),
+                  pc, warp.task.program->name.c_str());
+        }
+        const Instruction &instr =
+            warp.task.program->code[static_cast<std::size_t>(pc)];
+        if (!_scoreboard.ready(slot, instr))
+            continue;
+        executeWarp(slot);
+        _issuePtr[scheduler] = slot;
+        return true;
+    }
+    return false;
+}
+
+void
+SimtCore::drainLsu()
+{
+    for (unsigned i = 0; i < _params.lsuIssuePerCycle; ++i) {
+        if (_lsuQueue.empty())
+            return;
+        const LsuTxn &txn = _lsuQueue.front();
+        bool posted = txn.memInstrId < 0;
+        auto *pkt = new MemPacket(
+            txn.lineAddr, _params.l1d.lineSize, txn.write,
+            TrafficClass::Gpu, txn.kind, gpuRequestorId,
+            posted ? nullptr : this,
+            posted ? 0 : static_cast<std::uint64_t>(txn.memInstrId));
+        if (!l1ForKind(txn.kind).tryAccept(pkt)) {
+            delete pkt;
+            ++statLsuStalls;
+            return;
+        }
+        _lsuQueue.pop_front();
+    }
+}
+
+void
+SimtCore::memResponse(MemPacket *pkt)
+{
+    unsigned id = static_cast<unsigned>(pkt->token);
+    panic_if(id >= _memInstrs.size() || !_memInstrs[id].inUse,
+             "%s: response for unknown mem instr", name().c_str());
+    MemInstrState &state = _memInstrs[id];
+    panic_if(state.outstanding == 0, "mem instr over-completed");
+    --state.outstanding;
+    if (state.outstanding == 0) {
+        Warp &warp = _warps[state.slot];
+        if (state.initFetch) {
+            warp.pendingInitFetch = 0;
+        } else {
+            if (!state.regSlots.empty())
+                _scoreboard.release(state.slot, state.regSlots);
+            panic_if(warp.pendingMemInstrs == 0,
+                     "pendingMemInstrs underflow");
+            --warp.pendingMemInstrs;
+        }
+        state.inUse = false;
+        state.regSlots.clear();
+        _memInstrFreeList.push_back(id);
+    }
+    delete pkt;
+    activate();
+}
+
+void
+SimtCore::processWritebacks()
+{
+    Tick now = curTick();
+    while (!_writebacks.empty() && _writebacks.begin()->first <= now) {
+        auto [slot, regs] = _writebacks.begin()->second;
+        _writebacks.erase(_writebacks.begin());
+        _scoreboard.release(slot, regs);
+    }
+}
+
+void
+SimtCore::finishWarpIfDrained(unsigned slot)
+{
+    Warp &warp = _warps[slot];
+    if (!warp.valid || !warp.draining)
+        return;
+    if (warp.pendingInitFetch > 0 || warp.pendingMemInstrs > 0 ||
+        !_scoreboard.idle(slot)) {
+        return;
+    }
+    // Free resources before the callback so completion handlers can
+    // immediately enqueue follow-up work.
+    WarpTask task = std::move(warp.task);
+    warp.valid = false;
+    warp.draining = false;
+    _regsInUse -= task.program->numRegs * isa::warpSize;
+    _threadsInUse -= isa::warpSize;
+    if (task.onComplete)
+        task.onComplete(task, task.threads.data());
+}
+
+bool
+SimtCore::tick()
+{
+    processWritebacks();
+    launchQueuedTasks();
+
+    bool any_resident = false;
+    for (const Warp &warp : _warps) {
+        if (warp.valid) {
+            any_resident = true;
+            break;
+        }
+    }
+    if (any_resident)
+        ++statCyclesActive;
+
+    bool issued_any = false;
+    for (unsigned s = 0; s < _params.schedulers; ++s) {
+        if (issueFrom(s))
+            issued_any = true;
+        else if (any_resident)
+            ++statStallNoReadyWarp;
+    }
+
+    drainLsu();
+
+    for (unsigned slot = 0; slot < _warps.size(); ++slot)
+        finishWarpIfDrained(slot);
+
+    if (idle())
+        return false;
+
+    // Sleep while only an external event (a memory response) can
+    // unblock us: nothing issued, and no local work is pending.
+    // memResponse() reactivates the core. This keeps long DRAM
+    // stalls (e.g. the paper's 133 Mb/s high-load scenario) from
+    // costing one simulation event per idle cycle.
+    bool local_work = issued_any || !_lsuQueue.empty() ||
+                      !_writebacks.empty() || !_taskQueue.empty();
+    return local_work;
+}
+
+} // namespace emerald::gpu

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The SIMT core timing model (paper Table 2, Fig. 5 element 1).
+ *
+ * Per cycle, each warp scheduler issues at most one instruction from
+ * a ready warp. Instructions execute functionally at issue; the
+ * timing model then tracks result latency through a scoreboard (ALU /
+ * SFU / shared memory) or through the memory system (coalesced
+ * transactions into the per-core L1 caches: L1I instruction, L1D
+ * global+pixel, L1T texture, L1Z depth, L1C constant+vertex).
+ */
+
+#ifndef EMERALD_GPU_SIMT_CORE_HH
+#define EMERALD_GPU_SIMT_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/scoreboard.hh"
+#include "gpu/warp.hh"
+#include "sim/clocked.hh"
+#include "sim/sim_object.hh"
+
+namespace emerald::gpu
+{
+
+/** Requestor id used for all GPU-originated memory traffic. */
+constexpr int gpuRequestorId = 100;
+
+/** Static configuration of one SIMT core. */
+struct SimtCoreParams
+{
+    unsigned maxWarps = 48;
+    unsigned maxThreads = 2048;
+    unsigned numRegisters = 65536;
+    unsigned schedulers = 2;
+    /** Queued tasks awaiting a free warp slot. */
+    unsigned taskQueueDepth = 8;
+
+    Cycle aluLatency = 4;
+    Cycle sfuLatency = 16;
+    Cycle sharedMemLatency = 24;
+    unsigned lsuIssuePerCycle = 2;
+    unsigned maxPendingMemInstrsPerWarp = 6;
+    /** Instructions per I-cache line (synthetic 8 B encoding). */
+    unsigned instrsPerFetchLine = 16;
+
+    cache::CacheParams l1i;
+    cache::CacheParams l1d;
+    cache::CacheParams l1t;
+    cache::CacheParams l1z;
+    cache::CacheParams l1c;
+};
+
+/**
+ * One SIMT core with its private L1 caches. All L1s miss into the
+ * downstream sink provided at construction (the cluster's port into
+ * the GPU interconnect).
+ */
+class SimtCore : public SimObject, public Clocked, public MemClient
+{
+  public:
+    SimtCore(Simulation &sim, const std::string &name,
+             ClockDomain &domain, const SimtCoreParams &params,
+             MemSink &downstream);
+
+    /**
+     * Offer a warp task.
+     * @return false when the core's task queue is full.
+     */
+    bool tryAddTask(WarpTask &&task);
+
+    /** True when no work is queued, resident, or in flight. */
+    bool idle() const;
+
+    unsigned queuedTasks() const
+    {
+        return static_cast<unsigned>(_taskQueue.size());
+    }
+
+    const SimtCoreParams &params() const { return _params; }
+
+    /** The L1 cache that services @p kind. */
+    cache::Cache &l1ForKind(AccessKind kind);
+
+    cache::Cache &l1i() { return *_l1i; }
+    cache::Cache &l1d() { return *_l1d; }
+    cache::Cache &l1t() { return *_l1t; }
+    cache::Cache &l1z() { return *_l1z; }
+    cache::Cache &l1c() { return *_l1c; }
+
+    void memResponse(MemPacket *pkt) override;
+
+    /** @{ Statistics. */
+    Scalar statCyclesActive;
+    Scalar statWarpInstrs;
+    Scalar statThreadInstrs;
+    Scalar statTasksVertex;
+    Scalar statTasksFragment;
+    Scalar statTasksCompute;
+    Scalar statStallNoReadyWarp;
+    Scalar statLsuStalls;
+    /** @} */
+
+  protected:
+    bool tick() override;
+
+  private:
+    /** A memory instruction with outstanding read transactions. */
+    struct MemInstrState
+    {
+        bool inUse = false;
+        unsigned slot = 0;
+        std::vector<unsigned> regSlots;
+        unsigned outstanding = 0;
+        bool initFetch = false;
+    };
+
+    /** One coalesced transaction queued for the LSU. */
+    struct LsuTxn
+    {
+        Addr lineAddr;
+        bool write;
+        AccessKind kind;
+        /** Index into _memInstrs, or -1 for posted traffic. */
+        int memInstrId;
+    };
+
+    void launchQueuedTasks();
+    bool issueFrom(unsigned scheduler);
+    void executeWarp(unsigned slot);
+    void chargeInstructionFetch(Warp &warp, unsigned slot);
+    void finishWarpIfDrained(unsigned slot);
+    void drainLsu();
+    void processWritebacks();
+    void barrierArrive(unsigned slot);
+
+    unsigned allocMemInstr(unsigned slot, std::vector<unsigned> regs,
+                           bool init_fetch);
+
+    SimtCoreParams _params;
+    MemSink &_downstream;
+
+    std::unique_ptr<cache::Cache> _l1i;
+    std::unique_ptr<cache::Cache> _l1d;
+    std::unique_ptr<cache::Cache> _l1t;
+    std::unique_ptr<cache::Cache> _l1z;
+    std::unique_ptr<cache::Cache> _l1c;
+
+    std::vector<Warp> _warps;
+    Scoreboard _scoreboard;
+    std::deque<WarpTask> _taskQueue;
+
+    /** Registers and threads currently allocated to resident warps. */
+    unsigned _regsInUse = 0;
+    unsigned _threadsInUse = 0;
+
+    std::vector<MemInstrState> _memInstrs;
+    std::vector<unsigned> _memInstrFreeList;
+
+    std::deque<LsuTxn> _lsuQueue;
+
+    /** Pending scoreboard releases: cycle -> (slot, reg slots). */
+    std::multimap<Tick, std::pair<unsigned, std::vector<unsigned>>>
+        _writebacks;
+
+    /** Barrier bookkeeping: ctaKey -> arrived count. */
+    std::map<int, unsigned> _barrierArrived;
+
+    /** Round-robin issue pointers, one per scheduler. */
+    std::vector<unsigned> _issuePtr;
+
+    isa::StepEffects _effects; // Reused each issue to avoid churn.
+};
+
+} // namespace emerald::gpu
+
+#endif // EMERALD_GPU_SIMT_CORE_HH

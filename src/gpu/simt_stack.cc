@@ -1,0 +1,87 @@
+#include "gpu/simt_stack.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::gpu
+{
+
+void
+SimtStack::reset(std::uint32_t initial_mask)
+{
+    _entries.clear();
+    _entries.push_back({0, -1, initial_mask});
+}
+
+void
+SimtStack::popReconverged()
+{
+    while (!_entries.empty()) {
+        const Entry &top = _entries.back();
+        if (top.rpc >= 0 && top.pc == top.rpc)
+            _entries.pop_back();
+        else if (top.mask == 0)
+            _entries.pop_back();
+        else
+            break;
+    }
+}
+
+void
+SimtStack::advance()
+{
+    panic_if(_entries.empty(), "advance on empty SIMT stack");
+    ++_entries.back().pc;
+    popReconverged();
+}
+
+void
+SimtStack::branch(const isa::Instruction &instr,
+                  std::uint32_t taken_mask, std::uint32_t alive_mask)
+{
+    panic_if(_entries.empty(), "branch on empty SIMT stack");
+    Entry &top = _entries.back();
+    std::uint32_t active = top.mask & alive_mask;
+    std::uint32_t taken = taken_mask & active;
+    std::uint32_t not_taken = active & ~taken;
+
+    if (not_taken == 0) {
+        top.pc = instr.target;
+        popReconverged();
+        return;
+    }
+    if (taken == 0) {
+        advance();
+        return;
+    }
+
+    // Divergence: the current entry becomes the reconvergence
+    // placeholder; not-taken then taken paths are pushed (taken
+    // executes first).
+    int rpc = instr.reconvergePc;
+    int fallthrough = top.pc + 1;
+    top.pc = rpc; // May be -1; only reached if structure is violated.
+    _entries.push_back({fallthrough, rpc, not_taken});
+    _entries.push_back({instr.target, rpc, taken});
+    // A path that starts at the reconvergence point merges at once
+    // (e.g. a guarded jump straight to the join label).
+    popReconverged();
+}
+
+void
+SimtStack::pruneDead(std::uint32_t alive_mask)
+{
+    for (Entry &entry : _entries)
+        entry.mask &= alive_mask;
+    popReconverged();
+    // Also drop empty entries below the top.
+    std::vector<Entry> kept;
+    kept.reserve(_entries.size());
+    for (const Entry &entry : _entries) {
+        if (entry.mask != 0)
+            kept.push_back(entry);
+    }
+    _entries = std::move(kept);
+    popReconverged();
+}
+
+} // namespace emerald::gpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SIMT reconvergence stack (GPGPU-Sim style).
+ *
+ * Each warp carries a stack of (pc, reconvergence-pc, mask) entries.
+ * A divergent branch turns the top entry into a reconvergence
+ * placeholder at the branch's immediate post-dominator and pushes the
+ * not-taken and taken paths; paths pop as they reach the
+ * reconvergence pc, restoring the full mask.
+ */
+
+#ifndef EMERALD_GPU_SIMT_STACK_HH
+#define EMERALD_GPU_SIMT_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/isa/instruction.hh"
+
+namespace emerald::gpu
+{
+
+class SimtStack
+{
+  public:
+    struct Entry
+    {
+        int pc = 0;
+        /** Reconvergence pc; -1 = only at thread exit. */
+        int rpc = -1;
+        std::uint32_t mask = 0;
+    };
+
+    /** Reset to a single base entry covering @p initial_mask. */
+    void reset(std::uint32_t initial_mask);
+
+    bool empty() const { return _entries.empty(); }
+
+    /** Current pc. @pre !empty(). */
+    int pc() const { return _entries.back().pc; }
+
+    /** Current active mask. @pre !empty(). */
+    std::uint32_t activeMask() const { return _entries.back().mask; }
+
+    /**
+     * Advance past a non-branch instruction, popping reconverged
+     * entries.
+     */
+    void advance();
+
+    /**
+     * Apply a (possibly divergent) branch.
+     * @param instr the BRA instruction (target, reconvergePc).
+     * @param taken_mask lanes that take the branch.
+     * @param alive_mask lanes still alive (not exited).
+     */
+    void branch(const isa::Instruction &instr, std::uint32_t taken_mask,
+                std::uint32_t alive_mask);
+
+    /**
+     * Remove dead lanes from every entry and pop empty entries.
+     * Call after EXIT / DISCARD / failed depth tests.
+     */
+    void pruneDead(std::uint32_t alive_mask);
+
+    std::size_t depth() const { return _entries.size(); }
+
+  private:
+    void popReconverged();
+
+    std::vector<Entry> _entries;
+};
+
+} // namespace emerald::gpu
+
+#endif // EMERALD_GPU_SIMT_STACK_HH

@@ -1,0 +1,94 @@
+#include "mem/address_map.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::mem
+{
+
+const char *
+addrMapSchemeName(AddrMapScheme scheme)
+{
+    switch (scheme) {
+      case AddrMapScheme::RoRaBaCoCh: return "Ro:Ra:Ba:Co:Ch";
+      case AddrMapScheme::RoCoRaBaCh: return "Ro:Co:Ra:Ba:Ch";
+      default: return "unknown";
+    }
+}
+
+AddressMap::AddressMap(const DramGeometry &geom, AddrMapScheme scheme)
+    : _geom(geom), _scheme(scheme)
+{
+    panic_if(!isPowerOf2(geom.lineSize), "line size must be 2^n");
+    panic_if(!isPowerOf2(geom.rowBytes), "row size must be 2^n");
+    panic_if(!isPowerOf2(geom.channels), "channel count must be 2^n");
+    panic_if(!isPowerOf2(geom.ranks), "rank count must be 2^n");
+    panic_if(!isPowerOf2(geom.banks), "bank count must be 2^n");
+    panic_if(geom.rowBytes < geom.lineSize, "row smaller than line");
+
+    _offsetBits = log2i(geom.lineSize);
+    _channelBits = log2i(geom.channels);
+    _columnBits = log2i(geom.rowBytes / geom.lineSize);
+    _bankBits = log2i(geom.banks);
+    _rankBits = log2i(geom.ranks);
+}
+
+DecodedAddr
+AddressMap::decode(Addr addr) const
+{
+    DecodedAddr out;
+    Addr a = addr >> _offsetBits;
+
+    auto take = [&a](unsigned bits) -> std::uint64_t {
+        std::uint64_t field = a & ((std::uint64_t(1) << bits) - 1);
+        a >>= bits;
+        return field;
+    };
+
+    // Fields are consumed LSB-first, i.e. in reverse of the scheme
+    // name (which lists the MSB first).
+    switch (_scheme) {
+      case AddrMapScheme::RoRaBaCoCh:
+        out.channel = static_cast<unsigned>(take(_channelBits));
+        out.column = take(_columnBits);
+        out.bank = static_cast<unsigned>(take(_bankBits));
+        out.rank = static_cast<unsigned>(take(_rankBits));
+        out.row = a;
+        break;
+      case AddrMapScheme::RoCoRaBaCh:
+        out.channel = static_cast<unsigned>(take(_channelBits));
+        out.bank = static_cast<unsigned>(take(_bankBits));
+        out.rank = static_cast<unsigned>(take(_rankBits));
+        out.column = take(_columnBits);
+        out.row = a;
+        break;
+    }
+    return out;
+}
+
+Addr
+AddressMap::encode(const DecodedAddr &coord) const
+{
+    Addr a = coord.row;
+
+    auto put = [&a](std::uint64_t field, unsigned bits) {
+        a = (a << bits) | (field & ((std::uint64_t(1) << bits) - 1));
+    };
+
+    switch (_scheme) {
+      case AddrMapScheme::RoRaBaCoCh:
+        put(coord.rank, _rankBits);
+        put(coord.bank, _bankBits);
+        put(coord.column, _columnBits);
+        put(coord.channel, _channelBits);
+        break;
+      case AddrMapScheme::RoCoRaBaCh:
+        put(coord.column, _columnBits);
+        put(coord.rank, _rankBits);
+        put(coord.bank, _bankBits);
+        put(coord.channel, _channelBits);
+        break;
+    }
+    return a << _offsetBits;
+}
+
+} // namespace emerald::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DRAM address interleaving.
+ *
+ * The paper's case study I (Table 4) compares two layouts:
+ *
+ *  - Row:Rank:Bank:Column:Channel (baseline / HMC CPU channels):
+ *    consecutive lines stripe across channels, then walk a row buffer
+ *    ("page striped", maximizes row locality).
+ *  - Row:Column:Rank:Bank:Channel (HMC IP channels): consecutive
+ *    lines stripe across banks ("cache-line striped", maximizes bank
+ *    parallelism at the cost of locality).
+ *
+ * Field names list the MSB first, so the last field occupies the bits
+ * right above the line offset.
+ */
+
+#ifndef EMERALD_MEM_ADDRESS_MAP_HH
+#define EMERALD_MEM_ADDRESS_MAP_HH
+
+#include "sim/types.hh"
+
+namespace emerald::mem
+{
+
+/** Physical organization of one DRAM subsystem. */
+struct DramGeometry
+{
+    unsigned channels = 2;
+    unsigned ranks = 1;
+    unsigned banks = 8;
+    /** Row buffer (page) size per bank, bytes. */
+    unsigned rowBytes = 4096;
+    /** Interleave granule; equals the system cache line size. */
+    unsigned lineSize = 128;
+
+    unsigned banksPerChannel() const { return ranks * banks; }
+};
+
+/** Supported interleaving schemes (MSB..LSB above the line offset). */
+enum class AddrMapScheme
+{
+    /** Row:Rank:Bank:Column:Channel - page striped (locality). */
+    RoRaBaCoCh,
+    /** Row:Column:Rank:Bank:Channel - line striped (parallelism). */
+    RoCoRaBaCh,
+};
+
+const char *addrMapSchemeName(AddrMapScheme scheme);
+
+/** A fully decoded DRAM coordinate. */
+struct DecodedAddr
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;
+
+    /** Flat bank index within a channel (rank-major). */
+    unsigned
+    flatBank(const DramGeometry &geom) const
+    {
+        return rank * geom.banks + bank;
+    }
+
+    bool
+    operator==(const DecodedAddr &other) const = default;
+};
+
+/**
+ * Bidirectional address translation for one scheme over one geometry.
+ */
+class AddressMap
+{
+  public:
+    AddressMap(const DramGeometry &geom, AddrMapScheme scheme);
+
+    DecodedAddr decode(Addr addr) const;
+    Addr encode(const DecodedAddr &coord) const;
+
+    const DramGeometry &geometry() const { return _geom; }
+    AddrMapScheme scheme() const { return _scheme; }
+
+  private:
+    DramGeometry _geom;
+    AddrMapScheme _scheme;
+
+    unsigned _offsetBits;
+    unsigned _channelBits;
+    unsigned _columnBits;
+    unsigned _bankBits;
+    unsigned _rankBits;
+};
+
+} // namespace emerald::mem
+
+#endif // EMERALD_MEM_ADDRESS_MAP_HH

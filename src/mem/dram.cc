@@ -1,0 +1,27 @@
+#include "mem/dram.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::mem
+{
+
+DramTiming
+lpddr3Timing(double data_rate_mbps, unsigned bus_bits, unsigned line_size)
+{
+    fatal_if(data_rate_mbps <= 0.0, "bad DRAM data rate");
+    DramTiming t;
+    // Bytes per second moved by the channel data bus.
+    t.peakBytesPerSec = data_rate_mbps * 1e6 * bus_bits / 8.0;
+    double burst_ns = line_size / (t.peakBytesPerSec / 1e9);
+    t.tBURST = ticksFromNs(burst_ns);
+    // Core (array) timing is largely independent of the interface
+    // data rate; representative LPDDR3 values.
+    t.tRCD = ticksFromNs(18.0);
+    t.tCL = ticksFromNs(15.0);
+    t.tRP = ticksFromNs(18.0);
+    t.tRAS = ticksFromNs(42.0);
+    t.tWR = ticksFromNs(15.0);
+    return t;
+}
+
+} // namespace emerald::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM device timing parameters and per-bank state.
+ *
+ * The model captures the constraints that matter for the paper's
+ * memory experiments: row activate/precharge/CAS timing, the shared
+ * data bus, row-buffer hit/miss/conflict behaviour, and
+ * bytes-per-activation energy proxies (paper Fig. 11).
+ */
+
+#ifndef EMERALD_MEM_DRAM_HH
+#define EMERALD_MEM_DRAM_HH
+
+#include <string>
+
+#include "mem/address_map.hh"
+#include "sim/types.hh"
+
+namespace emerald::mem
+{
+
+/** Device timing, stored in ticks. */
+struct DramTiming
+{
+    /** Data bus transfer time for one line-sized burst. */
+    Tick tBURST = 0;
+    /** Activate to column command. */
+    Tick tRCD = 0;
+    /** CAS latency (column command to first data). */
+    Tick tCL = 0;
+    /** Precharge time. */
+    Tick tRP = 0;
+    /** Minimum activate to precharge. */
+    Tick tRAS = 0;
+    /** Write recovery before precharge. */
+    Tick tWR = 0;
+
+    /** Peak data bus bandwidth, bytes per second. */
+    double peakBytesPerSec = 0.0;
+};
+
+/**
+ * Build an LPDDR3-like timing set.
+ *
+ * @param data_rate_mbps per-pin data rate (e.g. 1333 for the paper's
+ *        regular-load config, 133 for the high-load config).
+ * @param bus_bits channel data bus width in bits (paper: 32).
+ * @param line_size burst granularity in bytes.
+ */
+DramTiming lpddr3Timing(double data_rate_mbps, unsigned bus_bits,
+                        unsigned line_size);
+
+/** Runtime state of one DRAM bank. */
+struct BankState
+{
+    bool open = false;
+    std::uint64_t openRow = 0;
+    /** When the bank can take its next command. */
+    Tick readyTick = 0;
+    /** When the open row was activated (for tRAS). */
+    Tick activateTick = 0;
+    /** Bytes transferred from the currently open row. */
+    std::uint64_t bytesSinceActivate = 0;
+};
+
+/** Outcome of servicing one request, for stats. */
+enum class RowBufferOutcome
+{
+    Hit,        ///< Open row matched.
+    ClosedMiss, ///< Bank was precharged; activate only.
+    Conflict,   ///< Different row open; precharge + activate.
+};
+
+} // namespace emerald::mem
+
+#endif // EMERALD_MEM_DRAM_HH

@@ -1,0 +1,220 @@
+#include "mem/dram_channel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::mem
+{
+
+void
+DramScheduler::serviced(const MemPacket &, Tick)
+{
+}
+
+DramChannel::DramChannel(Simulation &sim, const std::string &name,
+                         const DramGeometry &geom,
+                         const DramTiming &timing,
+                         DramScheduler &scheduler,
+                         unsigned queue_capacity, Tick stats_bucket)
+    : SimObject(sim, name),
+      statRowHits(*this, "row_hits", "row buffer hits"),
+      statRowClosedMisses(*this, "row_closed_misses",
+                          "accesses to precharged banks"),
+      statRowConflicts(*this, "row_conflicts",
+                       "row buffer conflicts (precharge + activate)"),
+      statBytesRead(*this, "bytes_read", "bytes read"),
+      statBytesWritten(*this, "bytes_written", "bytes written"),
+      statRequests(*this, "requests", "requests serviced"),
+      statBytesPerActivation(*this, "bytes_per_act",
+                             "bytes transferred per row activation"),
+      statReadLatencyCpu(*this, "read_lat_cpu",
+                         "CPU read latency (ticks)"),
+      statReadLatencyGpu(*this, "read_lat_gpu",
+                         "GPU read latency (ticks)"),
+      statReadLatencyDisplay(*this, "read_lat_display",
+                             "display read latency (ticks)"),
+      statBwCpu(*this, "bw_cpu", "CPU bytes per bucket", stats_bucket),
+      statBwGpu(*this, "bw_gpu", "GPU bytes per bucket", stats_bucket),
+      statBwDisplay(*this, "bw_display", "display bytes per bucket",
+                    stats_bucket),
+      _geom(geom), _timing(timing), _scheduler(scheduler),
+      _queueCapacity(queue_capacity),
+      _banks(geom.banksPerChannel()),
+      _issueEvent([this] { tryIssue(); }, name + ".issue"),
+      _completeEvent([this] { completeHead(); }, name + ".complete")
+{
+}
+
+bool
+DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord)
+{
+    if (full())
+        return false;
+    _queue.push_back({pkt, coord, curTick()});
+    scheduleIssue(curTick());
+    return true;
+}
+
+bool
+DramChannel::bankOpen(unsigned flat_bank) const
+{
+    return _banks[flat_bank].open;
+}
+
+std::uint64_t
+DramChannel::bankOpenRow(unsigned flat_bank) const
+{
+    return _banks[flat_bank].openRow;
+}
+
+double
+DramChannel::rowHitRate() const
+{
+    double total = statRowHits.value() + statRowClosedMisses.value() +
+                   statRowConflicts.value();
+    return total > 0.0 ? statRowHits.value() / total : 0.0;
+}
+
+void
+DramChannel::scheduleIssue(Tick when)
+{
+    if (_issueEvent.scheduled()) {
+        if (_issueEvent.when() > when)
+            reschedule(_issueEvent, std::max(when, curTick()));
+        return;
+    }
+    schedule(_issueEvent, std::max(when, curTick()));
+}
+
+void
+DramChannel::scheduleCompletion()
+{
+    if (_inflight.empty())
+        return;
+    Tick first = _inflight.begin()->first;
+    if (_completeEvent.scheduled()) {
+        if (_completeEvent.when() > first)
+            reschedule(_completeEvent, first);
+        return;
+    }
+    schedule(_completeEvent, first);
+}
+
+Tick
+DramChannel::service(const DramScheduler::QueueEntry &entry, Tick now,
+                     RowBufferOutcome &outcome)
+{
+    BankState &bank = _banks[entry.coord.flatBank(_geom)];
+    Tick cmd_ready = std::max(now, bank.readyTick);
+
+    if (bank.open && bank.openRow == entry.coord.row) {
+        outcome = RowBufferOutcome::Hit;
+    } else {
+        if (bank.open) {
+            outcome = RowBufferOutcome::Conflict;
+            // Respect tRAS before precharging, then precharge.
+            Tick pre_start =
+                std::max(cmd_ready, bank.activateTick + _timing.tRAS);
+            cmd_ready = pre_start + _timing.tRP;
+            statBytesPerActivation.sample(
+                static_cast<double>(bank.bytesSinceActivate));
+        } else {
+            outcome = RowBufferOutcome::ClosedMiss;
+        }
+        // Activate the target row.
+        bank.activateTick = cmd_ready;
+        cmd_ready += _timing.tRCD;
+        bank.open = true;
+        bank.openRow = entry.coord.row;
+        bank.bytesSinceActivate = 0;
+    }
+
+    // Column command: data appears after CAS latency, transfers on
+    // the shared bus for tBURST.
+    Tick data_start = std::max(cmd_ready + _timing.tCL, _busFreeTick);
+    Tick done = data_start + _timing.tBURST;
+    _busFreeTick = done;
+    bank.readyTick = data_start;
+    if (entry.pkt->write)
+        bank.readyTick += _timing.tWR;
+    bank.bytesSinceActivate += entry.pkt->size;
+    return done;
+}
+
+void
+DramChannel::tryIssue()
+{
+    if (_queue.empty())
+        return;
+
+    Tick now = curTick();
+    if (_busFreeTick > now) {
+        scheduleIssue(_busFreeTick);
+        return;
+    }
+
+    std::size_t idx = _scheduler.pick(*this, _queue, now);
+    panic_if(idx >= _queue.size(), "scheduler picked out of range");
+    DramScheduler::QueueEntry entry = _queue[idx];
+    _queue.erase(_queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    RowBufferOutcome outcome = RowBufferOutcome::Hit;
+    Tick done = service(entry, now, outcome);
+
+    switch (outcome) {
+      case RowBufferOutcome::Hit: ++statRowHits; break;
+      case RowBufferOutcome::ClosedMiss: ++statRowClosedMisses; break;
+      case RowBufferOutcome::Conflict: ++statRowConflicts; break;
+    }
+
+    MemPacket *pkt = entry.pkt;
+    ++statRequests;
+    if (pkt->write)
+        statBytesWritten += pkt->size;
+    else
+        statBytesRead += pkt->size;
+
+    switch (pkt->tclass) {
+      case TrafficClass::Cpu:
+        statBwCpu.add(done, pkt->size);
+        if (!pkt->write)
+            statReadLatencyCpu.sample(
+                static_cast<double>(done - pkt->issued));
+        break;
+      case TrafficClass::Gpu:
+        statBwGpu.add(done, pkt->size);
+        if (!pkt->write)
+            statReadLatencyGpu.sample(
+                static_cast<double>(done - pkt->issued));
+        break;
+      case TrafficClass::Display:
+        statBwDisplay.add(done, pkt->size);
+        if (!pkt->write)
+            statReadLatencyDisplay.sample(
+                static_cast<double>(done - pkt->issued));
+        break;
+    }
+
+    _scheduler.serviced(*pkt, now);
+    _inflight.emplace(done, pkt);
+    scheduleCompletion();
+
+    if (!_queue.empty())
+        scheduleIssue(_busFreeTick);
+}
+
+void
+DramChannel::completeHead()
+{
+    Tick now = curTick();
+    while (!_inflight.empty() && _inflight.begin()->first <= now) {
+        MemPacket *pkt = _inflight.begin()->second;
+        _inflight.erase(_inflight.begin());
+        completePacket(pkt);
+    }
+    scheduleCompletion();
+}
+
+} // namespace emerald::mem

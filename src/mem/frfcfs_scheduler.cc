@@ -1,0 +1,13 @@
+#include "mem/frfcfs_scheduler.hh"
+
+namespace emerald::mem
+{
+
+std::size_t
+FrfcfsScheduler::pick(const DramChannel &channel,
+                      const std::vector<QueueEntry> &queue, Tick)
+{
+    return pickAmong(channel, queue, [](std::size_t) { return true; });
+}
+
+} // namespace emerald::mem

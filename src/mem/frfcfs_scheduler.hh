@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FR-FCFS: first-ready, first-come-first-served DRAM scheduling.
+ * Row-buffer hits are serviced before non-hits; ties break by age.
+ * This is the paper's baseline policy (Table 4).
+ */
+
+#ifndef EMERALD_MEM_FRFCFS_SCHEDULER_HH
+#define EMERALD_MEM_FRFCFS_SCHEDULER_HH
+
+#include "mem/dram_channel.hh"
+
+namespace emerald::mem
+{
+
+class FrfcfsScheduler : public DramScheduler
+{
+  public:
+    std::size_t pick(const DramChannel &channel,
+                     const std::vector<QueueEntry> &queue,
+                     Tick now) override;
+
+    const char *policyName() const override { return "FR-FCFS"; }
+
+    /**
+     * Shared helper: the FR-FCFS choice restricted to entries whose
+     * index passes @p eligible. Returns queue.size() when no entry is
+     * eligible.
+     */
+    template <typename Pred>
+    static std::size_t
+    pickAmong(const DramChannel &channel,
+              const std::vector<QueueEntry> &queue, Pred eligible)
+    {
+        std::size_t oldest = queue.size();
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            if (!eligible(i))
+                continue;
+            if (oldest == queue.size())
+                oldest = i;
+            const QueueEntry &e = queue[i];
+            unsigned bank = e.coord.flatBank(channel.geometry());
+            if (channel.bankOpen(bank) &&
+                channel.bankOpenRow(bank) == e.coord.row) {
+                return i; // Oldest row hit.
+            }
+        }
+        return oldest;
+    }
+};
+
+} // namespace emerald::mem
+
+#endif // EMERALD_MEM_FRFCFS_SCHEDULER_HH

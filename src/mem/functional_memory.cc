@@ -1,0 +1,71 @@
+#include "mem/functional_memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emerald::mem
+{
+
+Addr
+FunctionalMemory::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "allocation alignment must be a power of two");
+    Addr base = (_nextAlloc + align - 1) & ~(align - 1);
+    _nextAlloc = base + std::max<std::uint64_t>(bytes, 1);
+    return base;
+}
+
+std::uint8_t *
+FunctionalMemory::pageFor(Addr addr, bool create) const
+{
+    Addr page = addr >> pageBits;
+    auto it = _pages.find(page);
+    if (it != _pages.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto storage = std::make_unique<std::uint8_t[]>(pageSize);
+    std::memset(storage.get(), 0, pageSize);
+    std::uint8_t *raw = storage.get();
+    _pages.emplace(page, std::move(storage));
+    return raw;
+}
+
+void
+FunctionalMemory::read(Addr addr, void *buf, std::uint64_t bytes) const
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (bytes > 0) {
+        Addr offset = addr & (pageSize - 1);
+        std::uint64_t chunk = std::min<std::uint64_t>(bytes,
+                                                      pageSize - offset);
+        const std::uint8_t *page = pageFor(addr, false);
+        if (page)
+            std::memcpy(out, page + offset, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+FunctionalMemory::write(Addr addr, const void *buf, std::uint64_t bytes)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (bytes > 0) {
+        Addr offset = addr & (pageSize - 1);
+        std::uint64_t chunk = std::min<std::uint64_t>(bytes,
+                                                      pageSize - offset);
+        std::uint8_t *page = pageFor(addr, true);
+        std::memcpy(page + offset, in, chunk);
+        in += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+} // namespace emerald::mem

@@ -1,0 +1,118 @@
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::mem
+{
+
+MemorySystem::MemorySystem(Simulation &sim, const std::string &name,
+                           const MemorySystemParams &params,
+                           DramScheduler &scheduler)
+    : SimObject(sim, name), _params(params)
+{
+    if (params.hmc) {
+        fatal_if(params.hmcCpuChannels == 0 ||
+                     params.hmcCpuChannels >= params.geom.channels,
+                 "HMC needs at least one channel per partition");
+        DramGeometry cpu_geom = params.geom;
+        cpu_geom.channels = params.hmcCpuChannels;
+        DramGeometry ip_geom = params.geom;
+        ip_geom.channels = params.geom.channels - params.hmcCpuChannels;
+        _hmcCpuMap.emplace(cpu_geom, params.hmcCpuScheme);
+        _hmcIpMap.emplace(ip_geom, params.hmcIpScheme);
+    } else {
+        _unifiedMap.emplace(params.geom, params.unifiedScheme);
+    }
+
+    for (unsigned i = 0; i < params.geom.channels; ++i) {
+        _channels.push_back(std::make_unique<DramChannel>(
+            sim, name + ".ch" + std::to_string(i), params.geom,
+            params.timing, scheduler, params.queueCapacity,
+            params.statsBucket));
+    }
+}
+
+std::pair<unsigned, DecodedAddr>
+MemorySystem::route(const MemPacket &pkt) const
+{
+    if (!_params.hmc) {
+        DecodedAddr coord = _unifiedMap->decode(pkt.addr);
+        return {coord.channel, coord};
+    }
+    if (pkt.tclass == TrafficClass::Cpu) {
+        DecodedAddr coord = _hmcCpuMap->decode(pkt.addr);
+        return {coord.channel, coord};
+    }
+    DecodedAddr coord = _hmcIpMap->decode(pkt.addr);
+    return {_params.hmcCpuChannels + coord.channel, coord};
+}
+
+bool
+MemorySystem::tryAccept(MemPacket *pkt)
+{
+    auto [channel, coord] = route(*pkt);
+    if (pkt->issued == 0)
+        pkt->issued = curTick();
+    return _channels[channel]->enqueue(pkt, coord);
+}
+
+double
+MemorySystem::rowHitRate() const
+{
+    double hits = 0.0;
+    double total = 0.0;
+    for (const auto &ch : _channels) {
+        hits += ch->statRowHits.value();
+        total += ch->statRowHits.value() +
+                 ch->statRowClosedMisses.value() +
+                 ch->statRowConflicts.value();
+    }
+    return total > 0.0 ? hits / total : 0.0;
+}
+
+double
+MemorySystem::meanBytesPerActivation() const
+{
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto &ch : _channels) {
+        sum += ch->statBytesPerActivation.total();
+        count += ch->statBytesPerActivation.count();
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::uint64_t
+MemorySystem::totalBytes() const
+{
+    double bytes = 0.0;
+    for (const auto &ch : _channels)
+        bytes += ch->statBytesRead.value() + ch->statBytesWritten.value();
+    return static_cast<std::uint64_t>(bytes);
+}
+
+std::uint64_t
+MemorySystem::bytesFor(TrafficClass tclass) const
+{
+    double bytes = 0.0;
+    for (const auto &ch : _channels) {
+        switch (tclass) {
+          case TrafficClass::Cpu:
+            for (double b : ch->statBwCpu.buckets())
+                bytes += b;
+            break;
+          case TrafficClass::Gpu:
+            for (double b : ch->statBwGpu.buckets())
+                bytes += b;
+            break;
+          case TrafficClass::Display:
+            for (double b : ch->statBwDisplay.buckets())
+                bytes += b;
+            break;
+        }
+    }
+    return static_cast<std::uint64_t>(bytes);
+}
+
+} // namespace emerald::mem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The multi-channel DRAM memory system, including the HMC
+ * (heterogeneous memory controller) organization from case study I:
+ * CPU traffic and IP traffic are steered to disjoint channel sets,
+ * each with its own address interleaving (Table 4).
+ */
+
+#ifndef EMERALD_MEM_MEMORY_SYSTEM_HH
+#define EMERALD_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/dram_channel.hh"
+#include "sim/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace emerald::mem
+{
+
+/** Memory-system organization. */
+struct MemorySystemParams
+{
+    DramGeometry geom;
+    DramTiming timing;
+    unsigned queueCapacity = 64;
+    Tick statsBucket = ticksFromUs(50.0);
+
+    /** HMC mode: split channels by traffic source. */
+    bool hmc = false;
+    /** Channels assigned to the CPU in HMC mode (first N). */
+    unsigned hmcCpuChannels = 1;
+
+    AddrMapScheme unifiedScheme = AddrMapScheme::RoRaBaCoCh;
+    AddrMapScheme hmcCpuScheme = AddrMapScheme::RoRaBaCoCh;
+    AddrMapScheme hmcIpScheme = AddrMapScheme::RoCoRaBaCh;
+};
+
+/**
+ * Routes packets to DRAM channels. In the unified (baseline)
+ * organization a single address map covers all channels; in HMC mode
+ * the traffic class picks the channel partition and that partition's
+ * address map.
+ */
+class MemorySystem : public SimObject, public MemSink
+{
+  public:
+    MemorySystem(Simulation &sim, const std::string &name,
+                 const MemorySystemParams &params,
+                 DramScheduler &scheduler);
+
+    bool tryAccept(MemPacket *pkt) override;
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(_channels.size());
+    }
+    DramChannel &channel(unsigned idx) { return *_channels[idx]; }
+    const DramChannel &channel(unsigned idx) const
+    {
+        return *_channels[idx];
+    }
+    const MemorySystemParams &params() const { return _params; }
+
+    /** @{ Aggregates across channels, for the experiment harnesses. */
+    double rowHitRate() const;
+    double meanBytesPerActivation() const;
+    std::uint64_t totalBytes() const;
+    std::uint64_t bytesFor(TrafficClass tclass) const;
+    /** @} */
+
+  private:
+    /** Which channel handles @p pkt, and its decoded coordinates. */
+    std::pair<unsigned, DecodedAddr> route(const MemPacket &pkt) const;
+
+    MemorySystemParams _params;
+    std::optional<AddressMap> _unifiedMap;
+    std::optional<AddressMap> _hmcCpuMap;
+    std::optional<AddressMap> _hmcIpMap;
+    std::vector<std::unique_ptr<DramChannel>> _channels;
+};
+
+} // namespace emerald::mem
+
+#endif // EMERALD_MEM_MEMORY_SYSTEM_HH

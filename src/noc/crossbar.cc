@@ -1,0 +1,35 @@
+#include "noc/crossbar.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::noc
+{
+
+Crossbar::Crossbar(Simulation &sim, const std::string &name,
+                   const LinkParams &link_params, RouteFn route)
+    : SimObject(sim, name), _linkParams(link_params),
+      _route(std::move(route))
+{
+}
+
+unsigned
+Crossbar::addDestination(MemSink &sink)
+{
+    unsigned idx = static_cast<unsigned>(_links.size());
+    _links.push_back(std::make_unique<Link>(
+        sim(), name() + ".out" + std::to_string(idx), _linkParams));
+    _links.back()->setTarget(sink);
+    return idx;
+}
+
+bool
+Crossbar::tryAccept(MemPacket *pkt)
+{
+    unsigned dest = _route(*pkt);
+    panic_if(dest >= _links.size(), "%s: bad route %u",
+             name().c_str(), dest);
+    return _links[dest]->tryAccept(pkt);
+}
+
+} // namespace emerald::noc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A crossbar: packets entering any input are routed to one of a set
+ * of destinations, each reached through its own Link (modelling the
+ * per-output serialization a real crossbar exhibits).
+ */
+
+#ifndef EMERALD_NOC_CROSSBAR_HH
+#define EMERALD_NOC_CROSSBAR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/link.hh"
+#include "sim/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace emerald::noc
+{
+
+/**
+ * Routing crossbar. Destinations are registered up front; a routing
+ * function maps each packet to a destination index.
+ */
+class Crossbar : public SimObject, public MemSink
+{
+  public:
+    using RouteFn = std::function<unsigned(const MemPacket &)>;
+
+    Crossbar(Simulation &sim, const std::string &name,
+             const LinkParams &link_params, RouteFn route);
+
+    /** Register a destination; returns its index. */
+    unsigned addDestination(MemSink &sink);
+
+    bool tryAccept(MemPacket *pkt) override;
+
+    unsigned numDestinations() const
+    {
+        return static_cast<unsigned>(_links.size());
+    }
+
+    Link &linkTo(unsigned dest) { return *_links[dest]; }
+
+  private:
+    LinkParams _linkParams;
+    RouteFn _route;
+    std::vector<std::unique_ptr<Link>> _links;
+};
+
+} // namespace emerald::noc
+
+#endif // EMERALD_NOC_CROSSBAR_HH

@@ -1,0 +1,65 @@
+#include "noc/link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::noc
+{
+
+Link::Link(Simulation &sim, const std::string &name,
+           const LinkParams &params)
+    : SimObject(sim, name),
+      statPackets(*this, "packets", "packets forwarded"),
+      statBytes(*this, "bytes", "bytes forwarded"),
+      statRetries(*this, "retries", "deliveries retried (target busy)"),
+      _params(params),
+      _deliverEvent([this] { deliver(); }, name + ".deliver")
+{
+}
+
+bool
+Link::tryAccept(MemPacket *pkt)
+{
+    if (_queue.size() >= _params.queueDepth)
+        return false;
+
+    Tick now = curTick();
+    Tick ser = 0;
+    if (_params.bytesPerSec > 0.0) {
+        ser = static_cast<Tick>(
+            pkt->size / _params.bytesPerSec * ticksPerSecond);
+    }
+    Tick start = std::max(now, _serializerFree);
+    _serializerFree = start + ser;
+    Tick ready = _serializerFree + _params.latency;
+
+    _queue.push_back({pkt, ready});
+    ++statPackets;
+    statBytes += pkt->size;
+
+    if (!_deliverEvent.scheduled())
+        schedule(_deliverEvent, ready);
+    return true;
+}
+
+void
+Link::deliver()
+{
+    panic_if(!_target, "%s has no target", name().c_str());
+    Tick now = curTick();
+    while (!_queue.empty() && _queue.front().readyAt <= now) {
+        if (!_target->tryAccept(_queue.front().pkt)) {
+            ++statRetries;
+            // Target is busy; retry shortly, preserving order.
+            schedule(_deliverEvent, now + ticksFromNs(4.0));
+            return;
+        }
+        _queue.pop_front();
+    }
+    if (!_queue.empty())
+        schedule(_deliverEvent, _queue.front().readyAt);
+}
+
+} // namespace emerald::noc

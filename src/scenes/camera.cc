@@ -1,0 +1,22 @@
+#include "scenes/camera.hh"
+
+#include <cmath>
+
+namespace emerald::scenes
+{
+
+core::Mat4
+OrbitCamera::viewProj(unsigned frame, float aspect) const
+{
+    float angle = startAngle +
+                  anglePerFrame * static_cast<float>(frame);
+    core::Vec3 eye{center.x + radius * std::cos(angle),
+                   center.y + height,
+                   center.z + radius * std::sin(angle)};
+    core::Mat4 view = core::Mat4::lookAt(eye, center, {0, 1, 0});
+    core::Mat4 proj =
+        core::Mat4::perspective(fovyRadians, aspect, znear, zfar);
+    return proj * view;
+}
+
+} // namespace emerald::scenes

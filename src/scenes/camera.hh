@@ -1,0 +1,34 @@
+/**
+ * @file
+ * An orbiting camera with small per-frame deltas, providing the
+ * temporal coherence DFSL exploits (paper Section 6.3): consecutive
+ * frames see nearly identical screen-space work distributions.
+ */
+
+#ifndef EMERALD_SCENES_CAMERA_HH
+#define EMERALD_SCENES_CAMERA_HH
+
+#include "core/math.hh"
+
+namespace emerald::scenes
+{
+
+struct OrbitCamera
+{
+    core::Vec3 center{0.0f, 0.6f, 0.0f};
+    float radius = 4.0f;
+    float height = 1.6f;
+    float startAngle = 0.6f;
+    /** Radians per frame; small values = high temporal coherence. */
+    float anglePerFrame = 0.01f;
+    float fovyRadians = 1.1f;
+    float znear = 0.1f;
+    float zfar = 60.0f;
+
+    /** View-projection matrix for frame @p frame. */
+    core::Mat4 viewProj(unsigned frame, float aspect) const;
+};
+
+} // namespace emerald::scenes
+
+#endif // EMERALD_SCENES_CAMERA_HH

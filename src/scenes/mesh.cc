@@ -1,0 +1,66 @@
+#include "scenes/mesh.hh"
+
+namespace emerald::scenes
+{
+
+using core::Mat4;
+using core::Vec2;
+using core::Vec3;
+using core::Vec4;
+
+void
+Mesh::addTriangle(const Vec3 pos[3], const Vec3 nrm[3],
+                  const Vec2 uv[3])
+{
+    for (int i = 0; i < 3; ++i) {
+        _data.push_back(pos[i].x);
+        _data.push_back(pos[i].y);
+        _data.push_back(pos[i].z);
+        _data.push_back(nrm[i].x);
+        _data.push_back(nrm[i].y);
+        _data.push_back(nrm[i].z);
+        _data.push_back(uv[i].x);
+        _data.push_back(uv[i].y);
+    }
+}
+
+void
+Mesh::addQuad(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+              const Vec3 &d, const Vec3 &normal)
+{
+    Vec3 p0[3] = {a, b, c};
+    Vec2 t0[3] = {{0, 0}, {1, 0}, {1, 1}};
+    Vec3 n[3] = {normal, normal, normal};
+    addTriangle(p0, n, t0);
+    Vec3 p1[3] = {a, c, d};
+    Vec2 t1[3] = {{0, 0}, {1, 1}, {0, 1}};
+    addTriangle(p1, n, t1);
+}
+
+void
+Mesh::append(const Mesh &other)
+{
+    _data.insert(_data.end(), other._data.begin(), other._data.end());
+}
+
+void
+Mesh::transform(const Mat4 &m)
+{
+    for (std::size_t i = 0; i + vertexFloats <= _data.size();
+         i += vertexFloats) {
+        Vec4 p{_data[i], _data[i + 1], _data[i + 2], 1.0f};
+        Vec4 tp = m * p;
+        _data[i] = tp.x;
+        _data[i + 1] = tp.y;
+        _data[i + 2] = tp.z;
+        // Rotate normals (assumes orthonormal upper 3x3).
+        Vec4 n{_data[i + 3], _data[i + 4], _data[i + 5], 0.0f};
+        Vec4 tn = m * n;
+        Vec3 nn = core::normalize({tn.x, tn.y, tn.z});
+        _data[i + 3] = nn.x;
+        _data[i + 4] = nn.y;
+        _data[i + 5] = nn.z;
+    }
+}
+
+} // namespace emerald::scenes

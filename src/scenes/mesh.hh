@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Triangle meshes for the workload library.
+ *
+ * Vertex layout (8 floats): position.xyz, normal.xyz, uv. Model
+ * transforms are baked CPU-side when scenes are composed; the vertex
+ * shader applies only the view-projection matrix — matching how the
+ * paper's simple workloads (Table 6/8) drive 1-2 draw calls a frame.
+ */
+
+#ifndef EMERALD_SCENES_MESH_HH
+#define EMERALD_SCENES_MESH_HH
+
+#include <vector>
+
+#include "core/draw_call.hh"
+#include "core/math.hh"
+
+namespace emerald::scenes
+{
+
+/** Floats per vertex: pos(3) + normal(3) + uv(2). */
+constexpr unsigned vertexFloats = 8;
+
+class Mesh
+{
+  public:
+    /** Append one triangle (positions, normals, uvs per corner). */
+    void addTriangle(const core::Vec3 pos[3], const core::Vec3 nrm[3],
+                     const core::Vec2 uv[3]);
+
+    /** Append a quad as two triangles (corners counter-clockwise). */
+    void addQuad(const core::Vec3 &a, const core::Vec3 &b,
+                 const core::Vec3 &c, const core::Vec3 &d,
+                 const core::Vec3 &normal);
+
+    /** Concatenate another mesh. */
+    void append(const Mesh &other);
+
+    /** Bake @p transform into positions (and rotate normals). */
+    void transform(const core::Mat4 &m);
+
+    unsigned
+    vertexCount() const
+    {
+        return static_cast<unsigned>(_data.size() / vertexFloats);
+    }
+    unsigned triangleCount() const { return vertexCount() / 3; }
+
+    const std::vector<float> &data() const { return _data; }
+
+  private:
+    std::vector<float> _data;
+};
+
+} // namespace emerald::scenes
+
+#endif // EMERALD_SCENES_MESH_HH

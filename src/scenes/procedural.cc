@@ -1,0 +1,347 @@
+#include "scenes/procedural.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace emerald::scenes
+{
+
+using core::Mat4;
+using core::Vec2;
+using core::Vec3;
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979f;
+
+/** Add a lat-long patch between two parametric rows. */
+void
+addPatchRow(Mesh &mesh, const std::vector<Vec3> &p0,
+            const std::vector<Vec3> &n0, const std::vector<Vec3> &p1,
+            const std::vector<Vec3> &n1, float v0, float v1)
+{
+    const std::size_t segs = p0.size() - 1;
+    for (std::size_t s = 0; s < segs; ++s) {
+        float u0 = static_cast<float>(s) / static_cast<float>(segs);
+        float u1 = static_cast<float>(s + 1) / static_cast<float>(segs);
+        Vec3 pa[3] = {p0[s], p1[s], p1[s + 1]};
+        Vec3 na[3] = {n0[s], n1[s], n1[s + 1]};
+        Vec2 ta[3] = {{u0, v0}, {u0, v1}, {u1, v1}};
+        mesh.addTriangle(pa, na, ta);
+        Vec3 pb[3] = {p0[s], p1[s + 1], p0[s + 1]};
+        Vec3 nb[3] = {n0[s], n1[s + 1], n0[s + 1]};
+        Vec2 tb[3] = {{u0, v0}, {u1, v1}, {u1, v0}};
+        mesh.addTriangle(pb, nb, tb);
+    }
+}
+
+} // namespace
+
+Mesh
+makeBox(float sx, float sy, float sz)
+{
+    Mesh mesh;
+    float x = sx * 0.5f, y = sy * 0.5f, z = sz * 0.5f;
+    // +z face (counter-clockwise seen from outside).
+    mesh.addQuad({-x, -y, z}, {x, -y, z}, {x, y, z}, {-x, y, z},
+                 {0, 0, 1});
+    // -z
+    mesh.addQuad({x, -y, -z}, {-x, -y, -z}, {-x, y, -z}, {x, y, -z},
+                 {0, 0, -1});
+    // +x
+    mesh.addQuad({x, -y, z}, {x, -y, -z}, {x, y, -z}, {x, y, z},
+                 {1, 0, 0});
+    // -x
+    mesh.addQuad({-x, -y, -z}, {-x, -y, z}, {-x, y, z}, {-x, y, -z},
+                 {-1, 0, 0});
+    // +y
+    mesh.addQuad({-x, y, z}, {x, y, z}, {x, y, -z}, {-x, y, -z},
+                 {0, 1, 0});
+    // -y
+    mesh.addQuad({-x, -y, -z}, {x, -y, -z}, {x, -y, z}, {-x, -y, z},
+                 {0, -1, 0});
+    return mesh;
+}
+
+Mesh
+makeSphere(float radius, unsigned segments, unsigned rings)
+{
+    Mesh mesh;
+    std::vector<Vec3> prev_p, prev_n;
+    for (unsigned r = 0; r <= rings; ++r) {
+        float phi = pi * static_cast<float>(r) /
+                    static_cast<float>(rings);
+        std::vector<Vec3> row_p, row_n;
+        for (unsigned s = 0; s <= segments; ++s) {
+            float theta = 2.0f * pi * static_cast<float>(s) /
+                          static_cast<float>(segments);
+            Vec3 n{std::sin(phi) * std::cos(theta), std::cos(phi),
+                   std::sin(phi) * std::sin(theta)};
+            row_p.push_back(n * radius);
+            row_n.push_back(n);
+        }
+        if (r > 0) {
+            float v0 = static_cast<float>(r - 1) /
+                       static_cast<float>(rings);
+            float v1 = static_cast<float>(r) /
+                       static_cast<float>(rings);
+            addPatchRow(mesh, prev_p, prev_n, row_p, row_n, v0, v1);
+        }
+        prev_p = std::move(row_p);
+        prev_n = std::move(row_n);
+    }
+    return mesh;
+}
+
+Mesh
+makePlane(float size, unsigned divisions)
+{
+    Mesh mesh;
+    float half = size * 0.5f;
+    float step = size / static_cast<float>(divisions);
+    for (unsigned j = 0; j < divisions; ++j) {
+        for (unsigned i = 0; i < divisions; ++i) {
+            float x0 = -half + static_cast<float>(i) * step;
+            float z0 = -half + static_cast<float>(j) * step;
+            mesh.addQuad({x0, 0, z0 + step}, {x0 + step, 0, z0 + step},
+                         {x0 + step, 0, z0}, {x0, 0, z0}, {0, 1, 0});
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeCylinder(float radius, float height, unsigned segments)
+{
+    Mesh mesh;
+    std::vector<Vec3> p0, n0, p1, n1;
+    for (unsigned s = 0; s <= segments; ++s) {
+        float theta = 2.0f * pi * static_cast<float>(s) /
+                      static_cast<float>(segments);
+        Vec3 n{std::cos(theta), 0.0f, std::sin(theta)};
+        p0.push_back({n.x * radius, 0.0f, n.z * radius});
+        n0.push_back(n);
+        p1.push_back({n.x * radius, height, n.z * radius});
+        n1.push_back(n);
+    }
+    addPatchRow(mesh, p0, n0, p1, n1, 0.0f, 1.0f);
+    return mesh;
+}
+
+Mesh
+makeTorus(float major, float minor, unsigned segs_major,
+          unsigned segs_minor)
+{
+    Mesh mesh;
+    std::vector<Vec3> prev_p, prev_n;
+    for (unsigned r = 0; r <= segs_minor; ++r) {
+        float phi = 2.0f * pi * static_cast<float>(r) /
+                    static_cast<float>(segs_minor);
+        std::vector<Vec3> row_p, row_n;
+        for (unsigned s = 0; s <= segs_major; ++s) {
+            float theta = 2.0f * pi * static_cast<float>(s) /
+                          static_cast<float>(segs_major);
+            Vec3 center{major * std::cos(theta), 0.0f,
+                        major * std::sin(theta)};
+            Vec3 n{std::cos(phi) * std::cos(theta), std::sin(phi),
+                   std::cos(phi) * std::sin(theta)};
+            row_p.push_back(center + n * minor);
+            row_n.push_back(n);
+        }
+        if (r > 0) {
+            addPatchRow(mesh, prev_p, prev_n, row_p, row_n,
+                        static_cast<float>(r - 1) /
+                            static_cast<float>(segs_minor),
+                        static_cast<float>(r) /
+                            static_cast<float>(segs_minor));
+        }
+        prev_p = std::move(row_p);
+        prev_n = std::move(row_n);
+    }
+    return mesh;
+}
+
+Mesh
+makeTeapotish(unsigned segments, unsigned rings)
+{
+    // A vase-like profile: radius as a function of height.
+    Mesh mesh;
+    auto profile = [](float t) -> float {
+        // Body bulge + neck + lip.
+        float body = 0.55f * std::sin(t * pi * 0.85f + 0.15f);
+        float lip = t > 0.92f ? (t - 0.92f) * 2.2f : 0.0f;
+        return 0.12f + body + lip;
+    };
+    std::vector<Vec3> prev_p, prev_n;
+    for (unsigned r = 0; r <= rings; ++r) {
+        float t = static_cast<float>(r) / static_cast<float>(rings);
+        float y = t * 1.2f;
+        float radius = profile(t);
+        std::vector<Vec3> row_p, row_n;
+        for (unsigned s = 0; s <= segments; ++s) {
+            float theta = 2.0f * pi * static_cast<float>(s) /
+                          static_cast<float>(segments);
+            Vec3 radial{std::cos(theta), 0.0f, std::sin(theta)};
+            row_p.push_back(
+                {radial.x * radius, y, radial.z * radius});
+            row_n.push_back(core::normalize(
+                {radial.x, 0.25f, radial.z}));
+        }
+        if (r > 0) {
+            addPatchRow(mesh, prev_p, prev_n, row_p, row_n,
+                        static_cast<float>(r - 1) /
+                            static_cast<float>(rings),
+                        static_cast<float>(r) /
+                            static_cast<float>(rings));
+        }
+        prev_p = std::move(row_p);
+        prev_n = std::move(row_n);
+    }
+    return mesh;
+}
+
+Mesh
+makeBlobHead(float radius, unsigned segments, unsigned rings,
+             float displacement, std::uint64_t seed)
+{
+    Mesh mesh = makeSphere(radius, segments, rings);
+    // Deterministic lumpy displacement along normals.
+    (void)seed;
+    Mesh out;
+    const auto &d = mesh.data();
+    for (std::size_t v = 0; v + 3 * vertexFloats <= d.size();
+         v += 3 * vertexFloats) {
+        Vec3 p[3], n[3];
+        Vec2 uv[3];
+        for (int i = 0; i < 3; ++i) {
+            const float *f = d.data() + v +
+                             static_cast<std::size_t>(i) * vertexFloats;
+            Vec3 pos{f[0], f[1], f[2]};
+            Vec3 nrm{f[3], f[4], f[5]};
+            float bump = std::sin(pos.x * 5.1f) *
+                             std::cos(pos.y * 4.3f) *
+                             std::sin(pos.z * 3.7f + 1.3f);
+            p[i] = pos + nrm * (bump * displacement);
+            n[i] = nrm;
+            uv[i] = {f[6], f[7]};
+        }
+        out.addTriangle(p, n, uv);
+    }
+    return out;
+}
+
+Mesh
+makeSpotish(unsigned segments, unsigned rings)
+{
+    Mesh body = makeSphere(0.6f, segments, rings);
+    body.transform(Mat4::scale({1.6f, 0.9f, 0.8f}));
+    Mesh head = makeSphere(0.32f, segments / 2, rings / 2);
+    head.transform(Mat4::translate({1.0f, 0.35f, 0.0f}));
+    body.append(head);
+    for (int i = 0; i < 4; ++i) {
+        Mesh leg = makeCylinder(0.09f, 0.7f, 8);
+        float lx = (i < 2) ? 0.55f : -0.55f;
+        float lz = (i % 2) ? 0.28f : -0.28f;
+        leg.transform(Mat4::translate({lx, -0.95f, lz}));
+        body.append(leg);
+    }
+    return body;
+}
+
+Mesh
+makeInterior(unsigned columns_per_side, unsigned column_segments)
+{
+    Mesh scene = makePlane(20.0f, 12); // Floor.
+    Mesh ceiling = makePlane(20.0f, 8);
+    ceiling.transform(Mat4::translate({0.0f, 6.0f, 0.0f}) *
+                      Mat4::rotateZ(pi)); // Face down.
+    scene.append(ceiling);
+
+    for (unsigned i = 0; i < columns_per_side; ++i) {
+        float z = -8.0f + 16.0f * static_cast<float>(i) /
+                              static_cast<float>(columns_per_side - 1);
+        for (int side = -1; side <= 1; side += 2) {
+            Mesh column = makeCylinder(0.45f, 6.0f, column_segments);
+            column.transform(
+                Mat4::translate({3.2f * static_cast<float>(side),
+                                 0.0f, z}));
+            scene.append(column);
+            // Capital.
+            Mesh cap = makeBox(1.2f, 0.4f, 1.2f);
+            cap.transform(
+                Mat4::translate({3.2f * static_cast<float>(side),
+                                 5.9f, z}));
+            scene.append(cap);
+        }
+        // Vault arch between the column pair.
+        Mesh arch = makeTorus(3.2f, 0.3f, 24, 8);
+        arch.transform(Mat4::translate({0.0f, 5.6f, z}) *
+                       Mat4::rotateX(pi * 0.5f));
+        scene.append(arch);
+    }
+    return scene;
+}
+
+Mesh
+makeChair(unsigned tessellation)
+{
+    Mesh chair;
+    // Legs.
+    for (int i = 0; i < 4; ++i) {
+        Mesh leg = makeCylinder(0.06f, 0.9f,
+                                std::max(6u, tessellation / 4));
+        float lx = (i < 2) ? 0.45f : -0.45f;
+        float lz = (i % 2) ? 0.45f : -0.45f;
+        leg.transform(Mat4::translate({lx, 0.0f, lz}));
+        chair.append(leg);
+    }
+    // Seat: slightly tessellated slab.
+    Mesh seat = makePlane(1.1f, std::max(2u, tessellation / 8));
+    seat.transform(Mat4::translate({0.0f, 0.9f, 0.0f}));
+    chair.append(seat);
+    Mesh seat_body = makeBox(1.1f, 0.1f, 1.1f);
+    seat_body.transform(Mat4::translate({0.0f, 0.85f, 0.0f}));
+    chair.append(seat_body);
+    // Back rest: curved lattice of bars.
+    for (unsigned b = 0; b < 5; ++b) {
+        Mesh bar = makeCylinder(0.04f, 0.9f,
+                                std::max(6u, tessellation / 4));
+        bar.transform(
+            Mat4::translate({-0.4f + 0.2f * static_cast<float>(b),
+                             0.9f, -0.5f}));
+        chair.append(bar);
+    }
+    Mesh top = makeBox(1.1f, 0.15f, 0.1f);
+    top.transform(Mat4::translate({0.0f, 1.85f, -0.5f}));
+    chair.append(top);
+    return chair;
+}
+
+Mesh
+makeTriangleField(unsigned count, std::uint64_t seed)
+{
+    Mesh mesh;
+    Random rng(seed);
+    for (unsigned i = 0; i < count; ++i) {
+        float cx = static_cast<float>(rng.uniform()) * 8.0f - 4.0f;
+        float cy = static_cast<float>(rng.uniform()) * 5.0f - 2.5f;
+        float cz = static_cast<float>(rng.uniform()) * 4.0f - 2.0f;
+        float size = 0.15f + static_cast<float>(rng.uniform()) * 0.5f;
+        Vec3 p[3];
+        for (int v = 0; v < 3; ++v) {
+            p[v] = {cx + (static_cast<float>(rng.uniform()) - 0.5f) *
+                             size * 2.0f,
+                    cy + (static_cast<float>(rng.uniform()) - 0.5f) *
+                             size * 2.0f,
+                    cz};
+        }
+        Vec3 n[3] = {{0, 0, 1}, {0, 0, 1}, {0, 0, 1}};
+        Vec2 uv[3] = {{0, 0}, {1, 0}, {0.5f, 1}};
+        mesh.addTriangle(p, n, uv);
+    }
+    return mesh;
+}
+
+} // namespace emerald::scenes

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Procedural mesh generators. The paper's workloads are classic
+ * research models (Sibenik, Spot, Suzanne, the Utah teapot, ...);
+ * those assets cannot be redistributed here, so each is replaced by
+ * a procedural stand-in in the same complexity class: comparable
+ * triangle counts, screen-space distribution (the source of
+ * fragment-shading load imbalance case study II depends on), and
+ * texturing (see DESIGN.md, substitutions).
+ */
+
+#ifndef EMERALD_SCENES_PROCEDURAL_HH
+#define EMERALD_SCENES_PROCEDURAL_HH
+
+#include "scenes/mesh.hh"
+
+namespace emerald::scenes
+{
+
+/** Axis-aligned box centered at origin. */
+Mesh makeBox(float sx, float sy, float sz);
+
+/** Lat-long UV sphere. */
+Mesh makeSphere(float radius, unsigned segments, unsigned rings);
+
+/** Flat floor plane on y=0, tessellated grid. */
+Mesh makePlane(float size, unsigned divisions);
+
+/** Open cylinder along +y. */
+Mesh makeCylinder(float radius, float height, unsigned segments);
+
+/** Torus in the xz plane. */
+Mesh makeTorus(float major, float minor, unsigned segs_major,
+               unsigned segs_minor);
+
+/**
+ * Surface of revolution of a vase/teapot-like profile — the Utah
+ * teapot stand-in (W6).
+ */
+Mesh makeTeapotish(unsigned segments, unsigned rings);
+
+/**
+ * Displaced sphere "head": the Suzanne stand-in (W4/W5) and, with
+ * higher displacement, the Mask model (M3).
+ */
+Mesh makeBlobHead(float radius, unsigned segments, unsigned rings,
+                  float displacement, std::uint64_t seed);
+
+/** Stretched displaced sphere quadruped-ish body: Spot (W2). */
+Mesh makeSpotish(unsigned segments, unsigned rings);
+
+/** Cathedral-interior stand-in: floor, columns, vault (W1). */
+Mesh makeInterior(unsigned columns_per_side, unsigned column_segments);
+
+/** Composite chair: legs, seat, back (M1). */
+Mesh makeChair(unsigned tessellation);
+
+/** Field of independent small triangles (M4). */
+Mesh makeTriangleField(unsigned count, std::uint64_t seed);
+
+} // namespace emerald::scenes
+
+#endif // EMERALD_SCENES_PROCEDURAL_HH

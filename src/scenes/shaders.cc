@@ -1,0 +1,242 @@
+#include "scenes/shaders.hh"
+
+namespace emerald::scenes
+{
+
+const std::string &
+vertexShaderSource()
+{
+    static const std::string source = R"(
+# Standard Gouraud-lit vertex shader.
+# clip = VP * position (column-major VP in c[0..15])
+mul.f32 r0, a[0], c[0]
+mad.f32 r0, a[1], c[4], r0
+mad.f32 r0, a[2], c[8], r0
+add.f32 r0, r0, c[12]
+mul.f32 r1, a[0], c[1]
+mad.f32 r1, a[1], c[5], r1
+mad.f32 r1, a[2], c[9], r1
+add.f32 r1, r1, c[13]
+mul.f32 r2, a[0], c[2]
+mad.f32 r2, a[1], c[6], r2
+mad.f32 r2, a[2], c[10], r2
+add.f32 r2, r2, c[14]
+mul.f32 r3, a[0], c[3]
+mad.f32 r3, a[1], c[7], r3
+mad.f32 r3, a[2], c[11], r3
+add.f32 r3, r3, c[15]
+sto o[0], r0
+sto o[1], r1
+sto o[2], r2
+sto o[3], r3
+# diffuse = max(0, n . l) + ambient, clamped
+mul.f32 r4, a[3], c[16]
+mad.f32 r4, a[4], c[17], r4
+mad.f32 r4, a[5], c[18], r4
+max.f32 r4, r4, 0.0
+add.f32 r4, r4, c[19]
+min.f32 r4, r4, 1.0
+sto o[4], r4
+sto o[5], r4
+sto o[6], r4
+# pass through uv
+sto o[7], a[6]
+sto o[8], a[7]
+exit
+)";
+    return source;
+}
+
+const std::string &
+fragmentTexturedSource()
+{
+    static const std::string source = R"(
+# Textured fragment shader: albedo * lit color.
+tex.2d r4, t0, a[3], a[4]
+mul.f32 r8, r4, a[0]
+mul.f32 r9, r5, a[1]
+mul.f32 r10, r6, a[2]
+sto o[0], r8
+sto o[1], r9
+sto o[2], r10
+sto o[3], 1.0
+)";
+    return source;
+}
+
+const std::string &
+fragmentTranslucentSource()
+{
+    static const std::string source = R"(
+# Translucent textured fragment shader: alpha from c[20].
+tex.2d r4, t0, a[3], a[4]
+mul.f32 r8, r4, a[0]
+mul.f32 r9, r5, a[1]
+mul.f32 r10, r6, a[2]
+sto o[0], r8
+sto o[1], r9
+sto o[2], r10
+sto o[3], c[20]
+)";
+    return source;
+}
+
+const std::string &
+fragmentFlatSource()
+{
+    static const std::string source = R"(
+# Flat fragment shader: interpolated lit color only.
+sto o[0], a[0]
+sto o[1], a[1]
+sto o[2], a[2]
+sto o[3], 1.0
+)";
+    return source;
+}
+
+const std::string &
+fragmentHeavySource()
+{
+    static const std::string source = R"(
+# Two texture taps plus a cheap specular-ish term.
+tex.2d r4, t0, a[3], a[4]
+mul.f32 r8, a[3], 4.0
+mul.f32 r9, a[4], 4.0
+tex.2d r12, t1, r8, r9
+mul.f32 r16, r4, r12
+mul.f32 r17, r5, r13
+mul.f32 r18, r6, r14
+mul.f32 r16, r16, a[0]
+mul.f32 r17, r17, a[1]
+mul.f32 r18, r18, a[2]
+mul.f32 r20, a[0], a[0]
+mul.f32 r20, r20, r20
+mul.f32 r20, r20, r20
+mad.f32 r16, r20, 0.4, r16
+mad.f32 r17, r20, 0.4, r17
+mad.f32 r18, r20, 0.4, r18
+min.f32 r16, r16, 1.0
+min.f32 r17, r17, 1.0
+min.f32 r18, r18, 1.0
+sto o[0], r16
+sto o[1], r17
+sto o[2], r18
+sto o[3], 1.0
+)";
+    return source;
+}
+
+const std::string &
+kernelVecAddSource()
+{
+    static const std::string source = R"(
+# c = a + b; bases in c[0..2], element count in c[3].
+mov.u32 r0, %ctaid.x
+mov.u32 r1, %ntid.x
+mul.u32 r0, r0, r1
+mov.u32 r2, %tid.x
+add.u32 r0, r0, r2
+cvt.u32.f32 r3, c[3]
+setp.ge.u32 p0, r0, r3
+@p0 exit
+shl.u32 r4, r0, 2
+cvt.u32.f32 r5, c[0]
+add.u32 r5, r5, r4
+cvt.u32.f32 r6, c[1]
+add.u32 r6, r6, r4
+cvt.u32.f32 r7, c[2]
+add.u32 r7, r7, r4
+ldg.f32 r8, [r5]
+ldg.f32 r9, [r6]
+add.f32 r10, r8, r9
+stg.f32 [r7], r10
+exit
+)";
+    return source;
+}
+
+const std::string &
+kernelReduceSource()
+{
+    static const std::string source = R"(
+# Block-wise shared-memory sum reduction.
+# in base c[0], out base c[1]; one partial sum per CTA.
+mov.u32 r0, %tid.x
+mov.u32 r1, %ctaid.x
+mov.u32 r2, %ntid.x
+mul.u32 r3, r1, r2
+add.u32 r3, r3, r0
+shl.u32 r4, r3, 2
+cvt.u32.f32 r5, c[0]
+add.u32 r5, r5, r4
+ldg.f32 r6, [r5]
+shl.u32 r7, r0, 2
+sts.f32 [r7], r6
+bar.sync
+mov.u32 r8, r2
+shr.u32 r8, r8, 1
+LOOP:
+setp.eq.u32 p1, r8, 0
+@p1 bra DONE
+setp.lt.u32 p0, r0, r8
+@!p0 bra SKIP
+add.u32 r9, r0, r8
+shl.u32 r10, r9, 2
+lds.f32 r11, [r10]
+lds.f32 r12, [r7]
+add.f32 r12, r12, r11
+sts.f32 [r7], r12
+SKIP:
+bar.sync
+shr.u32 r8, r8, 1
+bra LOOP
+DONE:
+setp.ne.u32 p2, r0, 0
+@p2 exit
+lds.f32 r13, [r7]
+cvt.u32.f32 r14, c[1]
+shl.u32 r15, r1, 2
+add.u32 r14, r14, r15
+stg.f32 [r14], r13
+exit
+)";
+    return source;
+}
+
+const std::string &
+kernelSaxpyBranchySource()
+{
+    static const std::string source = R"(
+# y += scale * x with a divergent even/odd path (SIMT stack test).
+mov.u32 r0, %ctaid.x
+mov.u32 r1, %ntid.x
+mul.u32 r0, r0, r1
+mov.u32 r2, %tid.x
+add.u32 r0, r0, r2
+cvt.u32.f32 r3, c[3]
+setp.ge.u32 p0, r0, r3
+@p0 exit
+shl.u32 r4, r0, 2
+cvt.u32.f32 r5, c[0]
+add.u32 r5, r5, r4
+cvt.u32.f32 r6, c[1]
+add.u32 r6, r6, r4
+ldg.f32 r8, [r5]
+ldg.f32 r9, [r6]
+and.u32 r10, r0, 1
+setp.eq.u32 p1, r10, 0
+@p1 bra EVEN
+mul.f32 r8, r8, c[2]
+bra JOIN
+EVEN:
+mul.f32 r8, r8, c[2]
+mul.f32 r8, r8, 2.0
+JOIN:
+add.f32 r11, r8, r9
+stg.f32 [r6], r11
+exit
+)";
+    return source;
+}
+
+} // namespace emerald::scenes

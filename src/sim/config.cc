@@ -1,0 +1,71 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("bad argument '%s': expected --key=value", arg.c_str());
+        auto eq = arg.find('=');
+        fatal_if(eq == std::string::npos,
+                 "bad argument '%s': expected --key=value", arg.c_str());
+        set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _values.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = _values.find(key);
+    return it == _values.end() ? dflt : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return dflt;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return dflt;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return dflt;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace emerald

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A minimal key=value configuration store used by examples and
+ * benchmark harnesses to override experiment parameters from the
+ * command line (--key=value).
+ */
+
+#ifndef EMERALD_SIM_CONFIG_HH
+#define EMERALD_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace emerald
+{
+
+/** String-keyed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "--key=value" arguments; unknown forms are fatal. */
+    void parseArgs(int argc, char **argv);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_CONFIG_HH

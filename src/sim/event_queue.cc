@@ -1,0 +1,96 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+void
+EventQueue::schedule(Event &ev, Tick when)
+{
+    panic_if(ev._scheduled, "event %s scheduled twice", ev.name().c_str());
+    panic_if(when < _curTick,
+             "event %s scheduled in the past (%llu < %llu)",
+             ev.name().c_str(), (unsigned long long)when,
+             (unsigned long long)_curTick);
+    ev._scheduled = true;
+    ev._when = when;
+    ++ev._generation;
+    _heap.push(Entry{when, ev.priority(), _nextSeq++, ev._generation, &ev});
+    ++_liveEvents;
+}
+
+void
+EventQueue::reschedule(Event &ev, Tick when)
+{
+    if (ev._scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::deschedule(Event &ev)
+{
+    panic_if(!ev._scheduled, "descheduling idle event %s",
+             ev.name().c_str());
+    // The heap entry is invalidated lazily via the generation counter.
+    ev._scheduled = false;
+    ++ev._generation;
+    --_liveEvents;
+}
+
+void
+EventQueue::skim()
+{
+    while (!_heap.empty()) {
+        const Entry &top = _heap.top();
+        if (top.event->_scheduled &&
+            top.event->_generation == top.generation) {
+            return;
+        }
+        _heap.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick()
+{
+    skim();
+    panic_if(_heap.empty(), "nextTick on empty event queue");
+    return _heap.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    skim();
+    if (_heap.empty())
+        return false;
+    Entry top = _heap.top();
+    _heap.pop();
+    panic_if(top.when < _curTick, "event queue went backwards");
+    _curTick = top.when;
+    Event *ev = top.event;
+    ev->_scheduled = false;
+    ++ev->_generation;
+    --_liveEvents;
+    ++_numProcessed;
+    ev->process();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t processed = 0;
+    while (true) {
+        skim();
+        if (_heap.empty() || _heap.top().when > limit)
+            break;
+        runOne();
+        ++processed;
+    }
+    return processed;
+}
+
+} // namespace emerald

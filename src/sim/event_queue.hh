@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Discrete event queue at the heart of the simulator.
+ *
+ * Components own Event objects (usually EventFunction members bound to
+ * a callback) and schedule them on the queue. Events at the same tick
+ * fire in (priority, scheduling-order) order, which keeps simulations
+ * deterministic.
+ */
+
+#ifndef EMERALD_SIM_EVENT_QUEUE_HH
+#define EMERALD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+class EventQueue;
+
+/**
+ * An abstract schedulable event. Events are owned by their component;
+ * the queue never deletes them. One Event object can be scheduled at
+ * most once at a time (use reschedule to move it).
+ */
+class Event
+{
+  public:
+    /** Priorities break ties between events at the same tick. */
+    enum Priority : int
+    {
+        /** Clock ticks run before ordinary events at the same tick. */
+        clockPriority = -10,
+        defaultPriority = 0,
+        /** Stat sampling runs after ordinary events at the same tick. */
+        statsPriority = 10,
+    };
+
+    explicit Event(int priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Name used in error messages. */
+    virtual std::string name() const { return "anon-event"; }
+
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    bool _scheduled = false;
+    Tick _when = 0;
+    std::uint64_t _generation = 0;
+    int _priority;
+};
+
+/** An Event that invokes a bound std::function. */
+class EventFunction : public Event
+{
+  public:
+    EventFunction(std::function<void()> callback, std::string name,
+                  int priority = defaultPriority)
+        : Event(priority), _callback(std::move(callback)),
+          _name(std::move(name))
+    {}
+
+    void process() override { _callback(); }
+    std::string name() const override { return _name; }
+
+  private:
+    std::function<void()> _callback;
+    std::string _name;
+};
+
+/**
+ * A min-heap event queue with a monotonically advancing current tick.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p ev to fire at @p when.
+     * @pre when >= curTick() and ev is not already scheduled.
+     */
+    void schedule(Event &ev, Tick when);
+
+    /** Move an event: deschedule if needed, then schedule at @p when. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Remove a scheduled event from the queue (lazily). */
+    void deschedule(Event &ev);
+
+    /** True when no live events remain. */
+    bool empty() const { return _liveEvents == 0; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return _liveEvents; }
+
+    /** Tick of the next live event. @pre !empty(). */
+    Tick nextTick();
+
+    /**
+     * Pop and process the next event.
+     * @return false when the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the next event would fire
+     * after @p limit. curTick is left at the last processed event (or
+     * unchanged if nothing ran).
+     * @return number of events processed.
+     */
+    std::uint64_t runUntil(Tick limit = maxTick);
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t numProcessed() const { return _numProcessed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    /** Drop stale heap entries from the top of the heap. */
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _heap;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _numProcessed = 0;
+    std::size_t _liveEvents = 0;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,46 @@
+#include "sim/packet.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+const char *
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::CpuData: return "cpu_data";
+      case AccessKind::Inst: return "inst";
+      case AccessKind::GlobalData: return "global";
+      case AccessKind::Texture: return "texture";
+      case AccessKind::Depth: return "depth";
+      case AccessKind::Color: return "color";
+      case AccessKind::Constant: return "constant";
+      case AccessKind::Vertex: return "vertex";
+      case AccessKind::Display: return "display";
+      case AccessKind::Writeback: return "writeback";
+      default: return "unknown";
+    }
+}
+
+const char *
+trafficClassName(TrafficClass tclass)
+{
+    switch (tclass) {
+      case TrafficClass::Cpu: return "cpu";
+      case TrafficClass::Gpu: return "gpu";
+      case TrafficClass::Display: return "display";
+      default: return "unknown";
+    }
+}
+
+std::string
+MemPacket::toString() const
+{
+    return strprintf("%s %s %s addr=0x%llx size=%u req=%d",
+                     trafficClassName(tclass), accessKindName(kind),
+                     write ? "WR" : "RD", (unsigned long long)addr, size,
+                     requestorId);
+}
+
+} // namespace emerald

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Memory packets and the request/response interfaces that connect
+ * requestors, caches, interconnect and DRAM.
+ *
+ * Flow control is credit-less and explicit: a requestor offers a
+ * packet to a MemSink with tryAccept(); a false return means the sink
+ * is busy (full queue, no free MSHR, arbitration lost) and the caller
+ * must retry on a later cycle. Responses travel back through the
+ * MemClient interface recorded in the packet.
+ *
+ * Emerald separates function from timing: packets carry addresses and
+ * metadata only, never data bytes. Functional state lives in
+ * FunctionalMemory, the framebuffer and texture objects.
+ */
+
+#ifndef EMERALD_SIM_PACKET_HH
+#define EMERALD_SIM_PACKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+/** Which SoC agent generated the traffic; DASH and HMC key off this. */
+enum class TrafficClass : std::uint8_t
+{
+    Cpu,
+    Gpu,
+    Display,
+};
+
+/** Fine-grained access type, used for per-stream stats and routing. */
+enum class AccessKind : std::uint8_t
+{
+    CpuData,
+    Inst,
+    GlobalData,
+    Texture,
+    Depth,
+    Color,
+    Constant,
+    Vertex,
+    Display,
+    Writeback,
+    NumKinds,
+};
+
+const char *accessKindName(AccessKind kind);
+const char *trafficClassName(TrafficClass tclass);
+
+class MemPacket;
+
+/** Receives responses for packets it sent downstream. */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /**
+     * A request previously accepted downstream has completed.
+     * Ownership of @p pkt returns to the client.
+     */
+    virtual void memResponse(MemPacket *pkt) = 0;
+};
+
+/** Accepts memory request packets. */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /**
+     * Offer a packet. On true the sink takes ownership; on false the
+     * caller keeps the packet and must retry later.
+     */
+    virtual bool tryAccept(MemPacket *pkt) = 0;
+};
+
+/**
+ * One memory transaction. Requests at most one cache line in size.
+ */
+class MemPacket
+{
+  public:
+    MemPacket(Addr addr, unsigned size, bool write, TrafficClass tclass,
+              AccessKind kind, int requestor_id,
+              MemClient *client = nullptr, std::uint64_t token = 0)
+        : addr(addr), size(size), write(write), tclass(tclass),
+          kind(kind), requestorId(requestor_id), client(client),
+          token(token)
+    {}
+
+    Addr addr;
+    unsigned size;
+    bool write;
+    TrafficClass tclass;
+    AccessKind kind;
+
+    /**
+     * Identifies the requesting agent for scheduler accounting:
+     * CPU cores use their core index; see soc::RequestorIds for IPs.
+     */
+    int requestorId;
+
+    /** Receiver of the response; nullptr marks a posted write. */
+    MemClient *client;
+
+    /** Client-private tag, opaque to everything below the client. */
+    std::uint64_t token;
+
+    /** When the packet entered the memory system (for latency stats). */
+    Tick issued = 0;
+
+    /** True for posted writes that never generate a response. */
+    bool posted() const { return client == nullptr; }
+
+    /** Line-aligned address for @p line_size byte lines. */
+    Addr
+    lineAddr(unsigned line_size) const
+    {
+        return addr & ~static_cast<Addr>(line_size - 1);
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Complete a packet from the perspective of the component that
+ * finished servicing it: respond to the client or, for posted writes,
+ * free the packet.
+ */
+inline void
+completePacket(MemPacket *pkt)
+{
+    if (pkt->client)
+        pkt->client->memResponse(pkt);
+    else
+        delete pkt;
+}
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_PACKET_HH

@@ -1,0 +1,50 @@
+#include "sim/sim_object.hh"
+
+#include "sim/simulation.hh"
+
+namespace emerald
+{
+
+SimObject::SimObject(Simulation &sim, const std::string &name)
+    : StatGroup(sim.statsRoot(), name), _sim(sim), _name(name)
+{
+}
+
+SimObject::SimObject(SimObject &parent, const std::string &name)
+    : StatGroup(parent, name), _sim(parent._sim),
+      _name(parent.name() + "." + name)
+{
+}
+
+Tick
+SimObject::curTick() const
+{
+    return _sim.curTick();
+}
+
+void
+SimObject::schedule(Event &ev, Tick when)
+{
+    _sim.eventQueue().schedule(ev, when);
+}
+
+void
+SimObject::scheduleIn(Event &ev, Tick delta)
+{
+    _sim.eventQueue().schedule(ev, curTick() + delta);
+}
+
+void
+SimObject::reschedule(Event &ev, Tick when)
+{
+    _sim.eventQueue().reschedule(ev, when);
+}
+
+void
+SimObject::descheduleIfPending(Event &ev)
+{
+    if (ev.scheduled())
+        _sim.eventQueue().deschedule(ev);
+}
+
+} // namespace emerald

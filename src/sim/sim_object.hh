@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ *
+ * A SimObject has a name, belongs to a Simulation, and owns a node in
+ * the stats tree. It offers shortcuts for the common event-queue
+ * operations so components do not have to thread the queue through
+ * every call site.
+ */
+
+#ifndef EMERALD_SIM_SIM_OBJECT_HH
+#define EMERALD_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+class Simulation;
+
+/** Base class of every named component in the simulated system. */
+class SimObject : public StatGroup
+{
+  public:
+    SimObject(Simulation &sim, const std::string &name);
+    SimObject(SimObject &parent, const std::string &name);
+    ~SimObject() override = default;
+
+    const std::string &name() const { return _name; }
+    Simulation &sim() { return _sim; }
+    const Simulation &sim() const { return _sim; }
+
+    /** Current simulated time. */
+    Tick curTick() const;
+
+    /** Schedule @p ev at absolute tick @p when. */
+    void schedule(Event &ev, Tick when);
+
+    /** Schedule @p ev @p delta ticks from now. */
+    void scheduleIn(Event &ev, Tick delta);
+
+    /** Reschedule @p ev to absolute tick @p when. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Deschedule @p ev if it is pending. */
+    void descheduleIfPending(Event &ev);
+
+  private:
+    Simulation &_sim;
+    std::string _name;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_SIM_OBJECT_HH

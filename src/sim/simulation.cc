@@ -1,0 +1,19 @@
+#include "sim/simulation.hh"
+
+namespace emerald
+{
+
+Simulation::Simulation()
+    : _statsRoot("")
+{
+}
+
+ClockDomain &
+Simulation::createClockDomain(double mhz, const std::string &name)
+{
+    _domains.push_back(
+        std::make_unique<ClockDomain>(_eq, periodFromMHz(mhz), name));
+    return *_domains.back();
+}
+
+} // namespace emerald

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Simulation context: the event queue, the stats root, and the
+ * clock domains of one simulated system.
+ */
+
+#ifndef EMERALD_SIM_SIMULATION_HH
+#define EMERALD_SIM_SIMULATION_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+/**
+ * Owns the event queue and the root of the stats tree. Every
+ * SimObject is constructed against a Simulation and registers its
+ * stats under it.
+ */
+class Simulation
+{
+  public:
+    Simulation();
+
+    EventQueue &eventQueue() { return _eq; }
+    Tick curTick() const { return _eq.curTick(); }
+
+    /** Root of the stats tree. */
+    StatGroup &statsRoot() { return _statsRoot; }
+
+    /**
+     * Create a clock domain owned by this simulation.
+     * @param mhz frequency in MHz.
+     */
+    ClockDomain &createClockDomain(double mhz, const std::string &name);
+
+    /** Run until the event queue drains or @p limit is reached. */
+    std::uint64_t run(Tick limit = maxTick) { return _eq.runUntil(limit); }
+
+    /** Dump all stats as "name value # desc" lines. */
+    void dumpStats(std::ostream &os) { _statsRoot.dumpStats(os); }
+
+    /** Reset all stats without disturbing component state. */
+    void resetStats() { _statsRoot.resetStats(); }
+
+  private:
+    EventQueue _eq;
+    StatGroup _statsRoot;
+    std::vector<std::unique_ptr<ClockDomain>> _domains;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_SIMULATION_HH

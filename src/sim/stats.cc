@@ -1,0 +1,136 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+Stat::Stat(StatGroup &parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _count += count;
+    _sum += v * count;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _min = 0.0;
+    _max = 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".count " << _count << " # " << desc()
+       << " (samples)\n";
+    os << prefix << name() << ".mean " << mean() << " # " << desc()
+       << " (mean)\n";
+    os << prefix << name() << ".min " << min() << " # " << desc()
+       << " (min)\n";
+    os << prefix << name() << ".max " << max() << " # " << desc()
+       << " (max)\n";
+}
+
+void
+TimeSeries::add(Tick when, double value)
+{
+    std::size_t idx = static_cast<std::size_t>(when / _bucketWidth);
+    if (idx >= _buckets.size())
+        _buckets.resize(idx + 1, 0.0);
+    _buckets[idx] += value;
+}
+
+void
+TimeSeries::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".nbuckets " << _buckets.size() << " # "
+       << desc() << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        os << prefix << name() << "[" << i << "] " << _buckets[i]
+           << " # " << desc() << "\n";
+    }
+}
+
+StatGroup::StatGroup(std::string name)
+    : _name(std::move(name))
+{
+}
+
+StatGroup::StatGroup(StatGroup &parent, std::string name)
+    : _parent(&parent), _name(std::move(name))
+{
+    parent.addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (_parent)
+        _parent->removeChild(this);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(_children.begin(), _children.end(), child);
+    if (it != _children.end())
+        _children.erase(it);
+}
+
+std::string
+StatGroup::fullStatName() const
+{
+    if (!_parent)
+        return _name;
+    std::string parent_name = _parent->fullStatName();
+    if (parent_name.empty())
+        return _name;
+    return parent_name + "." + _name;
+}
+
+void
+StatGroup::dumpStats(std::ostream &os) const
+{
+    std::string prefix = fullStatName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const Stat *stat : _stats)
+        stat->dump(os, prefix);
+    for (const StatGroup *child : _children)
+        child->dumpStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (Stat *stat : _stats)
+        stat->reset();
+    for (StatGroup *child : _children)
+        child->resetStats();
+}
+
+} // namespace emerald

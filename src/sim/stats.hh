@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Stats register themselves with a StatGroup; groups form a tree
+ * rooted at the Simulation so a single dump walks every component.
+ * TimeSeries stats bucket values over simulated time, which the
+ * bandwidth-timeline experiments (paper Figs. 10 and 14) rely on.
+ */
+
+#ifndef EMERALD_SIM_STATS_HH
+#define EMERALD_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+class StatGroup;
+
+/** Base class of all statistics. */
+class Stat
+{
+  public:
+    Stat(StatGroup &parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Write one or more "name value # desc" lines. */
+    virtual void dump(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple accumulating counter / value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator++() { _value += 1.0; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Mean/min/max/count over sampled values. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double total() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Values accumulated into fixed-width buckets of simulated time,
+ * e.g. bytes transferred per 100 us window.
+ */
+class TimeSeries : public Stat
+{
+  public:
+    TimeSeries(StatGroup &parent, std::string name, std::string desc,
+               Tick bucket_width)
+        : Stat(parent, std::move(name), std::move(desc)),
+          _bucketWidth(bucket_width)
+    {}
+
+    /** Accumulate @p value into the bucket containing @p when. */
+    void add(Tick when, double value);
+
+    Tick bucketWidth() const { return _bucketWidth; }
+    const std::vector<double> &buckets() const { return _buckets; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _buckets.clear(); }
+
+  private:
+    Tick _bucketWidth;
+    std::vector<double> _buckets;
+};
+
+/**
+ * A node in the stats tree. Components subclass or embed a StatGroup;
+ * child groups chain to their parents.
+ */
+class StatGroup
+{
+  public:
+    /** Construct the root group. */
+    explicit StatGroup(std::string name);
+
+    /** Construct a child group. */
+    StatGroup(StatGroup &parent, std::string name);
+
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return _name; }
+
+    /** Fully qualified dotted name. */
+    std::string fullStatName() const;
+
+    /** Dump this group's stats and all children, depth first. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset this group's stats and all children. */
+    void resetStats();
+
+  private:
+    friend class Stat;
+
+    void addStat(Stat *stat) { _stats.push_back(stat); }
+    void addChild(StatGroup *child) { _children.push_back(child); }
+    void removeChild(StatGroup *child);
+
+    StatGroup *_parent = nullptr;
+    std::string _name;
+    std::vector<Stat *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_STATS_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental simulation types and time helpers.
+ *
+ * The simulator measures time in integer ticks of one picosecond, the
+ * same convention gem5 uses. Clock domains express their frequency as a
+ * period in ticks so components running at different frequencies (CPU,
+ * GPU, DRAM bus, display pixel clock) share one event queue.
+ */
+
+#ifndef EMERALD_SIM_TYPES_HH
+#define EMERALD_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace emerald
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles within some clock domain. */
+using Cycle = std::uint64_t;
+
+/** A physical memory address. */
+using Addr = std::uint64_t;
+
+/** Ticks per second: 1 tick == 1 ps. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** The largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+ticksFromNs(double ns)
+{
+    return static_cast<Tick>(ns * 1e3 + 0.5);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+ticksFromUs(double us)
+{
+    return static_cast<Tick>(us * 1e6 + 0.5);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+ticksFromMs(double ms)
+{
+    return static_cast<Tick>(ms * 1e9 + 0.5);
+}
+
+/** Convert ticks to (floating point) seconds. */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Convert ticks to (floating point) milliseconds. */
+constexpr double
+msFromTicks(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Check whether @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+log2i(std::uint64_t value)
+{
+    unsigned bits = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_TYPES_HH

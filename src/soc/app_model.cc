@@ -1,0 +1,150 @@
+#include "soc/app_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::soc
+{
+
+AppModel::AppModel(Simulation &sim, const std::string &name,
+                   const AppParams &params,
+                   scenes::SceneRenderer &scene,
+                   std::vector<CpuCoreModel *> cores,
+                   mem::DashCoordinator *dash,
+                   std::function<void()> on_all_frames_done)
+    : SimObject(sim, name),
+      statFrames(*this, "frames", "application frames completed"),
+      statGpuFrameTicks(*this, "gpu_frame_ticks",
+                        "GPU render time per frame (ticks)"),
+      statTotalFrameTicks(*this, "total_frame_ticks",
+                          "prep+render time per frame (ticks)"),
+      _params(params), _scene(scene), _cores(std::move(cores)),
+      _dash(dash), _onDone(std::move(on_all_frames_done)),
+      _startPrepEvent([this] { beginPrep(); }, name + ".prep"),
+      _pollEvent([this] { pollProgress(); }, name + ".poll")
+{
+    if (_dash)
+        _dashIp = _dash->registerIp(name + ".gpu", TrafficClass::Gpu,
+                                    0.9);
+}
+
+void
+AppModel::start()
+{
+    scheduleIn(_startPrepEvent, 0);
+}
+
+void
+AppModel::beginPrep()
+{
+    _frameSlotStart = curTick();
+    _current = FrameRecord{};
+    _current.prepStart = curTick();
+
+    // CPU-side work: all cores burn through their prep quota.
+    _coresPending = static_cast<unsigned>(_cores.size());
+    for (CpuCoreModel *core : _cores) {
+        core->setBackground(false);
+        core->runQuota(_params.cpuPrepRequests,
+                       [this] { corePrepDone(); });
+    }
+}
+
+void
+AppModel::corePrepDone()
+{
+    panic_if(_coresPending == 0, "prep over-completion");
+    if (--_coresPending == 0)
+        beginRender();
+}
+
+void
+AppModel::beginRender()
+{
+    _current.renderStart = curTick();
+    _progressReported = 0;
+
+    // App threads keep light background activity while blocked on
+    // the GPU fence.
+    for (CpuCoreModel *core : _cores)
+        core->setBackground(true);
+
+    if (_dash && _dashIp >= 0) {
+        double estimate = _fragEstimate > 0.0 ? _fragEstimate : 1e9;
+        _dash->beginIpPeriod(_dashIp, _params.gpuFramePeriod,
+                             estimate);
+        // Fine-grained progress from the pipeline plus a periodic
+        // poll as a fallback.
+        _scene.pipeline().setProgressListener(
+            [this](std::uint64_t frags) {
+                if (frags > _progressReported) {
+                    _dash->addIpProgress(
+                        _dashIp, static_cast<double>(
+                                     frags - _progressReported));
+                    _progressReported = frags;
+                }
+            });
+        scheduleIn(_pollEvent, _params.progressPollPeriod);
+    }
+
+    _scene.renderFrame(_framesDone, [this](const core::FrameStats &s) {
+        renderDone(s);
+    });
+}
+
+void
+AppModel::pollProgress()
+{
+    if (!_dash || _dashIp < 0)
+        return;
+    // Report newly shaded fragments since the last poll.
+    std::uint64_t now_frags =
+        _scene.pipeline().currentFrameFragments();
+    if (now_frags > _progressReported) {
+        _dash->addIpProgress(
+            _dashIp,
+            static_cast<double>(now_frags - _progressReported));
+        _progressReported = now_frags;
+    }
+    scheduleIn(_pollEvent, _params.progressPollPeriod);
+}
+
+void
+AppModel::renderDone(const core::FrameStats &stats)
+{
+    _current.renderEnd = curTick();
+    _current.gpu = stats;
+    _records.push_back(_current);
+    ++_framesDone;
+    ++statFrames;
+    statGpuFrameTicks.sample(
+        static_cast<double>(_current.gpuTime()));
+    statTotalFrameTicks.sample(
+        static_cast<double>(_current.totalTime()));
+    _fragEstimate = static_cast<double>(stats.fragments);
+
+    descheduleIfPending(_pollEvent);
+    if (_dash && _dashIp >= 0) {
+        _scene.pipeline().setProgressListener(nullptr);
+        _dash->endIpPeriod(_dashIp);
+    }
+
+    for (CpuCoreModel *core : _cores)
+        core->setBackground(false);
+
+    if (_framesDone >= _params.frames) {
+        if (_onDone)
+            _onDone();
+        return;
+    }
+
+    // Vsync pacing: next frame at the period boundary (or now, if
+    // the deadline slipped).
+    Tick next = _frameSlotStart + _params.gpuFramePeriod;
+    Tick when = std::max(curTick(), next);
+    schedule(_startPrepEvent, when);
+}
+
+} // namespace emerald::soc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The application render loop: the stand-in for the paper's Android
+ * app that "loads and displays a set of 3D models" (case study I).
+ *
+ * Each frame runs three phases, reproducing the inter-IP
+ * dependencies the paper highlights (Fig. 10/14):
+ *   1. CPU prep: every core executes a latency-bound memory quota
+ *      (app + driver work). CPU traffic peaks here.
+ *   2. GPU render: the frame is submitted; CPU cores drop to
+ *      background traffic and block on the GPU fence.
+ *   3. Vsync pacing: the next frame starts at the 30 FPS boundary
+ *      (or immediately when the deadline was missed).
+ *
+ * While rendering, GPU progress (fragments shaded vs. the previous
+ * frame's total) is reported to the DASH coordinator so deadline
+ * urgency tracks reality.
+ */
+
+#ifndef EMERALD_SOC_APP_MODEL_HH
+#define EMERALD_SOC_APP_MODEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/graphics_pipeline.hh"
+#include "mem/dash_scheduler.hh"
+#include "scenes/workloads.hh"
+#include "soc/cpu_traffic.hh"
+
+namespace emerald::soc
+{
+
+struct AppParams
+{
+    /** GPU frame period (paper Table 3: 33 ms, 30 FPS). */
+    Tick gpuFramePeriod = ticksFromMs(33.0);
+    /** Prep-quota memory requests per core per frame. */
+    std::uint64_t cpuPrepRequests = 2000;
+    /** Frames to run (paper Table 6: 1 warm-up + 4 profiled). */
+    unsigned frames = 5;
+    /** DASH progress polling interval during rendering. */
+    Tick progressPollPeriod = ticksFromUs(100.0);
+};
+
+class AppModel : public SimObject
+{
+  public:
+    struct FrameRecord
+    {
+        Tick prepStart = 0;
+        Tick renderStart = 0;
+        Tick renderEnd = 0;
+        core::FrameStats gpu;
+
+        Tick gpuTime() const { return renderEnd - renderStart; }
+        Tick totalTime() const { return renderEnd - prepStart; }
+    };
+
+    AppModel(Simulation &sim, const std::string &name,
+             const AppParams &params, scenes::SceneRenderer &scene,
+             std::vector<CpuCoreModel *> cores,
+             mem::DashCoordinator *dash,
+             std::function<void()> on_all_frames_done);
+
+    void start();
+
+    bool done() const { return _framesDone >= _params.frames; }
+    const std::vector<FrameRecord> &frames() const { return _records; }
+
+    /** @{ Statistics. */
+    Scalar statFrames;
+    Distribution statGpuFrameTicks;
+    Distribution statTotalFrameTicks;
+    /** @} */
+
+  private:
+    void beginPrep();
+    void corePrepDone();
+    void beginRender();
+    void renderDone(const core::FrameStats &stats);
+    void pollProgress();
+
+    AppParams _params;
+    scenes::SceneRenderer &_scene;
+    std::vector<CpuCoreModel *> _cores;
+    mem::DashCoordinator *_dash;
+    int _dashIp = -1;
+    std::function<void()> _onDone;
+
+    unsigned _framesDone = 0;
+    unsigned _coresPending = 0;
+    Tick _frameSlotStart = 0;
+    double _fragEstimate = 0.0;
+    std::uint64_t _progressReported = 0;
+    FrameRecord _current;
+    std::vector<FrameRecord> _records;
+
+    EventFunction _startPrepEvent;
+    EventFunction _pollEvent;
+};
+
+} // namespace emerald::soc
+
+#endif // EMERALD_SOC_APP_MODEL_HH

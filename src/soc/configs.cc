@@ -1,0 +1,73 @@
+#include "soc/configs.hh"
+
+#include "sim/logging.hh"
+
+namespace emerald::soc
+{
+
+gpu::GpuTopParams
+caseStudy1GpuParams()
+{
+    gpu::GpuTopParams p = gpu::defaultGpuParams();
+    // Paper Table 5: 4 SIMT cores (128 CUDA cores), 950 MHz, L1D
+    // 16 KB / L1T 64 KB / L1Z 32 KB (4-way, 128 B), shared 128 KB L2.
+    p.numClusters = 4;
+    p.coresPerCluster = 1;
+    p.core.l1d = {16 * 1024, 4, 128, 12, 16, 8, 16};
+    p.core.l1t = {64 * 1024, 4, 128, 16, 16, 8, 16};
+    p.core.l1z = {32 * 1024, 4, 128, 12, 16, 8, 16};
+    p.core.l1c = {16 * 1024, 4, 128, 8, 16, 8, 16};
+    p.core.l1i = {4 * 1024, 4, 128, 4, 8, 4, 8};
+    p.l2 = {128 * 1024, 8, 128, 24, 48, 8, 32};
+    return p;
+}
+
+gpu::GpuTopParams
+caseStudy2GpuParams()
+{
+    // Paper Table 7 is the default parameter set.
+    return gpu::defaultGpuParams();
+}
+
+mem::MemorySystemParams
+caseStudy2MemParams()
+{
+    mem::MemorySystemParams mp;
+    mp.geom.channels = 4;
+    mp.geom.banks = 8;
+    mp.geom.rowBytes = 4096;
+    mp.geom.lineSize = 128;
+    mp.timing = mem::lpddr3Timing(1600.0, 32, 128);
+    mp.queueCapacity = 64;
+    mp.statsBucket = ticksFromUs(100.0);
+    return mp;
+}
+
+StandaloneGpu::StandaloneGpu(unsigned fb_width, unsigned fb_height,
+                             const gpu::GpuTopParams &gpu_params,
+                             const mem::MemorySystemParams &mem_params)
+{
+    _gpuClock = &_sim.createClockDomain(1000.0, "gpu_clk");
+    _memory = std::make_unique<mem::MemorySystem>(_sim, "dram",
+                                                  mem_params,
+                                                  _scheduler);
+    _gpu = std::make_unique<gpu::GpuTop>(_sim, "gpu", *_gpuClock,
+                                         gpu_params, *_memory);
+    core::GfxParams gfx;
+    _pipeline = std::make_unique<core::GraphicsPipeline>(
+        _sim, "gfx", *_gpu, fb_width, fb_height, gfx);
+    _kernels = std::make_unique<gpu::KernelDispatcher>(_sim, "kernels",
+                                                       *_gpu);
+}
+
+bool
+StandaloneGpu::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    while (!done() && _sim.curTick() < limit) {
+        if (!_sim.eventQueue().runOne())
+            return done();
+    }
+    return done();
+}
+
+} // namespace emerald::soc

@@ -1,0 +1,141 @@
+#include "soc/cpu_traffic.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::soc
+{
+
+CpuCoreModel::CpuCoreModel(Simulation &sim, const std::string &name,
+                           ClockDomain &cpu_clock,
+                           const CpuCoreParams &params,
+                           MemSink &downstream)
+    : SimObject(sim, name),
+      statRequests(*this, "requests", "memory requests issued"),
+      statQuotas(*this, "quotas", "work quotas completed"),
+      statLatency(*this, "latency", "load-to-use latency (ticks)"),
+      _params(params), _clock(cpu_clock), _downstream(downstream),
+      _cursor(params.regionBase),
+      _rng(params.seed ^ (0x9e37 + params.coreId)),
+      _issueEvent([this] { issueOne(); }, name + ".issue")
+{
+}
+
+void
+CpuCoreModel::runQuota(std::uint64_t requests,
+                       std::function<void()> on_done)
+{
+    panic_if(_quotaRemaining > 0, "%s: overlapping quotas",
+             name().c_str());
+    if (requests == 0) {
+        if (on_done)
+            on_done();
+        return;
+    }
+    _quotaRemaining = requests;
+    _quotaDone = std::move(on_done);
+    trySchedule();
+}
+
+void
+CpuCoreModel::setBackground(bool enabled)
+{
+    _background = enabled;
+    if (enabled)
+        trySchedule();
+}
+
+Addr
+CpuCoreModel::nextAddr()
+{
+    if (_rng.chance(_params.locality)) {
+        _cursor += 64;
+        if (_cursor >= _params.regionBase + _params.regionBytes)
+            _cursor = _params.regionBase;
+    } else {
+        _cursor = _params.regionBase +
+                  (_rng.next() % (_params.regionBytes / 64)) * 64;
+    }
+    return _cursor;
+}
+
+void
+CpuCoreModel::trySchedule()
+{
+    if (_issueEvent.scheduled())
+        return;
+    bool want_issue =
+        (_quotaRemaining > 0 &&
+         _outstanding < _params.maxOutstanding) ||
+        (_background && _quotaRemaining == 0 &&
+         _outstanding < _params.backgroundOutstanding);
+    if (!want_issue)
+        return;
+    Cycle delay = _quotaRemaining > 0 ? _params.thinkCycles
+                                      : _params.backgroundInterval;
+    if (delay == 0)
+        delay = 1;
+    schedule(_issueEvent, _clock.clockEdge(delay));
+}
+
+void
+CpuCoreModel::issueOne()
+{
+    bool quota = _quotaRemaining > 0;
+    if (!quota && !_background)
+        return;
+    if (_outstanding >= _params.maxOutstanding) {
+        return; // Response path will reschedule.
+    }
+
+    bool write = _rng.chance(_params.writeFraction);
+    auto *pkt = new MemPacket(nextAddr(), 64, write, TrafficClass::Cpu,
+                              AccessKind::CpuData,
+                              static_cast<int>(_params.coreId), this,
+                              0);
+    pkt->issued = curTick();
+    // Count before offering: the sink may respond synchronously.
+    ++_outstanding;
+    if (!_downstream.tryAccept(pkt)) {
+        --_outstanding;
+        delete pkt;
+        // Cache busy: retry shortly.
+        schedule(_issueEvent, _clock.clockEdge(2));
+        return;
+    }
+    ++statRequests;
+    if (quota)
+        --_quotaRemaining;
+
+    // A synchronous response may have drained the window already.
+    maybeCompleteQuota();
+    // Pipeline more requests up to the outstanding window.
+    trySchedule();
+}
+
+void
+CpuCoreModel::maybeCompleteQuota()
+{
+    if (_quotaRemaining == 0 && _outstanding == 0 && _quotaDone) {
+        ++statQuotas;
+        auto done = std::move(_quotaDone);
+        _quotaDone = nullptr;
+        done();
+    }
+}
+
+void
+CpuCoreModel::memResponse(MemPacket *pkt)
+{
+    statLatency.sample(static_cast<double>(curTick() - pkt->issued));
+    delete pkt;
+    panic_if(_outstanding == 0, "CPU response underflow");
+    --_outstanding;
+
+    maybeCompleteQuota();
+    trySchedule();
+}
+
+} // namespace emerald::soc

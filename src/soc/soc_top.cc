@@ -1,0 +1,214 @@
+#include "soc/soc_top.hh"
+
+#include "cache/cache.hh"
+#include "sim/logging.hh"
+#include "soc/configs.hh"
+
+namespace emerald::soc
+{
+
+const char *
+memConfigName(MemConfig config)
+{
+    switch (config) {
+      case MemConfig::BAS: return "BAS";
+      case MemConfig::DCB: return "DCB";
+      case MemConfig::DTB: return "DTB";
+      case MemConfig::HMC: return "HMC";
+      default: return "unknown";
+    }
+}
+
+/** One CPU core with its private L1/L2 chain into the memory. */
+struct SocTop::CpuNode
+{
+    std::unique_ptr<cache::Cache> l1;
+    std::unique_ptr<cache::Cache> l2;
+    std::unique_ptr<noc::Link> link;
+    std::unique_ptr<CpuCoreModel> core;
+};
+
+SocTop::SocTop(const SocParams &params)
+    : _params(params)
+{
+    _cpuClock = &_sim.createClockDomain(params.cpuClockMHz, "cpu_clk");
+    _gpuClock = &_sim.createClockDomain(params.gpuClockMHz, "gpu_clk");
+
+    // Memory system (paper Tables 4 and 5): 2-channel 32-bit LPDDR3.
+    mem::MemorySystemParams mp;
+    mp.geom.channels = 2;
+    mp.geom.banks = 8;
+    mp.geom.rowBytes = 4096;
+    mp.geom.lineSize = 128;
+    mp.timing = mem::lpddr3Timing(params.highLoad ? 133.0 : 1333.0, 32,
+                                  128);
+    mp.statsBucket = params.statsBucket;
+    mp.queueCapacity = 64;
+
+    if (params.memConfig == MemConfig::HMC) {
+        mp.hmc = true;
+        mp.hmcCpuChannels = 1;
+        mp.hmcCpuScheme = mem::AddrMapScheme::RoRaBaCoCh;
+        mp.hmcIpScheme = mem::AddrMapScheme::RoCoRaBaCh;
+    } else {
+        mp.unifiedScheme = mem::AddrMapScheme::RoRaBaCoCh;
+    }
+
+    if (params.memConfig == MemConfig::DCB ||
+        params.memConfig == MemConfig::DTB) {
+        mem::DashParams dp; // Table 3 values at 2 GHz CPU clock.
+        dp.switchingUnit = _cpuClock->cyclesToTicks(500);
+        dp.quantum = _cpuClock->cyclesToTicks(1000000);
+        dp.clusterThresh = 0.15;
+        dp.useTotalBandwidth = params.memConfig == MemConfig::DTB;
+        dp.numCpuCores = params.numCpuCores;
+        _dashCoordinator = std::make_unique<mem::DashCoordinator>(
+            _sim, "dash", dp);
+        _scheduler = std::make_unique<mem::DashScheduler>(
+            *_dashCoordinator);
+    } else {
+        _scheduler = std::make_unique<mem::FrfcfsScheduler>();
+    }
+
+    _memory = std::make_unique<mem::MemorySystem>(_sim, "dram", mp,
+                                                  *_scheduler);
+
+    // GPU (paper Table 5: 4 SIMT cores @ 950 MHz, shared 128 KB L2).
+    gpu::GpuTopParams gp = caseStudy1GpuParams();
+    _gpu = std::make_unique<gpu::GpuTop>(_sim, "gpu", *_gpuClock, gp,
+                                         *_memory);
+
+    core::GfxParams gfx;
+    _pipeline = std::make_unique<core::GraphicsPipeline>(
+        _sim, "gfx", *_gpu, params.fbWidth, params.fbHeight, gfx);
+
+    _scene = std::make_unique<scenes::SceneRenderer>(
+        *_pipeline, scenes::makeWorkload(params.model),
+        _functionalMem);
+
+    // CPU cores with private L1 (32 KB) and L2 (1 MB).
+    std::vector<CpuCoreModel *> core_ptrs;
+    for (unsigned i = 0; i < params.numCpuCores; ++i) {
+        auto node = std::make_unique<CpuNode>();
+        std::string base = "cpu" + std::to_string(i);
+
+        cache::CacheParams l2p;
+        l2p.sizeBytes = 1024 * 1024;
+        l2p.assoc = 16;
+        l2p.lineSize = 128;
+        l2p.hitLatency = 12;
+        l2p.mshrs = 16;
+        l2p.trafficClass = TrafficClass::Cpu;
+        l2p.requestorId = static_cast<int>(i);
+        node->l2 = std::make_unique<cache::Cache>(_sim, base + ".l2",
+                                                  *_cpuClock, l2p);
+
+        cache::CacheParams l1p;
+        l1p.sizeBytes = 32 * 1024;
+        l1p.assoc = 4;
+        l1p.lineSize = 128;
+        l1p.hitLatency = 2;
+        l1p.mshrs = 8;
+        l1p.trafficClass = TrafficClass::Cpu;
+        l1p.requestorId = static_cast<int>(i);
+        node->l1 = std::make_unique<cache::Cache>(_sim, base + ".l1",
+                                                  *_cpuClock, l1p);
+        node->l1->setDownstream(*node->l2);
+
+        noc::LinkParams lp;
+        lp.latency = ticksFromNs(20.0);
+        lp.bytesPerSec = 0.0;
+        lp.queueDepth = 32;
+        node->link = std::make_unique<noc::Link>(
+            _sim, base + ".link", lp);
+        node->link->setTarget(*_memory);
+        node->l2->setDownstream(*node->link);
+
+        CpuCoreParams cp;
+        cp.coreId = i;
+        cp.maxOutstanding = 4;
+        cp.thinkCycles = 30;
+        cp.locality = 0.85;
+        cp.regionBase = 0x20000000ULL + Addr(i) * 0x4000000ULL;
+        cp.regionBytes = 8 * 1024 * 1024;
+        // App threads stay busy while the frame renders (the paper's
+        // Fig. 10 shows sustained CPU traffic during GPU frames).
+        cp.backgroundInterval = 900;
+        cp.backgroundOutstanding = 2;
+        cp.seed = 1000 + i;
+        node->core = std::make_unique<CpuCoreModel>(
+            _sim, base, *_cpuClock, cp, *node->l1);
+        core_ptrs.push_back(node->core.get());
+        _cpus.push_back(std::move(node));
+    }
+
+    // Display controller reads the framebuffer over its own link.
+    noc::LinkParams dlp;
+    dlp.latency = ticksFromNs(30.0);
+    dlp.bytesPerSec = 0.0;
+    dlp.queueDepth = 16;
+    _displayLink = std::make_unique<noc::Link>(_sim, "display.link",
+                                               dlp);
+    _displayLink->setTarget(*_memory);
+
+    DisplayParams dp;
+    dp.fbBase = _scene->framebuffer().colorBase();
+    dp.width = params.fbWidth;
+    dp.height = params.fbHeight;
+    dp.refreshPeriod = params.refreshPeriod;
+    _display = std::make_unique<DisplayController>(
+        _sim, "display", dp, *_displayLink, _dashCoordinator.get());
+
+    AppParams ap;
+    ap.gpuFramePeriod = params.gpuFramePeriod;
+    ap.cpuPrepRequests = params.cpuPrepRequests;
+    ap.frames = params.frames;
+    _app = std::make_unique<AppModel>(_sim, "app", ap, *_scene,
+                                      core_ptrs,
+                                      _dashCoordinator.get(),
+                                      [this] { _done = true; });
+}
+
+SocTop::~SocTop() = default;
+
+void
+SocTop::run(Tick limit)
+{
+    _display->start();
+    _app->start();
+    while (!_done && _sim.curTick() < limit) {
+        if (!_sim.eventQueue().runOne())
+            break;
+    }
+    fatal_if(!_done, "SoC simulation hit the safety limit at %.1f ms",
+             msFromTicks(_sim.curTick()));
+    _display->stop();
+    if (_dashCoordinator)
+        _dashCoordinator->shutdown();
+}
+
+double
+SocTop::meanGpuFrameMs() const
+{
+    const auto &frames = _app->frames();
+    if (frames.size() <= 1)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < frames.size(); ++i)
+        sum += msFromTicks(frames[i].gpuTime());
+    return sum / static_cast<double>(frames.size() - 1);
+}
+
+double
+SocTop::meanTotalFrameMs() const
+{
+    const auto &frames = _app->frames();
+    if (frames.size() <= 1)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < frames.size(); ++i)
+        sum += msFromTicks(frames[i].totalTime());
+    return sum / static_cast<double>(frames.size() - 1);
+}
+
+} // namespace emerald::soc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Full-system SoC assembly (paper Fig. 1): CPU cluster with private
+ * cache hierarchies, the Emerald GPU, the display controller, the
+ * system interconnect and the shared DRAM — with the memory
+ * organization/scheduling configurations case study I compares
+ * (Table 6): BAS (FR-FCFS), DCB/DTB (DASH with CPU-only /
+ * whole-system clustering bandwidth) and HMC (split channels).
+ */
+
+#ifndef EMERALD_SOC_SOC_TOP_HH
+#define EMERALD_SOC_SOC_TOP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graphics_pipeline.hh"
+#include "mem/dash_scheduler.hh"
+#include "mem/frfcfs_scheduler.hh"
+#include "mem/memory_system.hh"
+#include "noc/link.hh"
+#include "scenes/workloads.hh"
+#include "sim/simulation.hh"
+#include "soc/app_model.hh"
+#include "soc/cpu_traffic.hh"
+#include "soc/display_controller.hh"
+
+namespace emerald::soc
+{
+
+/** Case study I memory configurations (paper Table 6). */
+enum class MemConfig { BAS, DCB, DTB, HMC };
+
+const char *memConfigName(MemConfig config);
+
+struct SocParams
+{
+    MemConfig memConfig = MemConfig::BAS;
+    /** High-load scenario: 133 Mb/s/pin instead of 1333. */
+    bool highLoad = false;
+
+    unsigned numCpuCores = 4;
+    double cpuClockMHz = 2000.0;
+    double gpuClockMHz = 950.0;
+
+    unsigned fbWidth = 256;
+    unsigned fbHeight = 192;
+
+    scenes::WorkloadId model = scenes::WorkloadId::M2_Cube;
+    unsigned frames = 5;
+    std::uint64_t cpuPrepRequests = 1500;
+
+    Tick statsBucket = ticksFromUs(100.0);
+    Tick refreshPeriod = ticksFromMs(16.6);
+    Tick gpuFramePeriod = ticksFromMs(33.0);
+};
+
+/**
+ * Owns one complete SoC simulation. Construct, run(), then read the
+ * results through the component accessors.
+ */
+class SocTop
+{
+  public:
+    explicit SocTop(const SocParams &params);
+    ~SocTop();
+
+    /** Run until the app completes its frames (with a safety cap). */
+    void run(Tick limit = ticksFromMs(4000.0));
+
+    Simulation &sim() { return _sim; }
+    mem::MemorySystem &memory() { return *_memory; }
+    AppModel &app() { return *_app; }
+    DisplayController &display() { return *_display; }
+    core::GraphicsPipeline &pipeline() { return *_pipeline; }
+    gpu::GpuTop &gpu() { return *_gpu; }
+    const SocParams &params() const { return _params; }
+
+    /** Mean GPU render time over profiled (non-warm-up) frames. */
+    double meanGpuFrameMs() const;
+    /** Mean total (prep+render) frame time over profiled frames. */
+    double meanTotalFrameMs() const;
+
+  private:
+    SocParams _params;
+    Simulation _sim;
+    ClockDomain *_cpuClock = nullptr;
+    ClockDomain *_gpuClock = nullptr;
+
+    std::unique_ptr<mem::DashCoordinator> _dashCoordinator;
+    std::unique_ptr<mem::DramScheduler> _scheduler;
+    std::unique_ptr<mem::MemorySystem> _memory;
+
+    mem::FunctionalMemory _functionalMem;
+
+    std::unique_ptr<gpu::GpuTop> _gpu;
+    std::unique_ptr<core::GraphicsPipeline> _pipeline;
+    std::unique_ptr<scenes::SceneRenderer> _scene;
+
+    struct CpuNode;
+    std::vector<std::unique_ptr<CpuNode>> _cpus;
+
+    std::unique_ptr<noc::Link> _displayLink;
+    std::unique_ptr<DisplayController> _display;
+    std::unique_ptr<AppModel> _app;
+
+    bool _done = false;
+};
+
+} // namespace emerald::soc
+
+#endif // EMERALD_SOC_SOC_TOP_HH

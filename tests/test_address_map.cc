@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "sim/random.hh"
+
+using namespace emerald;
+using namespace emerald::mem;
+
+namespace
+{
+
+DramGeometry
+geom2ch()
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.ranks = 1;
+    g.banks = 8;
+    g.rowBytes = 4096;
+    g.lineSize = 128;
+    return g;
+}
+
+} // namespace
+
+TEST(AddressMap, PageStripedWalksRowBeforeBank)
+{
+    AddressMap map(geom2ch(), AddrMapScheme::RoRaBaCoCh);
+    // Consecutive lines alternate channels, then walk columns.
+    DecodedAddr a0 = map.decode(0);
+    DecodedAddr a1 = map.decode(128);
+    DecodedAddr a2 = map.decode(256);
+    EXPECT_EQ(a0.channel, 0u);
+    EXPECT_EQ(a1.channel, 1u);
+    EXPECT_EQ(a2.channel, 0u);
+    EXPECT_EQ(a0.bank, a2.bank);
+    EXPECT_EQ(a0.row, a2.row);
+    EXPECT_EQ(a2.column, a0.column + 1);
+
+    // A whole row's worth of lines on one channel shares the bank.
+    unsigned lines_per_row = 4096 / 128;
+    for (unsigned i = 0; i < lines_per_row; ++i) {
+        DecodedAddr d = map.decode(Addr(i) * 256);
+        EXPECT_EQ(d.bank, a0.bank);
+        EXPECT_EQ(d.row, a0.row);
+    }
+}
+
+TEST(AddressMap, LineStripedWalksBanksFirst)
+{
+    AddressMap map(geom2ch(), AddrMapScheme::RoCoRaBaCh);
+    DecodedAddr a0 = map.decode(0);
+    DecodedAddr a2 = map.decode(256); // Same channel, next line.
+    EXPECT_EQ(a2.bank, a0.bank + 1);
+    EXPECT_EQ(a2.row, a0.row);
+    EXPECT_EQ(a2.column, a0.column);
+}
+
+TEST(AddressMap, SchemeNames)
+{
+    EXPECT_STREQ(addrMapSchemeName(AddrMapScheme::RoRaBaCoCh),
+                 "Ro:Ra:Ba:Co:Ch");
+    EXPECT_STREQ(addrMapSchemeName(AddrMapScheme::RoCoRaBaCh),
+                 "Ro:Co:Ra:Ba:Ch");
+}
+
+class AddressMapRoundTrip
+    : public ::testing::TestWithParam<AddrMapScheme>
+{
+};
+
+TEST_P(AddressMapRoundTrip, DecodeEncodeBijective)
+{
+    AddressMap map(geom2ch(), GetParam());
+    Random rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = (rng.next() & 0x3fffffffULL) & ~Addr(127);
+        DecodedAddr d = map.decode(addr);
+        EXPECT_EQ(map.encode(d), addr);
+        EXPECT_LT(d.channel, 2u);
+        EXPECT_LT(d.bank, 8u);
+        EXPECT_LT(d.column, 4096u / 128u);
+    }
+}
+
+TEST_P(AddressMapRoundTrip, FieldsCoverAllValues)
+{
+    AddressMap map(geom2ch(), GetParam());
+    std::set<unsigned> channels, banks;
+    std::set<std::uint64_t> columns;
+    for (Addr a = 0; a < 1 << 20; a += 128) {
+        DecodedAddr d = map.decode(a);
+        channels.insert(d.channel);
+        banks.insert(d.bank);
+        columns.insert(d.column);
+    }
+    EXPECT_EQ(channels.size(), 2u);
+    EXPECT_EQ(banks.size(), 8u);
+    EXPECT_EQ(columns.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AddressMapRoundTrip,
+                         ::testing::Values(AddrMapScheme::RoRaBaCoCh,
+                                           AddrMapScheme::RoCoRaBaCh));
+
+TEST(AddressMap, RejectsBadGeometry)
+{
+    DramGeometry g = geom2ch();
+    g.channels = 3; // Not a power of two.
+    EXPECT_DEATH(
+        { AddressMap map(g, AddrMapScheme::RoRaBaCoCh); }, "2\\^n");
+}

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "mem/frfcfs_scheduler.hh"
+#include "mem/memory_system.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+using namespace emerald;
+using namespace emerald::mem;
+
+namespace
+{
+
+/** Records completion times per request. */
+struct TimedCatcher : public MemClient
+{
+    Simulation *sim = nullptr;
+    std::vector<Tick> done;
+
+    void
+    memResponse(MemPacket *pkt) override
+    {
+        done.push_back(sim->curTick());
+        delete pkt;
+    }
+};
+
+MemorySystemParams
+oneChannel()
+{
+    MemorySystemParams mp;
+    mp.geom.channels = 1;
+    mp.timing = lpddr3Timing(1333.0, 32, 128);
+    return mp;
+}
+
+} // namespace
+
+/**
+ * Protocol legality properties: whatever order the scheduler picks,
+ * per-bank and bus timing lower bounds must hold.
+ */
+TEST(DramProtocol, ConflictPairRespectsPrechargeActivate)
+{
+    Simulation sim;
+    TimedCatcher catcher;
+    catcher.sim = &sim;
+    FrfcfsScheduler sched;
+    MemorySystem mem(sim, "mem", oneChannel(), sched);
+    const DramTiming &t = mem.params().timing;
+
+    // Two conflicting rows in the same bank, back to back.
+    auto *a = new MemPacket(0, 128, false, TrafficClass::Gpu,
+                            AccessKind::GlobalData, 0, &catcher);
+    auto *b = new MemPacket(1 << 20, 128, false, TrafficClass::Gpu,
+                            AccessKind::GlobalData, 0, &catcher);
+    ASSERT_TRUE(mem.tryAccept(a));
+    ASSERT_TRUE(mem.tryAccept(b));
+    sim.run();
+    ASSERT_EQ(catcher.done.size(), 2u);
+
+    // First: tRCD + tCL + tBURST. Second must additionally wait for
+    // at least tRAS (activate age) + tRP + tRCD before its CAS.
+    Tick first = catcher.done[0];
+    Tick second = catcher.done[1];
+    EXPECT_EQ(first, t.tRCD + t.tCL + t.tBURST);
+    EXPECT_GE(second - first, t.tRP + t.tRCD);
+    EXPECT_GE(second, t.tRAS + t.tRP + t.tRCD + t.tCL + t.tBURST);
+}
+
+TEST(DramProtocol, BusSerializesBackToBackHits)
+{
+    Simulation sim;
+    TimedCatcher catcher;
+    catcher.sim = &sim;
+    FrfcfsScheduler sched;
+    MemorySystem mem(sim, "mem", oneChannel(), sched);
+    const DramTiming &t = mem.params().timing;
+
+    // Four hits in the same open row: completions spaced >= tBURST.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(mem.tryAccept(
+            new MemPacket(Addr(i) * 128, 128, false, TrafficClass::Gpu,
+                          AccessKind::GlobalData, 0, &catcher)));
+    }
+    sim.run();
+    ASSERT_EQ(catcher.done.size(), 4u);
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_GE(catcher.done[i] - catcher.done[i - 1], t.tBURST);
+}
+
+TEST(DramProtocol, RandomTrafficLowerBounds)
+{
+    // Property: under random traffic, no read completes faster than
+    // the row-hit minimum (tCL + tBURST), and per-channel throughput
+    // never exceeds the bus peak.
+    Simulation sim;
+    TimedCatcher catcher;
+    catcher.sim = &sim;
+    FrfcfsScheduler sched;
+    MemorySystem mem(sim, "mem", oneChannel(), sched);
+    const DramTiming &t = mem.params().timing;
+    Random rng(4242);
+
+    unsigned sent = 0;
+    Tick start = sim.curTick();
+    for (int burst = 0; burst < 30; ++burst) {
+        for (int i = 0; i < 6; ++i) {
+            Tick issue = sim.curTick();
+            auto *pkt = new MemPacket(
+                (rng.next() & 0x0ffffff80ULL), 128, false,
+                TrafficClass::Gpu, AccessKind::GlobalData, 0,
+                &catcher, issue);
+            if (mem.tryAccept(pkt))
+                ++sent;
+            else
+                delete pkt;
+        }
+        std::size_t before = catcher.done.size();
+        sim.run();
+        // Each request took at least the hit minimum.
+        for (std::size_t i = before; i < catcher.done.size(); ++i)
+            EXPECT_GE(catcher.done[i], t.tCL + t.tBURST);
+    }
+    ASSERT_EQ(catcher.done.size(), sent);
+
+    // Aggregate bandwidth bounded by the bus peak.
+    double seconds = secondsFromTicks(sim.curTick() - start);
+    double bytes = static_cast<double>(sent) * 128.0;
+    EXPECT_LE(bytes / seconds, t.peakBytesPerSec * 1.01);
+}
+
+TEST(DramProtocol, WritesDelayFollowingPrechargeViaRecovery)
+{
+    Simulation sim;
+    TimedCatcher catcher;
+    catcher.sim = &sim;
+    FrfcfsScheduler sched;
+    MemorySystem mem(sim, "mem", oneChannel(), sched);
+    const DramTiming &t = mem.params().timing;
+
+    // Write to row A, then read row B in the same bank: the write
+    // recovery (tWR) delays the precharge, adding latency over the
+    // read-read conflict case.
+    auto *w = new MemPacket(0, 128, true, TrafficClass::Gpu,
+                            AccessKind::GlobalData, 0, &catcher);
+    ASSERT_TRUE(mem.tryAccept(w));
+    sim.run();
+    Tick write_done = catcher.done.back();
+
+    auto *r = new MemPacket(1 << 20, 128, false, TrafficClass::Gpu,
+                            AccessKind::GlobalData, 0, &catcher);
+    ASSERT_TRUE(mem.tryAccept(r));
+    sim.run();
+    Tick read_done = catcher.done.back();
+    EXPECT_GE(read_done - write_done, t.tRP + t.tRCD);
+}

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+#include "core/graphics_pipeline.hh"
+#include "mem/frfcfs_scheduler.hh"
+#include "mem/memory_system.hh"
+#include "scenes/workloads.hh"
+#include "sim/simulation.hh"
+
+using namespace emerald;
+
+TEST(PipelineSmoke, RenderCubeFrame) {
+    Simulation sim;
+    auto &gclk = sim.createClockDomain(1000.0, "gpu");
+    mem::MemorySystemParams mp;
+    mp.geom.channels = 4;
+    mp.timing = mem::lpddr3Timing(1600, 32, 128);
+    mem::FrfcfsScheduler sched;
+    mem::MemorySystem memsys(sim, "mem", mp, sched);
+    gpu::GpuTopParams gp = gpu::defaultGpuParams();
+    gpu::GpuTop gpu(sim, "gpu", gclk, gp, memsys);
+    core::GfxParams gfx;
+    core::GraphicsPipeline pipe(sim, "gfx", gpu, 192, 144, gfx);
+    mem::FunctionalMemory fmem;
+    scenes::SceneRenderer scene(pipe, scenes::makeWorkload(scenes::WorkloadId::W3_Cube), fmem);
+
+    bool done = false;
+    core::FrameStats stats;
+    scene.renderFrame(0, [&](const core::FrameStats &s) { done = true; stats = s; });
+    std::uint64_t evs = sim.run(ticksFromMs(50));
+    ASSERT_TRUE(done) << "frame did not drain; events=" << evs
+                      << " fragsOutstanding?" ;
+    EXPECT_GT(stats.fragments, 1000u);
+    EXPECT_GT(stats.cycles, 100u);
+    // Something other than clear color was drawn.
+    unsigned nonblack = 0;
+    for (unsigned y = 0; y < 144; ++y)
+        for (unsigned x = 0; x < 192; ++x)
+            if (scene.framebuffer().pixel(x, y) != 0xff000000u) ++nonblack;
+    EXPECT_GT(nonblack, 2000u);
+    scene.framebuffer().writePpm("/tmp/cube.ppm");
+}
