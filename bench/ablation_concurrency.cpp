@@ -82,6 +82,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     unsigned n = static_cast<unsigned>(cfg.getInt("n", 65536));
+    BenchResults results(cfg, "ablation_concurrency");
 
     std::printf("=== Ablation: graphics + compute sharing the SIMT "
                 "cores ===\n");
@@ -100,6 +101,14 @@ main(int argc, char **argv)
     std::printf("kernel+frame: %10.0f cycles (%.2fx)\n",
                 both.kernel_cycles,
                 both.kernel_cycles / kernel_only.kernel_cycles);
+    results.record("frame_alone_cycles", frame_only.frame_cycles);
+    results.record("frame_shared_cycles", both.frame_cycles);
+    results.record("frame_slowdown",
+                   both.frame_cycles / frame_only.frame_cycles);
+    results.record("kernel_alone_cycles", kernel_only.kernel_cycles);
+    results.record("kernel_shared_cycles", both.kernel_cycles);
+    results.record("kernel_slowdown",
+                   both.kernel_cycles / kernel_only.kernel_cycles);
     std::printf("\nshape: both directions slow down (shared cores, "
                 "caches and DRAM) - the contention a unified model "
                 "exposes and split simulators cannot\n");

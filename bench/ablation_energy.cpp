@@ -69,6 +69,7 @@ main(int argc, char **argv)
     cfg.parseArgs(argc, argv);
     unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 4));
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "ablation_energy");
 
     auto workloads = caseStudy2Workloads();
     if (quick)
@@ -86,6 +87,12 @@ main(int argc, char **argv)
         EnergyRun wt10 = measure(id, 10, frames);
         EnergyRun dfsl = measure(id, 1, frames, true);
         double worst = std::max(wt1.energy_uj, wt10.energy_uj);
+        std::string wl = scenes::workloadName(id);
+        results.record(wl + ".wt1_uj", wt1.energy_uj);
+        results.record(wl + ".wt10_uj", wt10.energy_uj);
+        results.record(wl + ".dfsl_uj", dfsl.energy_uj);
+        results.record(wl + ".dfsl_saves_frac",
+                       (worst - dfsl.energy_uj) / worst);
         std::printf("%-18s %12.1f %12.1f %12.1f %11.1f%%\n",
                     scenes::workloadName(id), wt1.energy_uj,
                     wt10.energy_uj, dfsl.energy_uj,

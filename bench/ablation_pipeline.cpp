@@ -113,6 +113,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 2));
+    BenchResults results(cfg, "ablation_pipeline");
 
     std::printf("=== Ablation: pipeline design choices ===\n\n");
 
@@ -126,6 +127,11 @@ main(int argc, char **argv)
                                 true, frames, &rejects);
         double t_off = runConfig(scenes::WorkloadId::W1_Sibenik, off,
                                  true, frames);
+        results.record("hiz.on_cycles", t_on);
+        results.record("hiz.off_cycles", t_off);
+        results.record("hiz.saved_frac", (t_off - t_on) / t_off);
+        results.record("hiz.tiles_rejected",
+                       static_cast<double>(rejects));
         std::printf("Hi-Z (W1-sibenik):  on %.0f cy, off %.0f cy -> "
                     "%.1f%% saved; %llu tiles rejected\n",
                     t_on, t_off, (t_off - t_on) / t_off * 100.0,
@@ -145,6 +151,10 @@ main(int argc, char **argv)
         double t_weak = runConfig(scenes::WorkloadId::W4_Suzanne,
                                   weak, true, frames, nullptr,
                                   &fpw_weak);
+        results.record("tc.full_cycles", t_full);
+        results.record("tc.weak_cycles", t_weak);
+        results.record("tc.full_frag_per_warp", fpw_full / frames);
+        results.record("tc.weak_frag_per_warp", fpw_weak / frames);
         std::printf("TC coalescing (W4): full %.0f cy (%.1f frag/"
                     "warp), weak %.0f cy (%.1f frag/warp)\n",
                     t_full, fpw_full / frames, t_weak,
@@ -158,6 +168,9 @@ main(int argc, char **argv)
                                    true, frames);
         double t_late = runConfig(scenes::WorkloadId::W6_Teapot, gfx,
                                   false, frames);
+        results.record("rop.early_cycles", t_early);
+        results.record("rop.late_cycles", t_late);
+        results.record("rop.saved_frac", (t_late - t_early) / t_late);
         std::printf("ROP placement (W6): early-Z %.0f cy, late-Z "
                     "%.0f cy -> %.1f%% saved by early-Z\n",
                     t_early, t_late,

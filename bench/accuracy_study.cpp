@@ -38,6 +38,7 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
+    BenchResults results(cfg, "accuracy_study");
     unsigned fbw = 256, fbh = 192;
 
     // 14 microbenchmarks spanning geometry load, screen coverage and
@@ -111,6 +112,11 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
+    results.record("drawtime_correlation",
+                   correlation(sim_time, ref_time));
+    results.record("drawtime_mean_abs_rel_err", abs_err_sum / 14.0);
+    results.record("fillrate_correlation",
+                   correlation(sim_fill, ref_fill));
     std::printf("\ndraw time:  correlation %.1f%%, mean abs rel err "
                 "%.1f%%\n",
                 correlation(sim_time, ref_time) * 100.0,

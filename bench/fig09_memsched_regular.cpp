@@ -18,6 +18,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig09_memsched_regular");
 
     std::printf("=== Fig. 9: GPU frame time under regular load "
                 "(normalized to BAS; lower is better) ===\n");
@@ -49,6 +50,10 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < configs.size(); ++i) {
             double norm = gpu_ms[i] / gpu_ms[0];
             averages[i] += norm;
+            results.record(std::string(scenes::workloadName(model)) +
+                               "." + soc::memConfigName(configs[i]) +
+                               ".gpu_ms_norm",
+                           norm);
             std::printf(" %8.3f", norm);
         }
         std::printf("\n");

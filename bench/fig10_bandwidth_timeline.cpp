@@ -17,12 +17,14 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
+    BenchResults results(cfg, "fig10_bandwidth_timeline");
 
     std::printf("=== Fig. 10: M3-HMC DRAM bandwidth over time ===\n");
     soc::SocParams p = caseStudy1Params(
         scenes::WorkloadId::M3_Mask, soc::MemConfig::HMC, false);
     p.frames = static_cast<unsigned>(cfg.getInt("frames", 4));
     soc::SocTop soc(p);
+    soc.sim().configureObservability(cfg);
     soc.run();
 
     Tick bucket = p.statsBucket;
@@ -60,6 +62,13 @@ main(int argc, char **argv)
                     msFromTicks(Tick(i) * bucket), cpu / scale,
                     gpu / scale, disp / scale);
     }
+    results.record("buckets", static_cast<double>(buckets));
+    results.record("bucket_us", static_cast<double>(bucket) / 1e6);
+    results.record("total_bytes",
+                   static_cast<double>(soc.memory().totalBytes()));
+    results.record("mean_gpu_frame_ms", soc.meanGpuFrameMs());
+    results.addSimStats(soc.sim());
+
     std::printf("\npaper shape: CPU bursts between GPU frames; GPU "
                 "dominates during rendering\n");
     return 0;

@@ -18,6 +18,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig11_rowbuffer");
 
     std::printf("=== Fig. 11: HMC row-buffer behaviour normalized to "
                 "BAS ===\n");
@@ -51,6 +52,12 @@ main(int argc, char **argv)
         double nb = base_bpa > 0 ? hmc_bpa / base_bpa : 0;
         sum_hits += nh;
         sum_bytes += nb;
+        results.record(std::string(scenes::workloadName(model)) +
+                           ".rowhit_norm",
+                       nh);
+        results.record(std::string(scenes::workloadName(model)) +
+                           ".bytes_per_act_norm",
+                       nb);
         std::printf("%-14s %16.3f %16.3f\n",
                     scenes::workloadName(model), nh, nb);
         std::fflush(stdout);

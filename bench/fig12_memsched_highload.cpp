@@ -18,6 +18,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig12_memsched_highload");
 
     std::printf("=== Fig. 12: high-load scenario, normalized to BAS "
                 "===\n");
@@ -46,12 +47,20 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < 4; ++i) {
             double n = total_ms[i] / total_ms[0];
             avg_total[i] += n;
+            results.record(std::string(scenes::workloadName(model)) +
+                               "." + soc::memConfigName(configs[i]) +
+                               ".total_ms_norm",
+                           n);
             std::printf(" %8.3f", n);
         }
         std::printf(" |");
         for (std::size_t i = 0; i < 4; ++i) {
             double n = gpu_ms[i] / gpu_ms[0];
             avg_gpu[i] += n;
+            results.record(std::string(scenes::workloadName(model)) +
+                               "." + soc::memConfigName(configs[i]) +
+                               ".gpu_ms_norm",
+                           n);
             std::printf(" %8.3f", n);
         }
         std::printf("\n");

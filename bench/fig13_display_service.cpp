@@ -19,6 +19,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseArgs(argc, argv);
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig13_display_service");
 
     std::printf("=== Fig. 13: display requests serviced relative to "
                 "BAS (high load) ===\n");
@@ -41,6 +42,12 @@ main(int argc, char **argv)
                 soc.display().statFramesAborted.value());
         }
         std::printf("%-14s", scenes::workloadName(model));
+        for (std::size_t i = 0; i < serviced.size(); ++i)
+            results.record(std::string(scenes::workloadName(model)) +
+                               "." + soc::memConfigName(configs[i]) +
+                               ".display_serviced_norm",
+                           serviced[0] > 0 ? serviced[i] / serviced[0]
+                                           : 0.0);
         for (double s : serviced)
             std::printf(" %8.3f", serviced[0] > 0 ? s / serviced[0]
                                                   : 0.0);

@@ -16,12 +16,19 @@ namespace
 {
 
 void
-runAndPrint(soc::MemConfig config)
+runAndPrint(soc::MemConfig config, BenchResults &results)
 {
     soc::SocParams p = caseStudy1Params(scenes::WorkloadId::M1_Chair,
                                         config, true);
     soc::SocTop soc(p);
     soc.run();
+
+    std::string prefix = soc::memConfigName(config);
+    results.record(prefix + ".display_serviced",
+                   soc.display().statRequests.value());
+    results.record(prefix + ".display_aborted",
+                   soc.display().statFramesAborted.value());
+    results.addSimStats(soc.sim(), prefix);
 
     std::printf("--- %s ---\n", soc::memConfigName(config));
     std::printf("GPU mean read latency: %.0f ns; display serviced "
@@ -67,10 +74,11 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
+    BenchResults results(cfg, "fig14_m1_timeline");
     std::printf("=== Fig. 14: M1 bandwidth timeline, BAS vs DTB "
                 "(high load, GB/s) ===\n");
-    runAndPrint(soc::MemConfig::BAS);
-    runAndPrint(soc::MemConfig::DTB);
+    runAndPrint(soc::MemConfig::BAS, results);
+    runAndPrint(soc::MemConfig::DTB, results);
     std::printf("\npaper shape: DTB boosts CPU share and squeezes "
                 "GPU bandwidth during frames; display starved\n");
     return 0;

@@ -21,6 +21,7 @@ main(int argc, char **argv)
     unsigned fbw = static_cast<unsigned>(cfg.getInt("width", 256));
     unsigned fbh = static_cast<unsigned>(cfg.getInt("height", 192));
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig17_wt_sweep");
 
     auto workloads = caseStudy2Workloads();
     if (quick)
@@ -40,10 +41,17 @@ main(int argc, char **argv)
         std::printf("%-18s", scenes::workloadName(id));
         unsigned best = 1;
         for (unsigned wt = 1; wt <= 10; ++wt) {
+            results.record(std::string(scenes::workloadName(id)) +
+                               ".wt" + std::to_string(wt) +
+                               ".cycles_norm",
+                           cycles[wt - 1] / cycles[0]);
             std::printf(" %7.3f", cycles[wt - 1] / cycles[0]);
             if (cycles[wt - 1] < cycles[best - 1])
                 best = wt;
         }
+        results.record(std::string(scenes::workloadName(id)) +
+                           ".best_wt",
+                       best);
         std::printf("  WT%u\n", best);
         std::fflush(stdout);
     }

@@ -21,6 +21,7 @@ main(int argc, char **argv)
     unsigned fbw = static_cast<unsigned>(cfg.getInt("width", 256));
     unsigned fbh = static_cast<unsigned>(cfg.getInt("height", 192));
     unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 3));
+    BenchResults results(cfg, "fig18_wt_locality");
 
     std::printf("=== Fig. 18: W1 execution time and L1 misses vs WT "
                 "(normalized to WT=1) ===\n");
@@ -70,6 +71,13 @@ main(int argc, char **argv)
                     depth.back() / depth[0]);
         std::fflush(stdout);
     }
+
+    results.record("corr_time_color", correlation(time, color));
+    results.record("corr_time_texture", correlation(time, texture));
+    results.record("corr_time_depth", correlation(time, depth));
+    for (std::size_t i = 0; i < time.size(); ++i)
+        results.record("wt" + std::to_string(i + 1) + ".time_norm",
+                       time[i] / time[0]);
 
     std::printf("\ncorrelation(time, color misses)   = %.2f\n",
                 correlation(time, color));

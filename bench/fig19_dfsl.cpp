@@ -90,6 +90,7 @@ main(int argc, char **argv)
     unsigned max_wt =
         static_cast<unsigned>(cfg.getInt("maxwt", 6));
     bool quick = cfg.getBool("quick", false);
+    BenchResults results(cfg, "fig19_dfsl");
 
     auto workloads = caseStudy2Workloads();
     if (quick)
@@ -134,12 +135,22 @@ main(int argc, char **argv)
         g_sopt += s_sopt;
         g_dfsl += s_dfsl;
         g_dfslr += s_dfslr;
+        std::string wl = scenes::workloadName(id);
+        results.record(wl + ".speedup_mlc", s_mlc);
+        results.record(wl + ".speedup_sopt", s_sopt);
+        results.record(wl + ".speedup_dfsl", s_dfsl);
+        results.record(wl + ".speedup_dfsl_run", s_dfslr);
         std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %9.3f\n",
                     scenes::workloadName(id), 1.0, s_mlc, s_sopt,
                     s_dfsl, s_dfslr);
         std::fflush(stdout);
     }
     double n = static_cast<double>(workloads.size());
+    results.record("sopt_wt", sopt);
+    results.record("mean.speedup_mlc", g_mlc / n);
+    results.record("mean.speedup_sopt", g_sopt / n);
+    results.record("mean.speedup_dfsl", g_dfsl / n);
+    results.record("mean.speedup_dfsl_run", g_dfslr / n);
     std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %9.3f\n", "MEAN",
                 1.0, g_mlc / n, g_sopt / n, g_dfsl / n, g_dfslr / n);
     std::printf("\npaper shape: DFSL ~1.19x over MLB, ~1.073x over "

@@ -11,9 +11,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <numeric>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "scenes/workloads.hh"
@@ -24,6 +27,92 @@
 
 namespace emerald::bench
 {
+
+/**
+ * Machine-readable bench output: when the bench was invoked with
+ * --stats-json <path>, collects named scalar results (the numbers the
+ * bench prints) plus optional full simulation stat trees, and writes
+ * one JSON document at destruction. The bench suite diffs these files
+ * across runs and populates BENCH_*.json from them.
+ */
+class BenchResults
+{
+  public:
+    BenchResults(const Config &cfg, std::string bench)
+        : _path(cfg.getString("stats-json", "")), _bench(std::move(bench))
+    {}
+
+    BenchResults(const BenchResults &) = delete;
+    BenchResults &operator=(const BenchResults &) = delete;
+
+    /** True when --stats-json was given. */
+    bool enabled() const { return !_path.empty(); }
+
+    /** Record one named scalar result. */
+    void
+    record(const std::string &key, double value)
+    {
+        _results.emplace_back(key, value);
+    }
+
+    /** Embed @p sim's full stats tree (captured now) under @p label. */
+    void
+    addSimStats(Simulation &sim, const std::string &label = "sim")
+    {
+        if (!enabled())
+            return;
+        std::ostringstream os;
+        sim.dumpStatsJson(os);
+        std::string text = os.str();
+        while (!text.empty() && text.back() == '\n')
+            text.pop_back();
+        _simDumps.emplace_back(label, std::move(text));
+    }
+
+    ~BenchResults()
+    {
+        if (!enabled())
+            return;
+        std::ofstream os(_path);
+        if (!os.is_open()) {
+            warn("cannot open stats-json file '%s'", _path.c_str());
+            return;
+        }
+        os << "{\n  \"bench\": \"" << jsonEscape(_bench) << "\",\n";
+        os << "  \"results\": {";
+        for (std::size_t i = 0; i < _results.size(); ++i) {
+            os << (i ? ",\n" : "\n") << "    \""
+               << jsonEscape(_results[i].first)
+               << "\": " << number(_results[i].second);
+        }
+        os << (_results.empty() ? "" : "\n  ") << "},\n";
+        os << "  \"sim\": {";
+        for (std::size_t i = 0; i < _simDumps.size(); ++i) {
+            os << (i ? ",\n" : "\n") << "    \""
+               << jsonEscape(_simDumps[i].first)
+               << "\": " << _simDumps[i].second;
+        }
+        os << (_simDumps.empty() ? "" : "\n  ") << "}\n}\n";
+        std::printf("stats-json: wrote %s\n", _path.c_str());
+    }
+
+  private:
+    static std::string
+    number(double v)
+    {
+        if (!std::isfinite(v))
+            return "null";
+        std::ostringstream os;
+        os.precision(17);
+        os << v;
+        return os.str();
+    }
+
+    std::string _path;
+    std::string _bench;
+    std::vector<std::pair<std::string, double>> _results;
+    std::vector<std::pair<std::string, std::string>> _simDumps;
+};
 
 /** Render one frame on a standalone rig; returns its cycle count. */
 inline core::FrameStats

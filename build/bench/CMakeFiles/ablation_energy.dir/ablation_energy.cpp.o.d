@@ -247,24 +247,30 @@ bench/CMakeFiles/ablation_energy.dir/ablation_energy.cpp.o: \
  /root/repo/src/core/wt_mapping.hh /root/repo/src/core/vpo_unit.hh \
  /root/repo/src/gpu/gpu_top.hh /root/repo/src/cache/cache.hh \
  /root/repo/src/cache/mshr.hh /root/repo/src/sim/clocked.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/gpu/simt_core.hh \
  /root/repo/src/gpu/coalescer.hh /root/repo/src/gpu/scoreboard.hh \
  /root/repo/src/gpu/warp.hh /root/repo/src/gpu/simt_stack.hh \
  /root/repo/src/noc/link.hh /root/repo/src/mem/memory_system.hh \
  /root/repo/src/mem/address_map.hh /root/repo/src/mem/dram_channel.hh \
  /usr/include/c++/12/cstddef /root/repo/src/mem/dram.hh \
- /root/repo/bench/harness.hh /usr/include/c++/12/numeric \
+ /root/repo/bench/harness.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/scenes/workloads.hh /root/repo/src/core/shader_builder.hh \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/scenes/workloads.hh \
+ /root/repo/src/core/shader_builder.hh \
  /root/repo/src/gpu/isa/assembler.hh /root/repo/src/scenes/camera.hh \
  /root/repo/src/scenes/mesh.hh /root/repo/src/sim/config.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/soc/configs.hh /root/repo/src/gpu/kernel.hh \
  /root/repo/src/mem/frfcfs_scheduler.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/soc/soc_top.hh /root/repo/src/mem/dash_scheduler.hh \
- /root/repo/src/sim/random.hh /root/repo/src/soc/app_model.hh \
- /root/repo/src/soc/cpu_traffic.hh \
+ /root/repo/src/sim/event_tracer.hh /root/repo/src/soc/soc_top.hh \
+ /root/repo/src/mem/dash_scheduler.hh /root/repo/src/sim/random.hh \
+ /root/repo/src/soc/app_model.hh /root/repo/src/soc/cpu_traffic.hh \
  /root/repo/src/soc/display_controller.hh

@@ -193,7 +193,6 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /root/repo/src/sim/types.hh /root/repo/src/sim/clocked.hh \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -255,4 +254,10 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /root/repo/src/mem/dram_channel.hh /root/repo/src/mem/dram.hh \
  /root/repo/src/mem/address_map.hh /root/repo/src/mem/memory_system.hh \
  /usr/include/c++/12/optional /root/repo/src/scenes/shaders.hh \
- /root/repo/src/sim/random.hh /root/repo/src/sim/simulation.hh
+ /root/repo/src/sim/random.hh /root/repo/src/sim/simulation.hh \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

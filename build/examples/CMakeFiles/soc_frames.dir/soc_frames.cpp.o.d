@@ -245,8 +245,7 @@ examples/CMakeFiles/soc_frames.dir/soc_frames.cpp.o: \
  /root/repo/src/core/wt_mapping.hh /root/repo/src/core/vpo_unit.hh \
  /root/repo/src/gpu/gpu_top.hh /root/repo/src/cache/cache.hh \
  /root/repo/src/cache/mshr.hh /root/repo/src/sim/clocked.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/gpu/simt_core.hh \
  /root/repo/src/gpu/coalescer.hh /root/repo/src/gpu/scoreboard.hh \
  /root/repo/src/gpu/warp.hh /root/repo/src/gpu/simt_stack.hh \
@@ -258,5 +257,11 @@ examples/CMakeFiles/soc_frames.dir/soc_frames.cpp.o: \
  /root/repo/src/core/shader_builder.hh \
  /root/repo/src/gpu/isa/assembler.hh /root/repo/src/scenes/camera.hh \
  /root/repo/src/scenes/mesh.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/soc/app_model.hh /root/repo/src/soc/cpu_traffic.hh \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/soc/app_model.hh \
+ /root/repo/src/soc/cpu_traffic.hh \
  /root/repo/src/soc/display_controller.hh

@@ -246,8 +246,7 @@ src/CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o: \
  /root/repo/src/core/wt_mapping.hh /root/repo/src/core/vpo_unit.hh \
  /root/repo/src/gpu/gpu_top.hh /root/repo/src/cache/cache.hh \
  /root/repo/src/cache/mshr.hh /root/repo/src/sim/clocked.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/gpu/simt_core.hh \
  /root/repo/src/gpu/coalescer.hh /root/repo/src/gpu/scoreboard.hh \
  /root/repo/src/gpu/warp.hh /root/repo/src/gpu/simt_stack.hh \
@@ -256,4 +255,10 @@ src/CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/clipper.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -245,8 +245,7 @@ src/CMakeFiles/emerald_core.dir/core/trace.cc.o: \
  /root/repo/src/core/wt_mapping.hh /root/repo/src/core/vpo_unit.hh \
  /root/repo/src/gpu/gpu_top.hh /root/repo/src/cache/cache.hh \
  /root/repo/src/cache/mshr.hh /root/repo/src/sim/clocked.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/gpu/simt_core.hh \
  /root/repo/src/gpu/coalescer.hh /root/repo/src/gpu/scoreboard.hh \
  /root/repo/src/gpu/warp.hh /root/repo/src/gpu/simt_stack.hh \

@@ -217,7 +217,6 @@ src/CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/cache/mshr.hh \
  /root/repo/src/sim/packet.hh /root/repo/src/sim/types.hh \
  /root/repo/src/sim/clocked.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/gpu/simt_core.hh /root/repo/src/gpu/coalescer.hh \
  /root/repo/src/gpu/isa/executor.hh /root/repo/src/gpu/isa/instruction.hh \
@@ -226,4 +225,9 @@ src/CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o: \
  /root/repo/src/gpu/scoreboard.hh /root/repo/src/gpu/warp.hh \
  /root/repo/src/gpu/simt_stack.hh /root/repo/src/noc/link.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/sim/simulation.hh
+ /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_tracer.hh \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

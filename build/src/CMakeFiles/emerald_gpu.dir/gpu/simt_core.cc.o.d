@@ -215,12 +215,18 @@ src/CMakeFiles/emerald_gpu.dir/gpu/simt_core.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
- /root/repo/src/sim/stats.hh /root/repo/src/gpu/coalescer.hh \
- /root/repo/src/gpu/isa/executor.hh /root/repo/src/gpu/isa/instruction.hh \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/sim/sim_object.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/gpu/coalescer.hh /root/repo/src/gpu/isa/executor.hh \
+ /root/repo/src/gpu/isa/instruction.hh \
  /root/repo/src/mem/functional_memory.hh /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/gpu/scoreboard.hh /root/repo/src/gpu/warp.hh \
  /root/repo/src/gpu/simt_stack.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -215,9 +215,12 @@ src/CMakeFiles/emerald_mem.dir/mem/memory_system.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/stats.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/clocked.hh
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/sim/simulation.hh /root/repo/src/sim/clocked.hh \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -140,8 +140,7 @@ src/CMakeFiles/emerald_noc.dir/noc/link.cc.o: /root/repo/src/noc/link.cc \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/ostream \
@@ -222,4 +221,9 @@ src/CMakeFiles/emerald_noc.dir/noc/link.cc.o: /root/repo/src/noc/link.cc \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/sim/clocked.hh
+ /root/repo/src/sim/clocked.hh /root/repo/src/sim/event_tracer.hh \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/clocked.cc" "src/CMakeFiles/emerald_sim.dir/sim/clocked.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/clocked.cc.o.d"
   "/root/repo/src/sim/config.cc" "src/CMakeFiles/emerald_sim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/config.cc.o.d"
   "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/event_tracer.cc" "src/CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o.d"
   "/root/repo/src/sim/logging.cc" "src/CMakeFiles/emerald_sim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/logging.cc.o.d"
   "/root/repo/src/sim/packet.cc" "src/CMakeFiles/emerald_sim.dir/sim/packet.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/packet.cc.o.d"
   "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/emerald_sim.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/emerald_sim.dir/sim/sim_object.cc.o.d"

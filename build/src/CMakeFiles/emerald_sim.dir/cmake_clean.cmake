@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/emerald_sim.dir/sim/config.cc.o.d"
   "CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o"
   "CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o.d"
   "CMakeFiles/emerald_sim.dir/sim/logging.cc.o"
   "CMakeFiles/emerald_sim.dir/sim/logging.cc.o.d"
   "CMakeFiles/emerald_sim.dir/sim/packet.cc.o"

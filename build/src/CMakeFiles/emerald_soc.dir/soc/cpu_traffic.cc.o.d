@@ -137,13 +137,11 @@ src/CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/types.hh /root/repo/src/sim/packet.hh \
- /root/repo/src/sim/random.hh /root/repo/src/sim/sim_object.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/types.hh \
+ /root/repo/src/sim/packet.hh /root/repo/src/sim/random.hh \
+ /root/repo/src/sim/sim_object.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
@@ -221,4 +219,10 @@ src/CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/sim/event_tracer.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_gfx_units.cc" "tests/CMakeFiles/emerald_tests.dir/test_gfx_units.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_gfx_units.cc.o.d"
   "/root/repo/tests/test_gpgpu.cc" "tests/CMakeFiles/emerald_tests.dir/test_gpgpu.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_gpgpu.cc.o.d"
   "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/emerald_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_observability.cc" "tests/CMakeFiles/emerald_tests.dir/test_observability.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_observability.cc.o.d"
   "/root/repo/tests/test_pipeline_correctness.cc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_correctness.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_correctness.cc.o.d"
   "/root/repo/tests/test_pipeline_smoke.cc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_smoke.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_smoke.cc.o.d"
   "/root/repo/tests/test_raster.cc" "tests/CMakeFiles/emerald_tests.dir/test_raster.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_raster.cc.o.d"

@@ -297,7 +297,10 @@ tests/CMakeFiles/emerald_tests.dir/test_cache.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/cache/mshr.hh /root/repo/src/sim/packet.hh \
  /root/repo/src/sim/types.hh /root/repo/src/sim/clocked.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/sim/random.hh \
- /root/repo/src/sim/simulation.hh
+ /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_tracer.hh \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

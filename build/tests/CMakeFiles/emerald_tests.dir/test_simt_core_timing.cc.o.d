@@ -302,7 +302,6 @@ tests/CMakeFiles/emerald_tests.dir/test_simt_core_timing.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/cache/mshr.hh \
  /root/repo/src/sim/clocked.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/gpu/simt_core.hh /root/repo/src/gpu/coalescer.hh \
  /root/repo/src/gpu/scoreboard.hh /root/repo/src/gpu/warp.hh \
@@ -310,4 +309,8 @@ tests/CMakeFiles/emerald_tests.dir/test_simt_core_timing.cc.o: \
  /root/repo/src/mem/frfcfs_scheduler.hh \
  /root/repo/src/mem/dram_channel.hh /root/repo/src/mem/dram.hh \
  /root/repo/src/mem/address_map.hh /root/repo/src/mem/memory_system.hh \
- /root/repo/src/sim/simulation.hh
+ /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_tracer.hh \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -6,6 +6,7 @@
  *
  * Usage: quickstart [--width=256] [--height=192] [--wt=1]
  *                   [--frames=1] [--out=teapot.ppm]
+ *                   [--trace-file=trace.json] [--profile]
  */
 
 #include <cstdio>
@@ -30,6 +31,7 @@ main(int argc, char **argv)
 
     // Standalone GPU: 6 SIMT clusters + 2 MB L2 + 4-channel LPDDR3.
     soc::StandaloneGpu rig(width, height);
+    rig.sim().configureObservability(cfg);
     rig.pipeline().setWtSize(wt);
 
     mem::FunctionalMemory &fmem = rig.functionalMemory();
@@ -73,6 +75,13 @@ main(int argc, char **argv)
         std::ostringstream os;
         rig.sim().dumpStats(os);
         std::fputs(os.str().c_str(), stdout);
+    }
+
+    if (EventTracer *tracer = rig.sim().tracer()) {
+        tracer->close();
+        std::printf("wrote %s (%llu trace records)\n",
+                    tracer->path().c_str(),
+                    (unsigned long long)tracer->numRecords());
     }
 
     if (scene.framebuffer().writePpm(out))

@@ -1,4 +1,30 @@
 #!/bin/sh
 # Regenerates every paper table/figure (see EXPERIMENTS.md).
-for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+#
+# Usage: run_benches.sh [--stats-json <dir>]
+#   --stats-json <dir>  also write one machine-readable JSON results
+#                       file per bench into <dir> (see
+#                       docs/observability.md for the schema).
+STATS_DIR=""
+case "$1" in
+--stats-json=*) STATS_DIR="${1#--stats-json=}" ;;
+--stats-json) STATS_DIR="$2" ;;
+esac
+
+if [ -n "$STATS_DIR" ]; then
+    mkdir -p "$STATS_DIR"
+fi
+
+: > /root/repo/bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    # micro_kernels is a google-benchmark binary; it does not take
+    # the emerald Config flags.
+    if [ -n "$STATS_DIR" ] && [ "$name" != "micro_kernels" ]; then
+        "$b" "--stats-json=$STATS_DIR/$name.json"
+    else
+        "$b"
+    fi
+done 2>&1 | tee -a /root/repo/bench_output.txt
 echo "ALL_BENCHES_DONE" >> /root/repo/bench_output.txt

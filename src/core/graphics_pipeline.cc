@@ -34,6 +34,7 @@ GraphicsPipeline::GraphicsPipeline(Simulation &sim,
       _gpu(gpu), _params(params), _fbWidth(fb_width),
       _fbHeight(fb_height)
 {
+    registerProfileCounters();
     _mapping = std::make_unique<WtMapping>(fb_width, fb_height,
                                            gpu.numCores(), 1);
     _hiz = std::make_unique<HiZBuffer>(fb_width, fb_height);

@@ -37,6 +37,7 @@ GpuTop::GpuTop(Simulation &sim, const std::string &name,
                MemSink &memory_below)
     : SimObject(sim, name), _params(params), _coreClock(core_clock)
 {
+    registerProfileCounters();
     cache::CacheParams l2p = params.l2;
     l2p.trafficClass = TrafficClass::Gpu;
     l2p.requestorId = gpuRequestorId;

@@ -15,9 +15,15 @@ Config::parseArgs(int argc, char **argv)
         if (arg.rfind("--", 0) != 0)
             fatal("bad argument '%s': expected --key=value", arg.c_str());
         auto eq = arg.find('=');
-        fatal_if(eq == std::string::npos,
-                 "bad argument '%s': expected --key=value", arg.c_str());
-        set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        if (eq != std::string::npos) {
+            set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            // "--key value" form, e.g. "--stats-json out.json".
+            set(arg.substr(2), argv[++i]);
+        } else {
+            // Bare "--flag" is a boolean switch.
+            set(arg.substr(2), "1");
+        }
     }
 }
 

@@ -21,7 +21,10 @@ class Config
   public:
     Config() = default;
 
-    /** Parse "--key=value" arguments; unknown forms are fatal. */
+    /**
+     * Parse "--key=value", "--key value" and bare boolean "--flag"
+     * arguments; anything not starting with "--" is fatal.
+     */
     void parseArgs(int argc, char **argv);
 
     void set(const std::string &key, const std::string &value);

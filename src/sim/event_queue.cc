@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "sim/logging.hh"
 
 namespace emerald
@@ -16,7 +19,9 @@ EventQueue::schedule(Event &ev, Tick when)
     ev._scheduled = true;
     ev._when = when;
     ++ev._generation;
-    _heap.push(Entry{when, ev.priority(), _nextSeq++, ev._generation, &ev});
+    _heap.push_back(
+        Entry{when, ev.priority(), _nextSeq++, ev._generation, &ev});
+    std::push_heap(_heap.begin(), _heap.end(), std::greater<Entry>());
     ++_liveEvents;
 }
 
@@ -37,19 +42,35 @@ EventQueue::deschedule(Event &ev)
     ev._scheduled = false;
     ++ev._generation;
     --_liveEvents;
+    maybeCompact();
 }
 
 void
 EventQueue::skim()
 {
-    while (!_heap.empty()) {
-        const Entry &top = _heap.top();
-        if (top.event->_scheduled &&
-            top.event->_generation == top.generation) {
-            return;
-        }
-        _heap.pop();
+    while (!_heap.empty() && !live(_heap.front())) {
+        std::pop_heap(_heap.begin(), _heap.end(), std::greater<Entry>());
+        _heap.pop_back();
     }
+}
+
+void
+EventQueue::compact()
+{
+    std::erase_if(_heap, [](const Entry &e) { return !live(e); });
+    std::make_heap(_heap.begin(), _heap.end(), std::greater<Entry>());
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Reschedule-heavy components create stale entries faster than
+    // skim() retires them at the top; rebuild once they dominate so
+    // heap memory stays O(liveEvents). The floor keeps small queues
+    // from compacting on every deschedule.
+    const std::size_t stale = _heap.size() - _liveEvents;
+    if (stale >= 64 && stale > 2 * _liveEvents)
+        compact();
 }
 
 Tick
@@ -57,7 +78,36 @@ EventQueue::nextTick()
 {
     skim();
     panic_if(_heap.empty(), "nextTick on empty event queue");
-    return _heap.top().when;
+    return _heap.front().when;
+}
+
+void
+EventQueue::serviceTop()
+{
+    Entry top = _heap.front();
+    std::pop_heap(_heap.begin(), _heap.end(), std::greater<Entry>());
+    _heap.pop_back();
+    panic_if(top.when < _curTick, "event queue went backwards");
+    _curTick = top.when;
+    Event *ev = top.event;
+    ev->_scheduled = false;
+    ++ev->_generation;
+    --_liveEvents;
+    ++_numProcessed;
+    if (_instrument) {
+        // Capture the name first: process() may reschedule or even
+        // destroy state the name is derived from.
+        std::string name = ev->name();
+        auto start = std::chrono::steady_clock::now();
+        ev->process();
+        auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        _instrument->onEvent(name, top.when, top.priority,
+                             static_cast<std::uint64_t>(wall));
+    } else {
+        ev->process();
+    }
 }
 
 bool
@@ -66,16 +116,7 @@ EventQueue::runOne()
     skim();
     if (_heap.empty())
         return false;
-    Entry top = _heap.top();
-    _heap.pop();
-    panic_if(top.when < _curTick, "event queue went backwards");
-    _curTick = top.when;
-    Event *ev = top.event;
-    ev->_scheduled = false;
-    ++ev->_generation;
-    --_liveEvents;
-    ++_numProcessed;
-    ev->process();
+    serviceTop();
     return true;
 }
 
@@ -85,9 +126,9 @@ EventQueue::runUntil(Tick limit)
     std::uint64_t processed = 0;
     while (true) {
         skim();
-        if (_heap.empty() || _heap.top().when > limit)
+        if (_heap.empty() || _heap.front().when > limit)
             break;
-        runOne();
+        serviceTop();
         ++processed;
     }
     return processed;

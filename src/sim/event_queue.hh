@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -23,6 +22,28 @@ namespace emerald
 {
 
 class EventQueue;
+
+/**
+ * Observer hooked into EventQueue::runOne(). When installed, the queue
+ * times each Event::process() call and reports it here — the basis of
+ * the Chrome-trace EventTracer and the sim.profile.* counters. When no
+ * instrument is installed the cost is a single branch per event.
+ */
+class EventInstrument
+{
+  public:
+    virtual ~EventInstrument() = default;
+
+    /**
+     * One event was processed.
+     * @param name the event's name (captured before process()).
+     * @param when the simulated tick the event fired at.
+     * @param priority the event's tie-break priority.
+     * @param wall_ns wall-clock nanoseconds spent inside process().
+     */
+    virtual void onEvent(const std::string &name, Tick when,
+                         int priority, std::uint64_t wall_ns) = 0;
+};
 
 /**
  * An abstract schedulable event. Events are owned by their component;
@@ -137,6 +158,23 @@ class EventQueue
     /** Total events processed over the queue's lifetime. */
     std::uint64_t numProcessed() const { return _numProcessed; }
 
+    /**
+     * Heap entries including stale (lazily descheduled) ones. Bounded
+     * at O(liveEvents) by compaction; exposed for tests.
+     */
+    std::size_t heapSize() const { return _heap.size(); }
+
+    /**
+     * Install (or with nullptr remove) the observer notified after
+     * every processed event. The queue does not own it.
+     */
+    void setInstrument(EventInstrument *instrument)
+    {
+        _instrument = instrument;
+    }
+
+    EventInstrument *instrument() const { return _instrument; }
+
   private:
     struct Entry
     {
@@ -157,15 +195,32 @@ class EventQueue
         }
     };
 
+    /** True when the entry still refers to a live scheduling. */
+    static bool
+    live(const Entry &e)
+    {
+        return e.event->_scheduled && e.event->_generation == e.generation;
+    }
+
     /** Drop stale heap entries from the top of the heap. */
     void skim();
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        _heap;
+    /** Rebuild the heap without its stale entries. */
+    void compact();
+
+    /** Compact when stale entries dominate the heap. */
+    void maybeCompact();
+
+    /** Pop and process the top entry. @pre skimmed and non-empty. */
+    void serviceTop();
+
+    /** Min-heap (std::push_heap/pop_heap with std::greater). */
+    std::vector<Entry> _heap;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _numProcessed = 0;
     std::size_t _liveEvents = 0;
+    EventInstrument *_instrument = nullptr;
 };
 
 } // namespace emerald

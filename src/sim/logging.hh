@@ -27,6 +27,13 @@ std::string strprintf(const char *fmt, ...)
 /** printf-style formatting from a va_list. */
 std::string vstrprintf(const char *fmt, va_list args);
 
+/**
+ * Escape @p s for embedding inside a JSON string literal (quotes,
+ * backslashes and control characters). Used by the stats JSON dumper
+ * and the Chrome-trace event tracer.
+ */
+std::string jsonEscape(const std::string &s);
+
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
 

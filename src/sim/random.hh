@@ -45,11 +45,29 @@ class Random
         return result;
     }
 
-    /** Uniform integer in [0, bound). @pre bound > 0. */
+    /**
+     * Uniform integer in [0, bound). @pre bound > 0.
+     *
+     * Uses Lemire's multiply-shift method with rejection so every
+     * value is exactly equally likely (a plain next() % bound is
+     * biased toward small values when bound does not divide 2^64).
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            // threshold = 2^64 mod bound; draws below it are the
+            // over-represented remainders and must be rejected.
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Uniform integer in [lo, hi]. */

@@ -47,4 +47,10 @@ SimObject::descheduleIfPending(Event &ev)
         _sim.eventQueue().deschedule(ev);
 }
 
+void
+SimObject::registerProfileCounters()
+{
+    _sim.profiler().registerComponent(_name);
+}
+
 } // namespace emerald

@@ -49,6 +49,14 @@ class SimObject : public StatGroup
     /** Deschedule @p ev if it is pending. */
     void descheduleIfPending(Event &ev);
 
+    /**
+     * Create sim.profile.<name()>.* counters that accumulate the
+     * event count and process() wall time of every event named under
+     * this object. Top-level components call this from their
+     * constructor; the counters stay zero until profiling is enabled.
+     */
+    void registerProfileCounters();
+
   private:
     Simulation &_sim;
     std::string _name;

@@ -1,10 +1,13 @@
 #include "sim/simulation.hh"
 
+#include "sim/config.hh"
+
 namespace emerald
 {
 
 Simulation::Simulation()
-    : _statsRoot("")
+    : _statsRoot(""), _simGroup(_statsRoot, "sim"),
+      _profiler(std::make_unique<EventProfiler>(_simGroup))
 {
 }
 
@@ -14,6 +17,42 @@ Simulation::createClockDomain(double mhz, const std::string &name)
     _domains.push_back(
         std::make_unique<ClockDomain>(_eq, periodFromMHz(mhz), name));
     return *_domains.back();
+}
+
+void
+Simulation::attachInstrument(EventInstrument *instrument)
+{
+    _instruments.add(instrument);
+    _eq.setInstrument(&_instruments);
+}
+
+void
+Simulation::enableProfiling()
+{
+    if (_profiling)
+        return;
+    _profiling = true;
+    attachInstrument(_profiler.get());
+}
+
+EventTracer &
+Simulation::enableTracing(const std::string &path)
+{
+    if (!_tracer) {
+        _tracer = std::make_unique<EventTracer>(path);
+        attachInstrument(_tracer.get());
+    }
+    return *_tracer;
+}
+
+void
+Simulation::configureObservability(const Config &cfg)
+{
+    std::string trace = cfg.getString("trace-file", "");
+    if (!trace.empty())
+        enableTracing(trace);
+    if (cfg.getBool("profile", false))
+        enableProfiling();
 }
 
 } // namespace emerald

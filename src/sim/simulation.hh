@@ -14,11 +14,14 @@
 
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
+#include "sim/event_tracer.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace emerald
 {
+
+class Config;
 
 /**
  * Owns the event queue and the root of the stats tree. Every
@@ -48,12 +51,52 @@ class Simulation
     /** Dump all stats as "name value # desc" lines. */
     void dumpStats(std::ostream &os) { _statsRoot.dumpStats(os); }
 
+    /** Dump all stats as one machine-readable JSON tree. */
+    void dumpStatsJson(std::ostream &os)
+    {
+        _statsRoot.dumpJson(os);
+        os << "\n";
+    }
+
     /** Reset all stats without disturbing component state. */
     void resetStats() { _statsRoot.resetStats(); }
 
+    /**
+     * The sim.profile.* counters. Always present so components can
+     * register at construction; counters only advance after
+     * enableProfiling().
+     */
+    EventProfiler &profiler() { return *_profiler; }
+
+    /** Start attributing event counts/wall time to sim.profile.*. */
+    void enableProfiling();
+
+    /**
+     * Start streaming a Chrome-trace (Perfetto-loadable) event log to
+     * @p path. Returns the tracer so callers can close() it early.
+     */
+    EventTracer &enableTracing(const std::string &path);
+
+    /** The active tracer, or nullptr when tracing is off. */
+    EventTracer *tracer() { return _tracer.get(); }
+
+    /**
+     * Apply the observability Config keys: "trace-file" (path,
+     * enables the tracer) and "profile" (bool, enables sim.profile.*).
+     */
+    void configureObservability(const Config &cfg);
+
   private:
+    void attachInstrument(EventInstrument *instrument);
+
     EventQueue _eq;
     StatGroup _statsRoot;
+    /** Parent of kernel-owned stats: sim.profile.*. */
+    StatGroup _simGroup;
+    std::unique_ptr<EventProfiler> _profiler;
+    std::unique_ptr<EventTracer> _tracer;
+    InstrumentChain _instruments;
+    bool _profiling = false;
     std::vector<std::unique_ptr<ClockDomain>> _domains;
 };
 

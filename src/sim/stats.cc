@@ -1,12 +1,37 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <sstream>
 
 #include "sim/logging.hh"
 
 namespace emerald
 {
+
+namespace
+{
+
+/** Render a double as a JSON number (non-finite values become null). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+/** Indentation helper for the pretty-printed stats tree. */
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+} // namespace
 
 Stat::Stat(StatGroup &parent, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
@@ -18,6 +43,13 @@ void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Scalar::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\":\"scalar\",\"value\":" << jsonNumber(_value)
+       << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
 }
 
 void
@@ -54,12 +86,38 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
        << " (min)\n";
     os << prefix << name() << ".max " << max() << " # " << desc()
        << " (max)\n";
+    os << prefix << name() << ".total " << total() << " # " << desc()
+       << " (total)\n";
+}
+
+void
+Distribution::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\":\"distribution\",\"count\":" << _count
+       << ",\"total\":" << jsonNumber(total())
+       << ",\"mean\":" << jsonNumber(mean())
+       << ",\"min\":" << jsonNumber(min())
+       << ",\"max\":" << jsonNumber(max())
+       << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+TimeSeries::TimeSeries(StatGroup &parent, std::string name,
+                       std::string desc, Tick bucket_width)
+    : Stat(parent, std::move(name), std::move(desc)),
+      _bucketWidth(bucket_width)
+{
+    panic_if(bucket_width == 0, "TimeSeries %s: zero bucket width",
+             this->name().c_str());
 }
 
 void
 TimeSeries::add(Tick when, double value)
 {
     std::size_t idx = static_cast<std::size_t>(when / _bucketWidth);
+    if (idx >= maxBuckets) {
+        idx = maxBuckets - 1;
+        ++_clampedSamples;
+    }
     if (idx >= _buckets.size())
         _buckets.resize(idx + 1, 0.0);
     _buckets[idx] += value;
@@ -74,6 +132,19 @@ TimeSeries::dump(std::ostream &os, const std::string &prefix) const
         os << prefix << name() << "[" << i << "] " << _buckets[i]
            << " # " << desc() << "\n";
     }
+}
+
+void
+TimeSeries::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\":\"timeseries\",\"bucket_width\":" << _bucketWidth
+       << ",\"clamped\":" << _clampedSamples << ",\"buckets\":[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jsonNumber(_buckets[i]);
+    }
+    os << "],\"desc\":\"" << jsonEscape(desc()) << "\"}";
 }
 
 StatGroup::StatGroup(std::string name)
@@ -122,6 +193,30 @@ StatGroup::dumpStats(std::ostream &os) const
         stat->dump(os, prefix);
     for (const StatGroup *child : _children)
         child->dumpStats(os);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    os << "{\n";
+    os << pad(indent + 1) << "\"stats\": {";
+    for (std::size_t i = 0; i < _stats.size(); ++i) {
+        os << (i ? ",\n" : "\n") << pad(indent + 2) << "\""
+           << jsonEscape(_stats[i]->name()) << "\": ";
+        _stats[i]->dumpJson(os);
+    }
+    if (!_stats.empty())
+        os << "\n" << pad(indent + 1);
+    os << "},\n";
+    os << pad(indent + 1) << "\"groups\": {";
+    for (std::size_t i = 0; i < _children.size(); ++i) {
+        os << (i ? ",\n" : "\n") << pad(indent + 2) << "\""
+           << jsonEscape(_children[i]->statName()) << "\": ";
+        _children[i]->dumpJson(os, indent + 2);
+    }
+    if (!_children.empty())
+        os << "\n" << pad(indent + 1);
+    os << "}\n" << pad(indent) << "}";
 }
 
 void

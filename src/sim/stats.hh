@@ -41,6 +41,12 @@ class Stat
     virtual void dump(std::ostream &os, const std::string &prefix)
         const = 0;
 
+    /**
+     * Write this stat as one JSON object (no trailing newline), e.g.
+     * {"type":"scalar","value":3,"desc":"..."}.
+     */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -62,6 +68,7 @@ class Scalar : public Stat
     double value() const { return _value; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { _value = 0.0; }
 
   private:
@@ -83,6 +90,7 @@ class Distribution : public Stat
     double max() const { return _count ? _max : 0.0; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -99,11 +107,15 @@ class Distribution : public Stat
 class TimeSeries : public Stat
 {
   public:
+    /**
+     * Bucket count is capped: samples beyond maxBuckets * bucket_width
+     * are clamped into the last bucket (and counted) so one far-future
+     * timestamp cannot balloon the vector to gigabytes.
+     */
+    static constexpr std::size_t maxBuckets = 1u << 20;
+
     TimeSeries(StatGroup &parent, std::string name, std::string desc,
-               Tick bucket_width)
-        : Stat(parent, std::move(name), std::move(desc)),
-          _bucketWidth(bucket_width)
-    {}
+               Tick bucket_width);
 
     /** Accumulate @p value into the bucket containing @p when. */
     void add(Tick when, double value);
@@ -111,12 +123,17 @@ class TimeSeries : public Stat
     Tick bucketWidth() const { return _bucketWidth; }
     const std::vector<double> &buckets() const { return _buckets; }
 
+    /** Samples clamped into the last bucket by the maxBuckets cap. */
+    std::uint64_t clampedSamples() const { return _clampedSamples; }
+
     void dump(std::ostream &os, const std::string &prefix) const override;
-    void reset() override { _buckets.clear(); }
+    void dumpJson(std::ostream &os) const override;
+    void reset() override { _buckets.clear(); _clampedSamples = 0; }
 
   private:
     Tick _bucketWidth;
     std::vector<double> _buckets;
+    std::uint64_t _clampedSamples = 0;
 };
 
 /**
@@ -145,11 +162,21 @@ class StatGroup
     /** Dump this group's stats and all children, depth first. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Dump this group's subtree as a JSON object:
+     * {"stats":{"<name>":{...}},"groups":{"<name>":{...}}}.
+     * The output is machine-readable (bench diffing, BENCH_*.json)
+     * where dumpStats() is human-readable.
+     */
+    void dumpJson(std::ostream &os) const { dumpJson(os, 0); }
+
     /** Reset this group's stats and all children. */
     void resetStats();
 
   private:
     friend class Stat;
+
+    void dumpJson(std::ostream &os, int indent) const;
 
     void addStat(Stat *stat) { _stats.push_back(stat); }
     void addChild(StatGroup *child) { _children.push_back(child); }

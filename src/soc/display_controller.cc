@@ -25,6 +25,7 @@ DisplayController::DisplayController(Simulation &sim,
       _scanEvent([this] { scanLine(); }, name + ".scan"),
       _pumpEvent([this] { pump(); }, name + ".pump")
 {
+    registerProfileCounters();
     if (_dash) {
         _dashIp = _dash->registerIp(name, TrafficClass::Display, 0.8);
     }

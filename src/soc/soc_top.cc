@@ -34,6 +34,15 @@ SocTop::SocTop(const SocParams &params)
     _cpuClock = &_sim.createClockDomain(params.cpuClockMHz, "cpu_clk");
     _gpuClock = &_sim.createClockDomain(params.gpuClockMHz, "gpu_clk");
 
+    // Profile buckets for the SoC-level components that are not
+    // SimObjects themselves (the SimObject ones register in their
+    // own constructors).
+    _sim.profiler().registerComponent("gfx");
+    _sim.profiler().registerComponent("app");
+    _sim.profiler().registerComponent("dash");
+    for (unsigned i = 0; i < params.numCpuCores; ++i)
+        _sim.profiler().registerComponent("cpu" + std::to_string(i));
+
     // Memory system (paper Tables 4 and 5): 2-channel 32-bit LPDDR3.
     mem::MemorySystemParams mp;
     mp.geom.channels = 2;
