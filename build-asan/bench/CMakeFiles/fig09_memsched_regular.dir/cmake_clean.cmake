@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memsched_regular.dir/fig09_memsched_regular.cpp.o"
+  "CMakeFiles/fig09_memsched_regular.dir/fig09_memsched_regular.cpp.o.d"
+  "fig09_memsched_regular"
+  "fig09_memsched_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memsched_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

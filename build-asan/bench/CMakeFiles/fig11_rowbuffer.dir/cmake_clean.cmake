@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rowbuffer.dir/fig11_rowbuffer.cpp.o"
+  "CMakeFiles/fig11_rowbuffer.dir/fig11_rowbuffer.cpp.o.d"
+  "fig11_rowbuffer"
+  "fig11_rowbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

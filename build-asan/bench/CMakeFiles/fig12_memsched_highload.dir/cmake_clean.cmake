@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memsched_highload.dir/fig12_memsched_highload.cpp.o"
+  "CMakeFiles/fig12_memsched_highload.dir/fig12_memsched_highload.cpp.o.d"
+  "fig12_memsched_highload"
+  "fig12_memsched_highload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memsched_highload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_display_service.dir/fig13_display_service.cpp.o"
+  "CMakeFiles/fig13_display_service.dir/fig13_display_service.cpp.o.d"
+  "fig13_display_service"
+  "fig13_display_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_display_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_m1_timeline.dir/fig14_m1_timeline.cpp.o"
+  "CMakeFiles/fig14_m1_timeline.dir/fig14_m1_timeline.cpp.o.d"
+  "fig14_m1_timeline"
+  "fig14_m1_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_m1_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_wt_sweep.dir/fig17_wt_sweep.cpp.o"
+  "CMakeFiles/fig17_wt_sweep.dir/fig17_wt_sweep.cpp.o.d"
+  "fig17_wt_sweep"
+  "fig17_wt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_wt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

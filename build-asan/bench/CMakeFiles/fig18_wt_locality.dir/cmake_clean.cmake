@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_wt_locality.dir/fig18_wt_locality.cpp.o"
+  "CMakeFiles/fig18_wt_locality.dir/fig18_wt_locality.cpp.o.d"
+  "fig18_wt_locality"
+  "fig18_wt_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_wt_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

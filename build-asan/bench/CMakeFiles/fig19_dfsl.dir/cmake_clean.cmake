@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dfsl.dir/fig19_dfsl.cpp.o"
+  "CMakeFiles/fig19_dfsl.dir/fig19_dfsl.cpp.o.d"
+  "fig19_dfsl"
+  "fig19_dfsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dfsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_configs.dir/table_configs.cpp.o"
+  "CMakeFiles/table_configs.dir/table_configs.cpp.o.d"
+  "table_configs"
+  "table_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

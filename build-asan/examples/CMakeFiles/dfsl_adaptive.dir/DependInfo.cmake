@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dfsl_adaptive.cpp" "examples/CMakeFiles/dfsl_adaptive.dir/dfsl_adaptive.cpp.o" "gcc" "examples/CMakeFiles/dfsl_adaptive.dir/dfsl_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_soc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_scenes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsl_adaptive.dir/dfsl_adaptive.cpp.o"
+  "CMakeFiles/dfsl_adaptive.dir/dfsl_adaptive.cpp.o.d"
+  "dfsl_adaptive"
+  "dfsl_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsl_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpgpu_compute.dir/gpgpu_compute.cpp.o"
+  "CMakeFiles/gpgpu_compute.dir/gpgpu_compute.cpp.o.d"
+  "gpgpu_compute"
+  "gpgpu_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpgpu_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

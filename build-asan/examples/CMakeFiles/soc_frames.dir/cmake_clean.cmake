@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_frames.dir/soc_frames.cpp.o"
+  "CMakeFiles/soc_frames.dir/soc_frames.cpp.o.d"
+  "soc_frames"
+  "soc_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/emerald_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/emerald_cache.dir/cache/mshr.cc.o"
+  "CMakeFiles/emerald_cache.dir/cache/mshr.cc.o.d"
+  "libemerald_cache.a"
+  "libemerald_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clipper.cc" "src/CMakeFiles/emerald_core.dir/core/clipper.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/clipper.cc.o.d"
+  "/root/repo/src/core/dfsl.cc" "src/CMakeFiles/emerald_core.dir/core/dfsl.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/dfsl.cc.o.d"
+  "/root/repo/src/core/energy.cc" "src/CMakeFiles/emerald_core.dir/core/energy.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/energy.cc.o.d"
+  "/root/repo/src/core/framebuffer.cc" "src/CMakeFiles/emerald_core.dir/core/framebuffer.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/framebuffer.cc.o.d"
+  "/root/repo/src/core/graphics_pipeline.cc" "src/CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o.d"
+  "/root/repo/src/core/hiz.cc" "src/CMakeFiles/emerald_core.dir/core/hiz.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/hiz.cc.o.d"
+  "/root/repo/src/core/math.cc" "src/CMakeFiles/emerald_core.dir/core/math.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/math.cc.o.d"
+  "/root/repo/src/core/rasterizer.cc" "src/CMakeFiles/emerald_core.dir/core/rasterizer.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/rasterizer.cc.o.d"
+  "/root/repo/src/core/shader_builder.cc" "src/CMakeFiles/emerald_core.dir/core/shader_builder.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/shader_builder.cc.o.d"
+  "/root/repo/src/core/tc_stage.cc" "src/CMakeFiles/emerald_core.dir/core/tc_stage.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/tc_stage.cc.o.d"
+  "/root/repo/src/core/texture.cc" "src/CMakeFiles/emerald_core.dir/core/texture.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/texture.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/emerald_core.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/trace.cc.o.d"
+  "/root/repo/src/core/vpo_unit.cc" "src/CMakeFiles/emerald_core.dir/core/vpo_unit.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/vpo_unit.cc.o.d"
+  "/root/repo/src/core/wt_mapping.cc" "src/CMakeFiles/emerald_core.dir/core/wt_mapping.cc.o" "gcc" "src/CMakeFiles/emerald_core.dir/core/wt_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_core.dir/core/clipper.cc.o"
+  "CMakeFiles/emerald_core.dir/core/clipper.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/dfsl.cc.o"
+  "CMakeFiles/emerald_core.dir/core/dfsl.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/energy.cc.o"
+  "CMakeFiles/emerald_core.dir/core/energy.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/framebuffer.cc.o"
+  "CMakeFiles/emerald_core.dir/core/framebuffer.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o"
+  "CMakeFiles/emerald_core.dir/core/graphics_pipeline.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/hiz.cc.o"
+  "CMakeFiles/emerald_core.dir/core/hiz.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/math.cc.o"
+  "CMakeFiles/emerald_core.dir/core/math.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/rasterizer.cc.o"
+  "CMakeFiles/emerald_core.dir/core/rasterizer.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/shader_builder.cc.o"
+  "CMakeFiles/emerald_core.dir/core/shader_builder.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/tc_stage.cc.o"
+  "CMakeFiles/emerald_core.dir/core/tc_stage.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/texture.cc.o"
+  "CMakeFiles/emerald_core.dir/core/texture.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/trace.cc.o"
+  "CMakeFiles/emerald_core.dir/core/trace.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/vpo_unit.cc.o"
+  "CMakeFiles/emerald_core.dir/core/vpo_unit.cc.o.d"
+  "CMakeFiles/emerald_core.dir/core/wt_mapping.cc.o"
+  "CMakeFiles/emerald_core.dir/core/wt_mapping.cc.o.d"
+  "libemerald_core.a"
+  "libemerald_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

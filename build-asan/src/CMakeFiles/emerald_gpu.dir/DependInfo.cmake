@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/gpu_top.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/gpu_top.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/gpu_top.cc.o.d"
+  "/root/repo/src/gpu/isa/assembler.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/assembler.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/assembler.cc.o.d"
+  "/root/repo/src/gpu/isa/cfg.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/cfg.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/cfg.cc.o.d"
+  "/root/repo/src/gpu/isa/executor.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/executor.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/executor.cc.o.d"
+  "/root/repo/src/gpu/isa/instruction.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/instruction.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/isa/instruction.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/gpu/scoreboard.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/scoreboard.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/scoreboard.cc.o.d"
+  "/root/repo/src/gpu/simt_core.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/simt_core.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/simt_core.cc.o.d"
+  "/root/repo/src/gpu/simt_stack.cc" "src/CMakeFiles/emerald_gpu.dir/gpu/simt_stack.cc.o" "gcc" "src/CMakeFiles/emerald_gpu.dir/gpu/simt_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_gpu.dir/gpu/coalescer.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/coalescer.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/gpu_top.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/gpu_top.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/assembler.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/assembler.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/cfg.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/cfg.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/executor.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/executor.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/instruction.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/isa/instruction.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/kernel.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/scoreboard.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/scoreboard.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/simt_core.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/simt_core.cc.o.d"
+  "CMakeFiles/emerald_gpu.dir/gpu/simt_stack.cc.o"
+  "CMakeFiles/emerald_gpu.dir/gpu/simt_stack.cc.o.d"
+  "libemerald_gpu.a"
+  "libemerald_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

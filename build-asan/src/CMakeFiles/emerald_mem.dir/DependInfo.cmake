@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/emerald_mem.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/dash_scheduler.cc" "src/CMakeFiles/emerald_mem.dir/mem/dash_scheduler.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/dash_scheduler.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/emerald_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/dram_channel.cc" "src/CMakeFiles/emerald_mem.dir/mem/dram_channel.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/dram_channel.cc.o.d"
+  "/root/repo/src/mem/frfcfs_scheduler.cc" "src/CMakeFiles/emerald_mem.dir/mem/frfcfs_scheduler.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/frfcfs_scheduler.cc.o.d"
+  "/root/repo/src/mem/functional_memory.cc" "src/CMakeFiles/emerald_mem.dir/mem/functional_memory.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/functional_memory.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/emerald_mem.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/emerald_mem.dir/mem/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_mem.dir/mem/address_map.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/address_map.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/dash_scheduler.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/dash_scheduler.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/dram_channel.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/dram_channel.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/frfcfs_scheduler.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/frfcfs_scheduler.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/functional_memory.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/functional_memory.cc.o.d"
+  "CMakeFiles/emerald_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/emerald_mem.dir/mem/memory_system.cc.o.d"
+  "libemerald_mem.a"
+  "libemerald_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

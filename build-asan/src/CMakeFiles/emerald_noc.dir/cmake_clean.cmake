@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_noc.dir/noc/crossbar.cc.o"
+  "CMakeFiles/emerald_noc.dir/noc/crossbar.cc.o.d"
+  "CMakeFiles/emerald_noc.dir/noc/link.cc.o"
+  "CMakeFiles/emerald_noc.dir/noc/link.cc.o.d"
+  "libemerald_noc.a"
+  "libemerald_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemerald_noc.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenes/camera.cc" "src/CMakeFiles/emerald_scenes.dir/scenes/camera.cc.o" "gcc" "src/CMakeFiles/emerald_scenes.dir/scenes/camera.cc.o.d"
+  "/root/repo/src/scenes/mesh.cc" "src/CMakeFiles/emerald_scenes.dir/scenes/mesh.cc.o" "gcc" "src/CMakeFiles/emerald_scenes.dir/scenes/mesh.cc.o.d"
+  "/root/repo/src/scenes/procedural.cc" "src/CMakeFiles/emerald_scenes.dir/scenes/procedural.cc.o" "gcc" "src/CMakeFiles/emerald_scenes.dir/scenes/procedural.cc.o.d"
+  "/root/repo/src/scenes/shaders.cc" "src/CMakeFiles/emerald_scenes.dir/scenes/shaders.cc.o" "gcc" "src/CMakeFiles/emerald_scenes.dir/scenes/shaders.cc.o.d"
+  "/root/repo/src/scenes/workloads.cc" "src/CMakeFiles/emerald_scenes.dir/scenes/workloads.cc.o" "gcc" "src/CMakeFiles/emerald_scenes.dir/scenes/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_scenes.dir/scenes/camera.cc.o"
+  "CMakeFiles/emerald_scenes.dir/scenes/camera.cc.o.d"
+  "CMakeFiles/emerald_scenes.dir/scenes/mesh.cc.o"
+  "CMakeFiles/emerald_scenes.dir/scenes/mesh.cc.o.d"
+  "CMakeFiles/emerald_scenes.dir/scenes/procedural.cc.o"
+  "CMakeFiles/emerald_scenes.dir/scenes/procedural.cc.o.d"
+  "CMakeFiles/emerald_scenes.dir/scenes/shaders.cc.o"
+  "CMakeFiles/emerald_scenes.dir/scenes/shaders.cc.o.d"
+  "CMakeFiles/emerald_scenes.dir/scenes/workloads.cc.o"
+  "CMakeFiles/emerald_scenes.dir/scenes/workloads.cc.o.d"
+  "libemerald_scenes.a"
+  "libemerald_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_sim.dir/sim/clocked.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/clocked.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/config.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/event_tracer.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/packet.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/packet.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/sim_object.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/sim_object.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/emerald_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/emerald_sim.dir/sim/stats.cc.o.d"
+  "libemerald_sim.a"
+  "libemerald_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/app_model.cc" "src/CMakeFiles/emerald_soc.dir/soc/app_model.cc.o" "gcc" "src/CMakeFiles/emerald_soc.dir/soc/app_model.cc.o.d"
+  "/root/repo/src/soc/configs.cc" "src/CMakeFiles/emerald_soc.dir/soc/configs.cc.o" "gcc" "src/CMakeFiles/emerald_soc.dir/soc/configs.cc.o.d"
+  "/root/repo/src/soc/cpu_traffic.cc" "src/CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o" "gcc" "src/CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o.d"
+  "/root/repo/src/soc/display_controller.cc" "src/CMakeFiles/emerald_soc.dir/soc/display_controller.cc.o" "gcc" "src/CMakeFiles/emerald_soc.dir/soc/display_controller.cc.o.d"
+  "/root/repo/src/soc/soc_top.cc" "src/CMakeFiles/emerald_soc.dir/soc/soc_top.cc.o" "gcc" "src/CMakeFiles/emerald_soc.dir/soc/soc_top.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_scenes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerald_soc.dir/soc/app_model.cc.o"
+  "CMakeFiles/emerald_soc.dir/soc/app_model.cc.o.d"
+  "CMakeFiles/emerald_soc.dir/soc/configs.cc.o"
+  "CMakeFiles/emerald_soc.dir/soc/configs.cc.o.d"
+  "CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o"
+  "CMakeFiles/emerald_soc.dir/soc/cpu_traffic.cc.o.d"
+  "CMakeFiles/emerald_soc.dir/soc/display_controller.cc.o"
+  "CMakeFiles/emerald_soc.dir/soc/display_controller.cc.o.d"
+  "CMakeFiles/emerald_soc.dir/soc/soc_top.cc.o"
+  "CMakeFiles/emerald_soc.dir/soc/soc_top.cc.o.d"
+  "libemerald_soc.a"
+  "libemerald_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerald_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/emerald_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/emerald_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_dash.cc" "tests/CMakeFiles/emerald_tests.dir/test_dash.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_dash.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/emerald_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_dram_protocol.cc" "tests/CMakeFiles/emerald_tests.dir/test_dram_protocol.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_dram_protocol.cc.o.d"
+  "/root/repo/tests/test_energy_and_misc.cc" "tests/CMakeFiles/emerald_tests.dir/test_energy_and_misc.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_energy_and_misc.cc.o.d"
+  "/root/repo/tests/test_gfx_units.cc" "tests/CMakeFiles/emerald_tests.dir/test_gfx_units.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_gfx_units.cc.o.d"
+  "/root/repo/tests/test_gpgpu.cc" "tests/CMakeFiles/emerald_tests.dir/test_gpgpu.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_gpgpu.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/emerald_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_observability.cc" "tests/CMakeFiles/emerald_tests.dir/test_observability.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_observability.cc.o.d"
+  "/root/repo/tests/test_pipeline_correctness.cc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_correctness.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_correctness.cc.o.d"
+  "/root/repo/tests/test_pipeline_smoke.cc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_smoke.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_pipeline_smoke.cc.o.d"
+  "/root/repo/tests/test_raster.cc" "tests/CMakeFiles/emerald_tests.dir/test_raster.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_raster.cc.o.d"
+  "/root/repo/tests/test_sim_kernel.cc" "tests/CMakeFiles/emerald_tests.dir/test_sim_kernel.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_sim_kernel.cc.o.d"
+  "/root/repo/tests/test_simt.cc" "tests/CMakeFiles/emerald_tests.dir/test_simt.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_simt.cc.o.d"
+  "/root/repo/tests/test_simt_core_timing.cc" "tests/CMakeFiles/emerald_tests.dir/test_simt_core_timing.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_simt_core_timing.cc.o.d"
+  "/root/repo/tests/test_soc_components.cc" "tests/CMakeFiles/emerald_tests.dir/test_soc_components.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_soc_components.cc.o.d"
+  "/root/repo/tests/test_soc_smoke.cc" "tests/CMakeFiles/emerald_tests.dir/test_soc_smoke.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_soc_smoke.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/emerald_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/emerald_tests.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/emerald_soc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_scenes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_cache.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/emerald_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
