@@ -79,10 +79,10 @@ run(bool with_frame, bool with_kernel, unsigned n)
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned n = static_cast<unsigned>(cfg.getInt("n", 65536));
-    BenchResults results(cfg, "ablation_concurrency");
+    BenchHarness harness(argc, argv, "ablation_concurrency");
+    const Config &cfg = harness.cfg;
+    unsigned n = static_cast<unsigned>(cfg.getU64("n", 65536));
+    BenchResults &results = *harness.results;
 
     std::printf("=== Ablation: graphics + compute sharing the SIMT "
                 "cores ===\n");

@@ -65,11 +65,11 @@ measure(scenes::WorkloadId id, unsigned wt, unsigned frames,
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 4));
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "ablation_energy");
+    BenchHarness harness(argc, argv, "ablation_energy");
+    const Config &cfg = harness.cfg;
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 4));
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     auto workloads = caseStudy2Workloads();
     if (quick)

@@ -110,10 +110,10 @@ runConfig(scenes::WorkloadId id, const core::GfxParams &gfx,
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 2));
-    BenchResults results(cfg, "ablation_pipeline");
+    BenchHarness harness(argc, argv, "ablation_pipeline");
+    const Config &cfg = harness.cfg;
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 2));
+    BenchResults &results = *harness.results;
 
     std::printf("=== Ablation: pipeline design choices ===\n\n");
 

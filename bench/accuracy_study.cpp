@@ -36,9 +36,8 @@ struct MicroBench
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    BenchResults results(cfg, "accuracy_study");
+    BenchHarness harness(argc, argv, "accuracy_study");
+    BenchResults &results = *harness.results;
     unsigned fbw = 256, fbh = 192;
 
     // 14 microbenchmarks spanning geometry load, screen coverage and

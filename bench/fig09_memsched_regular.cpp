@@ -15,10 +15,9 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig09_memsched_regular");
+    BenchHarness harness(argc, argv, "fig09_memsched_regular");
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 9: GPU frame time under regular load "
                 "(normalized to BAS; lower is better) ===\n");
@@ -42,7 +41,8 @@ main(int argc, char **argv)
         std::vector<double> gpu_ms;
         for (soc::MemConfig config : configs) {
             soc::SocTop soc(
-                caseStudy1Params(model, config, false));
+                caseStudy1Params(model, config, false),
+                harness.builder());
             soc.run();
             gpu_ms.push_back(soc.meanGpuFrameMs());
         }

@@ -15,16 +15,15 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    BenchResults results(cfg, "fig10_bandwidth_timeline");
+    BenchHarness harness(argc, argv, "fig10_bandwidth_timeline");
+    const Config &cfg = harness.cfg;
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 10: M3-HMC DRAM bandwidth over time ===\n");
     soc::SocParams p = caseStudy1Params(
         scenes::WorkloadId::M3_Mask, soc::MemConfig::HMC, false);
-    p.frames = static_cast<unsigned>(cfg.getInt("frames", 4));
-    soc::SocTop soc(p);
-    soc.sim().configureObservability(cfg);
+    p.frames = static_cast<unsigned>(cfg.getU64("frames", 4));
+    soc::SocTop soc(p, harness.builder());
     soc.run();
 
     Tick bucket = p.statsBucket;

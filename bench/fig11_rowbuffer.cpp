@@ -15,10 +15,9 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig11_rowbuffer");
+    BenchHarness harness(argc, argv, "fig11_rowbuffer");
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 11: HMC row-buffer behaviour normalized to "
                 "BAS ===\n");
@@ -35,7 +34,8 @@ main(int argc, char **argv)
         {
             soc::SocTop soc(caseStudy1Params(model,
                                              soc::MemConfig::BAS,
-                                             false));
+                                             false),
+                            harness.builder());
             soc.run();
             base_hit = soc.memory().rowHitRate();
             base_bpa = soc.memory().meanBytesPerActivation();
@@ -43,7 +43,8 @@ main(int argc, char **argv)
         {
             soc::SocTop soc(caseStudy1Params(model,
                                              soc::MemConfig::HMC,
-                                             false));
+                                             false),
+                            harness.builder());
             soc.run();
             hmc_hit = soc.memory().rowHitRate();
             hmc_bpa = soc.memory().meanBytesPerActivation();

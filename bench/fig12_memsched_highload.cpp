@@ -15,10 +15,9 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig12_memsched_highload");
+    BenchHarness harness(argc, argv, "fig12_memsched_highload");
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 12: high-load scenario, normalized to BAS "
                 "===\n");
@@ -38,10 +37,16 @@ main(int argc, char **argv)
     for (scenes::WorkloadId model : models) {
         std::vector<double> total_ms, gpu_ms;
         for (soc::MemConfig config : configs) {
-            soc::SocTop soc(caseStudy1Params(model, config, true));
+            soc::SocTop soc(caseStudy1Params(model, config, true),
+                            harness.builder());
             soc.run();
             total_ms.push_back(soc.meanTotalFrameMs());
             gpu_ms.push_back(soc.meanGpuFrameMs());
+            results.record(std::string(scenes::workloadName(model)) +
+                               "." + soc::memConfigName(config) +
+                               ".events",
+                           static_cast<double>(
+                               soc.sim().eventQueue().numProcessed()));
         }
         std::printf("%-14s |", scenes::workloadName(model));
         for (std::size_t i = 0; i < 4; ++i) {

@@ -16,10 +16,9 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig13_display_service");
+    BenchHarness harness(argc, argv, "fig13_display_service");
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 13: display requests serviced relative to "
                 "BAS (high load) ===\n");
@@ -34,7 +33,8 @@ main(int argc, char **argv)
     for (scenes::WorkloadId model : models) {
         std::vector<double> serviced, aborted;
         for (soc::MemConfig config : configs) {
-            soc::SocTop soc(caseStudy1Params(model, config, true));
+            soc::SocTop soc(caseStudy1Params(model, config, true),
+                            harness.builder());
             soc.run();
             serviced.push_back(
                 soc.display().statRequests.value());

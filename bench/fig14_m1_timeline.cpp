@@ -16,11 +16,12 @@ namespace
 {
 
 void
-runAndPrint(soc::MemConfig config, BenchResults &results)
+runAndPrint(soc::MemConfig config, BenchResults &results,
+            const SimulationBuilder &builder)
 {
     soc::SocParams p = caseStudy1Params(scenes::WorkloadId::M1_Chair,
                                         config, true);
-    soc::SocTop soc(p);
+    soc::SocTop soc(p, builder);
     soc.run();
 
     std::string prefix = soc::memConfigName(config);
@@ -72,13 +73,12 @@ runAndPrint(soc::MemConfig config, BenchResults &results)
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    BenchResults results(cfg, "fig14_m1_timeline");
+    BenchHarness harness(argc, argv, "fig14_m1_timeline");
+    BenchResults &results = *harness.results;
     std::printf("=== Fig. 14: M1 bandwidth timeline, BAS vs DTB "
                 "(high load, GB/s) ===\n");
-    runAndPrint(soc::MemConfig::BAS, results);
-    runAndPrint(soc::MemConfig::DTB, results);
+    runAndPrint(soc::MemConfig::BAS, results, harness.builder());
+    runAndPrint(soc::MemConfig::DTB, results, harness.builder());
     std::printf("\npaper shape: DTB boosts CPU share and squeezes "
                 "GPU bandwidth during frames; display starved\n");
     return 0;

@@ -15,13 +15,13 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 3));
-    unsigned fbw = static_cast<unsigned>(cfg.getInt("width", 256));
-    unsigned fbh = static_cast<unsigned>(cfg.getInt("height", 192));
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig17_wt_sweep");
+    BenchHarness harness(argc, argv, "fig17_wt_sweep");
+    const Config &cfg = harness.cfg;
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 3));
+    unsigned fbw = static_cast<unsigned>(cfg.getU64("width", 256));
+    unsigned fbh = static_cast<unsigned>(cfg.getU64("height", 192));
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     auto workloads = caseStudy2Workloads();
     if (quick)

@@ -16,12 +16,12 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned fbw = static_cast<unsigned>(cfg.getInt("width", 256));
-    unsigned fbh = static_cast<unsigned>(cfg.getInt("height", 192));
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 3));
-    BenchResults results(cfg, "fig18_wt_locality");
+    BenchHarness harness(argc, argv, "fig18_wt_locality");
+    const Config &cfg = harness.cfg;
+    unsigned fbw = static_cast<unsigned>(cfg.getU64("width", 256));
+    unsigned fbh = static_cast<unsigned>(cfg.getU64("height", 192));
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 3));
+    BenchResults &results = *harness.results;
 
     std::printf("=== Fig. 18: W1 execution time and L1 misses vs WT "
                 "(normalized to WT=1) ===\n");

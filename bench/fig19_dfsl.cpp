@@ -78,19 +78,19 @@ dfslRun(scenes::WorkloadId id, unsigned fbw, unsigned fbh,
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    unsigned fbw = static_cast<unsigned>(cfg.getInt("width", 256));
-    unsigned fbh = static_cast<unsigned>(cfg.getInt("height", 192));
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 6));
+    BenchHarness harness(argc, argv, "fig19_dfsl");
+    const Config &cfg = harness.cfg;
+    unsigned fbw = static_cast<unsigned>(cfg.getU64("width", 256));
+    unsigned fbh = static_cast<unsigned>(cfg.getU64("height", 192));
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 6));
     unsigned run_frames =
-        static_cast<unsigned>(cfg.getInt("run_frames", 24));
+        static_cast<unsigned>(cfg.getU64("run_frames", 24));
     // The DFSL evaluation range scales with the TC grid: the paper's
     // WT 1-10 at 1024x768 corresponds to roughly 1-6 at 256x192.
     unsigned max_wt =
-        static_cast<unsigned>(cfg.getInt("maxwt", 6));
-    bool quick = cfg.getBool("quick", false);
-    BenchResults results(cfg, "fig19_dfsl");
+        static_cast<unsigned>(cfg.getU64("maxwt", 6));
+    bool quick = harness.quick;
+    BenchResults &results = *harness.results;
 
     auto workloads = caseStudy2Workloads();
     if (quick)

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "scenes/workloads.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/simulation_builder.hh"
 #include "soc/configs.hh"
 #include "soc/soc_top.hh"
 
@@ -112,6 +114,35 @@ class BenchResults
     std::string _bench;
     std::vector<std::pair<std::string, double>> _results;
     std::vector<std::pair<std::string, std::string>> _simDumps;
+};
+
+/**
+ * The common bench prologue, deduplicated: parses --key=value
+ * arguments, interprets --quick, opens the --stats-json results file
+ * and exposes a SimulationBuilder carrying the observability keys
+ * (--trace-file / --profile / --sim-stats-json) so every simulation a
+ * bench constructs gets them wired in.
+ */
+class BenchHarness
+{
+  public:
+    BenchHarness(int argc, char **argv, const std::string &bench)
+    {
+        cfg.parseArgs(argc, argv);
+        quick = cfg.getBool("quick", false);
+        results = std::make_unique<BenchResults>(cfg, bench);
+    }
+
+    /** Recipe to pass into SocTop / StandaloneGpu / build(). */
+    SimulationBuilder
+    builder() const
+    {
+        return SimulationBuilder().observability(cfg);
+    }
+
+    Config cfg;
+    bool quick = false;
+    std::unique_ptr<BenchResults> results;
 };
 
 /** Render one frame on a standalone rig; returns its cycle count. */

@@ -14,9 +14,8 @@ using namespace emerald::bench;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    BenchResults results(cfg, "table_configs");
+    BenchHarness harness(argc, argv, "table_configs");
+    BenchResults &results = *harness.results;
 
     std::printf("=== Table 1: simulation platforms ===\n");
     std::printf("%-12s %-18s %-8s %-10s %-6s\n", "simulator", "model",

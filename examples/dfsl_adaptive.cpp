@@ -45,10 +45,12 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 24));
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 24));
     auto id = workloadFromName(cfg.getString("workload", "W5"));
 
-    soc::StandaloneGpu rig(256, 192);
+    soc::StandaloneGpu rig(256, 192, soc::caseStudy2GpuParams(),
+                           soc::caseStudy2MemParams(),
+                           SimulationBuilder().observability(cfg));
     scenes::SceneRenderer scene(rig.pipeline(),
                                 scenes::makeWorkload(id),
                                 rig.functionalMemory());

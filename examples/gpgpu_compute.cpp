@@ -42,9 +42,11 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
-    unsigned n = static_cast<unsigned>(cfg.getInt("n", 16384));
+    unsigned n = static_cast<unsigned>(cfg.getU64("n", 16384));
 
-    soc::StandaloneGpu rig(64, 64);
+    soc::StandaloneGpu rig(64, 64, soc::caseStudy2GpuParams(),
+                           soc::caseStudy2MemParams(),
+                           SimulationBuilder().observability(cfg));
     mem::FunctionalMemory &fmem = rig.functionalMemory();
     core::ShaderBuilder builder;
 

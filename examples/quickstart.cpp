@@ -23,15 +23,16 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
-    unsigned width = static_cast<unsigned>(cfg.getInt("width", 256));
-    unsigned height = static_cast<unsigned>(cfg.getInt("height", 192));
-    unsigned wt = static_cast<unsigned>(cfg.getInt("wt", 1));
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 1));
+    unsigned width = static_cast<unsigned>(cfg.getU64("width", 256));
+    unsigned height = static_cast<unsigned>(cfg.getU64("height", 192));
+    unsigned wt = static_cast<unsigned>(cfg.getU64("wt", 1));
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 1));
     std::string out = cfg.getString("out", "teapot.ppm");
 
     // Standalone GPU: 6 SIMT clusters + 2 MB L2 + 4-channel LPDDR3.
-    soc::StandaloneGpu rig(width, height);
-    rig.sim().configureObservability(cfg);
+    soc::StandaloneGpu rig(width, height, soc::caseStudy2GpuParams(),
+                           soc::caseStudy2MemParams(),
+                           SimulationBuilder().observability(cfg));
     rig.pipeline().setWtSize(wt);
 
     mem::FunctionalMemory &fmem = rig.functionalMemory();

@@ -22,8 +22,8 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
-    unsigned width = static_cast<unsigned>(cfg.getInt("width", 256));
-    unsigned height = static_cast<unsigned>(cfg.getInt("height", 192));
+    unsigned width = static_cast<unsigned>(cfg.getU64("width", 256));
+    unsigned height = static_cast<unsigned>(cfg.getU64("height", 192));
     std::string outdir = cfg.getString("outdir", ".");
 
     const scenes::WorkloadId all[] = {

@@ -56,17 +56,16 @@ main(int argc, char **argv)
     soc::SocParams p;
     p.memConfig = configFromName(cfg.getString("config", "BAS"));
     p.model = modelFromName(cfg.getString("model", "M3"));
-    p.frames = static_cast<unsigned>(cfg.getInt("frames", 4));
+    p.frames = static_cast<unsigned>(cfg.getU64("frames", 4));
     p.highLoad = cfg.getBool("highload", false);
-    p.cpuPrepRequests =
-        static_cast<std::uint64_t>(cfg.getInt("prep", 1500));
+    p.cpuPrepRequests = cfg.getU64("prep", 1500);
 
     std::printf("SoC: %s, model %s, %s load, %u frames\n",
                 soc::memConfigName(p.memConfig),
                 scenes::workloadName(p.model),
                 p.highLoad ? "high" : "regular", p.frames);
 
-    soc::SocTop soc(p);
+    soc::SocTop soc(p, SimulationBuilder().observability(cfg));
     soc.run();
 
     std::printf("\n%-6s %12s %12s %12s\n", "frame", "prep(ms)",

@@ -48,7 +48,7 @@ main(int argc, char **argv)
 {
     Config cfg;
     cfg.parseArgs(argc, argv);
-    unsigned frames = static_cast<unsigned>(cfg.getInt("frames", 3));
+    unsigned frames = static_cast<unsigned>(cfg.getU64("frames", 3));
     std::string out = cfg.getString("out", "capture.etr");
     unsigned w = 192, h = 144;
 

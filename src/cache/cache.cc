@@ -96,9 +96,9 @@ Cache::tryAccept(MemPacket *pkt)
     mshr.targets.push_back(pkt);
     ++statMisses;
 
-    auto *fill = new MemPacket(line_addr, _params.lineSize, false,
-                               pkt->tclass, pkt->kind, pkt->requestorId,
-                               this, line_addr);
+    auto *fill = sim().packetPool().alloc(
+        line_addr, _params.lineSize, false, pkt->tclass, pkt->kind,
+        pkt->requestorId, this, line_addr);
     mshr.fillSent = true;
     pushDownstream(fill);
     return true;
@@ -121,7 +121,11 @@ Cache::memResponse(MemPacket *fill)
     for (MemPacket *target : mshr->targets)
         respondLater(target);
     _mshrs.release(line_addr);
-    delete fill;
+    freePacket(fill);
+
+    // The released MSHR is capacity a rejected upstream requestor may
+    // have been waiting for.
+    wakeUpstream();
 }
 
 void
@@ -141,10 +145,9 @@ Cache::installLine(Addr line_addr, bool dirty)
 
     if (victim->valid && victim->dirty) {
         ++statWritebacks;
-        auto *wb = new MemPacket(victim->tag, _params.lineSize, true,
-                                 _params.trafficClass,
-                                 AccessKind::Writeback,
-                                 _params.requestorId, nullptr);
+        auto *wb = sim().packetPool().alloc(
+            victim->tag, _params.lineSize, true, _params.trafficClass,
+            AccessKind::Writeback, _params.requestorId, nullptr);
         pushDownstream(wb);
     }
 
@@ -159,21 +162,46 @@ Cache::pushDownstream(MemPacket *pkt)
 {
     panic_if(!_downstream, "%s has no downstream sink", name().c_str());
     _sendQueue.push_back(pkt);
-    if (!_sendEvent.scheduled())
+    if (!_downstreamBlocked && !_sendEvent.scheduled())
         schedule(_sendEvent, curTick());
 }
 
 void
 Cache::drainSendQueue()
 {
+    if (_downstreamBlocked)
+        return;
+    bool drained = false;
     while (!_sendQueue.empty()) {
-        if (!_downstream->tryAccept(_sendQueue.front())) {
-            // Downstream is busy; back off a few cycles (the queue
-            // ahead of us is the bottleneck, not our retry rate).
-            schedule(_sendEvent, _domain.clockEdge(4));
-            return;
+        if (!_downstream->offer(_sendQueue.front(), *this)) {
+            // Downstream queued us; it calls retryRequest() when a
+            // slot frees. No polling in the meantime.
+            _downstreamBlocked = true;
+            break;
         }
         _sendQueue.pop_front();
+        drained = true;
+    }
+    if (drained)
+        wakeUpstream();
+}
+
+void
+Cache::retryRequest()
+{
+    _downstreamBlocked = false;
+    drainSendQueue();
+}
+
+void
+Cache::wakeUpstream()
+{
+    // Checked wake: a waiter can be re-rejected for a resource this
+    // capacity test does not cover (a full MSHR target list), so an
+    // unchecked loop would wake it forever.
+    while (_mshrs.available() &&
+           _sendQueue.size() < _params.sendQueueDepth &&
+           wakeOneRetryChecked()) {
     }
 }
 

@@ -46,9 +46,16 @@ struct CacheParams
 /**
  * The cache component. Upstream components offer packets through
  * MemSink; the cache talks to its downstream sink (another cache, a
- * link, or memory) and receives fills through MemClient.
+ * link, or memory) and receives fills through MemClient. When the
+ * downstream sink rejects a send, the cache registers for a retry
+ * (MemRequestor) instead of polling; when its own MSHRs or send queue
+ * fill, it queues the rejected upstream requestor and wakes it as
+ * capacity frees.
  */
-class Cache : public SimObject, public MemSink, public MemClient
+class Cache : public SimObject,
+              public MemSink,
+              public MemClient,
+              public MemRequestor
 {
   public:
     Cache(Simulation &sim, const std::string &name, ClockDomain &domain,
@@ -59,6 +66,7 @@ class Cache : public SimObject, public MemSink, public MemClient
 
     bool tryAccept(MemPacket *pkt) override;
     void memResponse(MemPacket *pkt) override;
+    void retryRequest() override;
 
     const CacheParams &params() const { return _params; }
 
@@ -113,6 +121,9 @@ class Cache : public SimObject, public MemSink, public MemClient
     void pushDownstream(MemPacket *pkt);
     void drainSendQueue();
 
+    /** Wake rejected upstream requestors while capacity remains. */
+    void wakeUpstream();
+
     /** Schedule an upstream response at now + hit latency. */
     void respondLater(MemPacket *pkt);
     void deliverResponses();
@@ -127,6 +138,8 @@ class Cache : public SimObject, public MemSink, public MemClient
 
     MshrFile _mshrs;
     std::deque<MemPacket *> _sendQueue;
+    /** Downstream rejected our head; waiting for retryRequest(). */
+    bool _downstreamBlocked = false;
     std::multimap<Tick, MemPacket *> _respQueue;
 
     EventFunction _sendEvent;

@@ -132,27 +132,39 @@ GraphicsPipeline::drawFullyDrained() const
 void
 GraphicsPipeline::pushL2Read(Addr addr, AccessKind kind)
 {
-    _l2Traffic.push_back(new MemPacket(addr & ~Addr(127), 128, false,
-                                       TrafficClass::Gpu, kind,
-                                       gpu::gpuRequestorId, nullptr));
+    _l2Traffic.push_back(sim().packetPool().alloc(
+        addr & ~Addr(127), 128, false, TrafficClass::Gpu, kind,
+        gpu::gpuRequestorId, nullptr));
 }
 
 void
 GraphicsPipeline::pushL2Write(Addr addr, AccessKind kind)
 {
-    _l2Traffic.push_back(new MemPacket(addr & ~Addr(127), 128, true,
-                                       TrafficClass::Gpu, kind,
-                                       gpu::gpuRequestorId, nullptr));
+    _l2Traffic.push_back(sim().packetPool().alloc(
+        addr & ~Addr(127), 128, true, TrafficClass::Gpu, kind,
+        gpu::gpuRequestorId, nullptr));
 }
 
 void
 GraphicsPipeline::drainL2Traffic()
 {
+    if (_l2Blocked)
+        return;
     while (!_l2Traffic.empty()) {
-        if (!_l2Link->tryAccept(_l2Traffic.front()))
+        if (!_l2Link->offer(_l2Traffic.front(), *this)) {
+            _l2Blocked = true;
             return;
+        }
         _l2Traffic.pop_front();
     }
+}
+
+void
+GraphicsPipeline::retryRequest()
+{
+    _l2Blocked = false;
+    drainL2Traffic();
+    activate();
 }
 
 void
@@ -725,7 +737,7 @@ GraphicsPipeline::tick()
             return true;
         }
     }
-    if (!_l2Traffic.empty())
+    if (!_l2Traffic.empty() && !_l2Blocked)
         return true;
     if (_activeDraw && _nextPrim < _activeDraw->primitiveCount() &&
         _vertexWarpsInFlight < _params.maxVertexWarpsInFlight) {

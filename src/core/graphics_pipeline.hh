@@ -84,7 +84,8 @@ struct FrameStats
 };
 
 class GraphicsPipeline : public SimObject,
-                         public Clocked
+                         public Clocked,
+                         public MemRequestor
 {
   public:
     GraphicsPipeline(Simulation &sim, const std::string &name,
@@ -108,6 +109,10 @@ class GraphicsPipeline : public SimObject,
 
     bool frameOpen() const { return _frameOpen; }
     const FrameStats &lastFrame() const { return _lastFrame; }
+
+    /** The L2 link has room again; resume draining fixed-function
+     * traffic. */
+    void retryRequest() override;
     WtMapping &mapping() { return *_mapping; }
     unsigned fbWidth() const { return _fbWidth; }
     unsigned fbHeight() const { return _fbHeight; }
@@ -227,6 +232,8 @@ class GraphicsPipeline : public SimObject,
 
     std::unique_ptr<noc::Link> _l2Link;
     std::deque<MemPacket *> _l2Traffic;
+    /** Head of _l2Traffic was rejected; wait for retryRequest(). */
+    bool _l2Blocked = false;
 
     std::function<void(std::uint64_t)> _progressListener;
 };

@@ -27,7 +27,7 @@ SimtCore::SimtCore(Simulation &sim, const std::string &name,
       statStallNoReadyWarp(*this, "stall_no_ready_warp",
                            "scheduler cycles with no ready warp"),
       statLsuStalls(*this, "lsu_stalls",
-                    "LSU head-of-line blocking cycles"),
+                    "LSU sends blocked pending an L1 retry"),
       _params(params), _downstream(downstream),
       _warps(params.maxWarps), _scoreboard(params.maxWarps),
       _issuePtr(params.schedulers, 0)
@@ -335,23 +335,42 @@ SimtCore::issueFrom(unsigned scheduler)
 void
 SimtCore::drainLsu()
 {
+    if (_lsuRetryPkt)
+        return; // Head is blocked; the L1 wakes us when a slot frees.
     for (unsigned i = 0; i < _params.lsuIssuePerCycle; ++i) {
         if (_lsuQueue.empty())
             return;
         const LsuTxn &txn = _lsuQueue.front();
         bool posted = txn.memInstrId < 0;
-        auto *pkt = new MemPacket(
+        auto *pkt = sim().packetPool().alloc(
             txn.lineAddr, _params.l1d.lineSize, txn.write,
             TrafficClass::Gpu, txn.kind, gpuRequestorId,
             posted ? nullptr : this,
             posted ? 0 : static_cast<std::uint64_t>(txn.memInstrId));
-        if (!l1ForKind(txn.kind).tryAccept(pkt)) {
-            delete pkt;
+        if (!l1ForKind(txn.kind).offer(pkt, *this)) {
+            _lsuRetryPkt = pkt;
             ++statLsuStalls;
             return;
         }
         _lsuQueue.pop_front();
     }
+}
+
+void
+SimtCore::retryRequest()
+{
+    MemPacket *pkt = _lsuRetryPkt;
+    if (!pkt) {
+        activate();
+        return; // Spurious wake; nothing pending.
+    }
+    _lsuRetryPkt = nullptr;
+    if (!l1ForKind(_lsuQueue.front().kind).offer(pkt, *this)) {
+        _lsuRetryPkt = pkt;
+        return;
+    }
+    _lsuQueue.pop_front();
+    activate();
 }
 
 void
@@ -378,7 +397,7 @@ SimtCore::memResponse(MemPacket *pkt)
         state.regSlots.clear();
         _memInstrFreeList.push_back(id);
     }
-    delete pkt;
+    freePacket(pkt);
     activate();
 }
 
@@ -451,7 +470,8 @@ SimtCore::tick()
     // memResponse() reactivates the core. This keeps long DRAM
     // stalls (e.g. the paper's 133 Mb/s high-load scenario) from
     // costing one simulation event per idle cycle.
-    bool local_work = issued_any || !_lsuQueue.empty() ||
+    bool local_work = issued_any ||
+                      (!_lsuQueue.empty() && !_lsuRetryPkt) ||
                       !_writebacks.empty() || !_taskQueue.empty();
     return local_work;
 }

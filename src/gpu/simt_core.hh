@@ -61,7 +61,10 @@ struct SimtCoreParams
  * downstream sink provided at construction (the cluster's port into
  * the GPU interconnect).
  */
-class SimtCore : public SimObject, public Clocked, public MemClient
+class SimtCore : public SimObject,
+                 public Clocked,
+                 public MemClient,
+                 public MemRequestor
 {
   public:
     SimtCore(Simulation &sim, const std::string &name,
@@ -94,6 +97,7 @@ class SimtCore : public SimObject, public Clocked, public MemClient
     cache::Cache &l1c() { return *_l1c; }
 
     void memResponse(MemPacket *pkt) override;
+    void retryRequest() override;
 
     /** @{ Statistics. */
     Scalar statCyclesActive;
@@ -163,6 +167,12 @@ class SimtCore : public SimObject, public Clocked, public MemClient
     std::vector<unsigned> _memInstrFreeList;
 
     std::deque<LsuTxn> _lsuQueue;
+    /**
+     * Packet for the head LSU transaction, rejected by its L1 and
+     * held until the cache's retryRequest() wakes us. The core sleeps
+     * instead of re-offering every cycle.
+     */
+    MemPacket *_lsuRetryPkt = nullptr;
 
     /** Pending scoreboard releases: cycle -> (slot, reg slots). */
     std::multimap<Tick, std::pair<unsigned, std::vector<unsigned>>>

@@ -48,10 +48,14 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
 }
 
 bool
-DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord)
+DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord,
+                     MemRequestor *req)
 {
-    if (full())
+    if (full()) {
+        if (req)
+            _retries.add(*req);
         return false;
+    }
     _queue.push_back({pkt, coord, curTick()});
     scheduleIssue(curTick());
     return true;
@@ -200,6 +204,18 @@ DramChannel::tryIssue()
     _scheduler.serviced(*pkt, now);
     _inflight.emplace(done, pkt);
     scheduleCompletion();
+
+    // The dequeued slot is capacity a rejected requestor was waiting
+    // for; wake in FIFO order until the queue refills. Stop if a
+    // woken requestor made no progress (re-registered itself), so the
+    // loop terminates even under pathological retry behaviour.
+    while (!full()) {
+        std::size_t before = _retries.size();
+        if (!_retries.wakeOne())
+            break;
+        if (_retries.size() >= before)
+            break;
+    }
 
     if (!_queue.empty())
         scheduleIssue(_busFreeTick);

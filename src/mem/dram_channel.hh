@@ -71,8 +71,13 @@ class DramChannel : public SimObject
                 DramScheduler &scheduler, unsigned queue_capacity,
                 Tick stats_bucket);
 
-    /** Offer a request. @return false when the queue is full. */
-    bool enqueue(MemPacket *pkt, const DecodedAddr &coord);
+    /**
+     * Offer a request. @return false when the queue is full; @p req
+     * (when given) is then queued and woken via retryRequest() as the
+     * channel drains, FIFO among waiters.
+     */
+    bool enqueue(MemPacket *pkt, const DecodedAddr &coord,
+                 MemRequestor *req = nullptr);
 
     /** True when a new request would be rejected. */
     bool full() const { return _queue.size() >= _queueCapacity; }
@@ -122,6 +127,8 @@ class DramChannel : public SimObject
 
     std::vector<DramScheduler::QueueEntry> _queue;
     std::vector<BankState> _banks;
+    /** Requestors rejected while the queue was full. */
+    RetryList _retries;
     Tick _busFreeTick = 0;
 
     /** Issued requests waiting for their completion tick. */

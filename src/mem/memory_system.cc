@@ -58,6 +58,15 @@ MemorySystem::tryAccept(MemPacket *pkt)
     return _channels[channel]->enqueue(pkt, coord);
 }
 
+bool
+MemorySystem::offer(MemPacket *pkt, MemRequestor &req)
+{
+    auto [channel, coord] = route(*pkt);
+    if (pkt->issued == 0)
+        pkt->issued = curTick();
+    return _channels[channel]->enqueue(pkt, coord, &req);
+}
+
 double
 MemorySystem::rowHitRate() const
 {

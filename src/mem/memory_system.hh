@@ -54,6 +54,12 @@ class MemorySystem : public SimObject, public MemSink
 
     bool tryAccept(MemPacket *pkt) override;
 
+    /**
+     * Routes and delegates to the target channel, so a rejected
+     * requestor is queued on (and woken by) the channel that was full.
+     */
+    bool offer(MemPacket *pkt, MemRequestor &req) override;
+
     unsigned numChannels() const
     {
         return static_cast<unsigned>(_channels.size());

@@ -32,4 +32,13 @@ Crossbar::tryAccept(MemPacket *pkt)
     return _links[dest]->tryAccept(pkt);
 }
 
+bool
+Crossbar::offer(MemPacket *pkt, MemRequestor &req)
+{
+    unsigned dest = _route(*pkt);
+    panic_if(dest >= _links.size(), "%s: bad route %u",
+             name().c_str(), dest);
+    return _links[dest]->offer(pkt, req);
+}
+
 } // namespace emerald::noc

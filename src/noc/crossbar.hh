@@ -36,6 +36,12 @@ class Crossbar : public SimObject, public MemSink
 
     bool tryAccept(MemPacket *pkt) override;
 
+    /**
+     * Routes and delegates to the destination link, so a rejected
+     * requestor is queued on (and woken by) the link that was full.
+     */
+    bool offer(MemPacket *pkt, MemRequestor &req) override;
+
     unsigned numDestinations() const
     {
         return static_cast<unsigned>(_links.size());

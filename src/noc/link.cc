@@ -39,7 +39,7 @@ Link::tryAccept(MemPacket *pkt)
     ++statPackets;
     statBytes += pkt->size;
 
-    if (!_deliverEvent.scheduled())
+    if (!_blocked && !_deliverEvent.scheduled())
         schedule(_deliverEvent, ready);
     return true;
 }
@@ -49,17 +49,32 @@ Link::deliver()
 {
     panic_if(!_target, "%s has no target", name().c_str());
     Tick now = curTick();
+    bool drained = false;
     while (!_queue.empty() && _queue.front().readyAt <= now) {
-        if (!_target->tryAccept(_queue.front().pkt)) {
+        if (!_target->offer(_queue.front().pkt, *this)) {
+            // Target queued us; it calls retryRequest() when a slot
+            // frees. Later queue entries wait behind the head.
             ++statRetries;
-            // Target is busy; retry shortly, preserving order.
-            schedule(_deliverEvent, now + ticksFromNs(4.0));
-            return;
+            _blocked = true;
+            break;
         }
         _queue.pop_front();
+        drained = true;
     }
-    if (!_queue.empty())
+    if (!_blocked && !_queue.empty() && !_deliverEvent.scheduled())
         schedule(_deliverEvent, _queue.front().readyAt);
+    if (drained) {
+        while (_queue.size() < _params.queueDepth &&
+               wakeOneRetryChecked()) {
+        }
+    }
+}
+
+void
+Link::retryRequest()
+{
+    _blocked = false;
+    deliver();
 }
 
 } // namespace emerald::noc

@@ -29,8 +29,13 @@ struct LinkParams
     unsigned queueDepth = 16;
 };
 
-/** Unidirectional request link delivering into a MemSink. */
-class Link : public SimObject, public MemSink
+/**
+ * Unidirectional request link delivering into a MemSink. When the
+ * target rejects the head packet the link registers for a retry and
+ * sleeps; when the link's own queue fills it queues the rejected
+ * upstream requestor and wakes it as slots drain.
+ */
+class Link : public SimObject, public MemSink, public MemRequestor
 {
   public:
     Link(Simulation &sim, const std::string &name,
@@ -39,6 +44,7 @@ class Link : public SimObject, public MemSink
     void setTarget(MemSink &target) { _target = &target; }
 
     bool tryAccept(MemPacket *pkt) override;
+    void retryRequest() override;
 
     std::size_t queueDepth() const { return _queue.size(); }
 
@@ -62,6 +68,8 @@ class Link : public SimObject, public MemSink
 
     std::deque<Item> _queue;
     Tick _serializerFree = 0;
+    /** Target rejected our head; waiting for retryRequest(). */
+    bool _blocked = false;
     EventFunction _deliverEvent;
 };
 

@@ -55,6 +55,24 @@ Config::getInt(const std::string &key, std::int64_t dflt) const
     return std::strtoll(it->second.c_str(), nullptr, 0);
 }
 
+std::uint64_t
+Config::getU64(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return dflt;
+    const char *text = it->second.c_str();
+    char *end = nullptr;
+    fatal_if(it->second.empty() || text[0] == '-',
+             "config key '%s': '%s' is not a non-negative integer",
+             key.c_str(), text);
+    std::uint64_t value = std::strtoull(text, &end, 0);
+    fatal_if(end == text || *end != '\0',
+             "config key '%s': '%s' is not a non-negative integer",
+             key.c_str(), text);
+    return value;
+}
+
 double
 Config::getDouble(const std::string &key, double dflt) const
 {

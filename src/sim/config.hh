@@ -34,6 +34,9 @@ class Config
     std::string getString(const std::string &key,
                           const std::string &dflt) const;
     std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    /** Unsigned accessor; fatal on negative or malformed values. */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t dflt) const;
     double getDouble(const std::string &key, double dflt) const;
     bool getBool(const std::string &key, bool dflt) const;
 

@@ -1,9 +1,42 @@
 #include "sim/packet.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/packet_pool.hh"
 
 namespace emerald
 {
+
+void
+RetryList::add(MemRequestor &req)
+{
+    if (std::find(_waiters.begin(), _waiters.end(), &req) !=
+        _waiters.end()) {
+        return;
+    }
+    _waiters.push_back(&req);
+}
+
+bool
+RetryList::wakeOne()
+{
+    if (_waiters.empty())
+        return false;
+    MemRequestor *req = _waiters.front();
+    _waiters.pop_front();
+    req->retryRequest();
+    return true;
+}
+
+void
+freePacket(MemPacket *pkt)
+{
+    if (pkt->pool)
+        pkt->pool->free(pkt);
+    else
+        delete pkt;
+}
 
 const char *
 accessKindName(AccessKind kind)

@@ -3,11 +3,15 @@
  * Memory packets and the request/response interfaces that connect
  * requestors, caches, interconnect and DRAM.
  *
- * Flow control is credit-less and explicit: a requestor offers a
- * packet to a MemSink with tryAccept(); a false return means the sink
- * is busy (full queue, no free MSHR, arbitration lost) and the caller
- * must retry on a later cycle. Responses travel back through the
- * MemClient interface recorded in the packet.
+ * Flow control is an explicit accept/reject/retry protocol (see
+ * docs/memory_protocol.md). A requestor offers a packet to a MemSink
+ * with offer(); a false return means the sink is busy (full queue, no
+ * free MSHR, arbitration lost) and the sink has queued the requestor:
+ * when capacity frees, the sink calls the requestor's retryRequest()
+ * in FIFO registration order. Rejected requestors never poll — there
+ * are no per-cycle re-offer events anywhere in the request path.
+ * Responses travel back through the MemClient interface recorded in
+ * the packet.
  *
  * Emerald separates function from timing: packets carry addresses and
  * metadata only, never data bytes. Functional state lives in
@@ -18,6 +22,7 @@
 #define EMERALD_SIM_PACKET_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "sim/types.hh"
@@ -53,6 +58,7 @@ const char *accessKindName(AccessKind kind);
 const char *trafficClassName(TrafficClass tclass);
 
 class MemPacket;
+class PacketPool;
 
 /** Receives responses for packets it sent downstream. */
 class MemClient
@@ -67,6 +73,46 @@ class MemClient
     virtual void memResponse(MemPacket *pkt) = 0;
 };
 
+/** A component that can be woken when a sink it blocked on frees up. */
+class MemRequestor
+{
+  public:
+    virtual ~MemRequestor() = default;
+
+    /**
+     * A sink that previously rejected an offer from this requestor
+     * may have capacity now; re-offer the blocked packet. Wakeups can
+     * be spurious (e.g. the blocked packet was abandoned meanwhile),
+     * so implementations must tolerate having nothing to send.
+     */
+    virtual void retryRequest() = 0;
+};
+
+/**
+ * FIFO of requestors waiting for a sink to free capacity. A requestor
+ * is queued at most once per list; wakeups pop in registration order
+ * so long-blocked requestors are served first (no retry storms, no
+ * starvation).
+ */
+class RetryList
+{
+  public:
+    /** Queue @p req for a wakeup; duplicates are ignored. */
+    void add(MemRequestor &req);
+
+    /**
+     * Wake the longest-waiting requestor.
+     * @return false when no requestor was waiting.
+     */
+    bool wakeOne();
+
+    bool empty() const { return _waiters.empty(); }
+    std::size_t size() const { return _waiters.size(); }
+
+  private:
+    std::deque<MemRequestor *> _waiters;
+};
+
 /** Accepts memory request packets. */
 class MemSink
 {
@@ -74,14 +120,70 @@ class MemSink
     virtual ~MemSink() = default;
 
     /**
-     * Offer a packet. On true the sink takes ownership; on false the
-     * caller keeps the packet and must retry later.
+     * Offer a packet with no retry registration. On true the sink
+     * takes ownership; on false the caller keeps the packet. Used by
+     * tests and probes; components on the request path use offer()
+     * so rejection wakes them instead of forcing a poll.
      */
     virtual bool tryAccept(MemPacket *pkt) = 0;
+
+    /**
+     * Offer a packet with backpressure. On true the sink takes
+     * ownership. On false the caller keeps the packet and @p req is
+     * queued: the sink calls req.retryRequest() when capacity frees
+     * (FIFO among waiters). The caller must not re-offer until then.
+     *
+     * Routing sinks (crossbars, the memory system) override this to
+     * register the requestor with the component that actually ran out
+     * of capacity, so wakeups come from the right queue.
+     */
+    virtual bool
+    offer(MemPacket *pkt, MemRequestor &req)
+    {
+        if (tryAccept(pkt))
+            return true;
+        _retries.add(req);
+        return false;
+    }
+
+  protected:
+    /**
+     * Wake the longest-waiting rejected requestor, if any. Sinks call
+     * this (typically in a loop against their capacity check) whenever
+     * a queue slot or MSHR frees.
+     */
+    bool wakeOneRetry() { return _retries.wakeOne(); }
+
+    /**
+     * Like wakeOneRetry(), but returns false when the woken requestor
+     * immediately re-registered (its retry was rejected again, e.g.
+     * for a resource the caller's capacity check does not cover).
+     * Wake loops must use this to guarantee termination: a waiter that
+     * made no progress would otherwise be woken forever.
+     */
+    bool
+    wakeOneRetryChecked()
+    {
+        std::size_t before = _retries.size();
+        if (!_retries.wakeOne())
+            return false;
+        return _retries.size() < before;
+    }
+
+    bool hasRetryWaiters() const { return !_retries.empty(); }
+
+  private:
+    RetryList _retries;
 };
 
 /**
  * One memory transaction. Requests at most one cache line in size.
+ *
+ * Packets on the hot path come from the owning Simulation's
+ * PacketPool (see sim/packet_pool.hh) and must be released with
+ * freePacket()/completePacket(), which return them to their pool.
+ * Plain new/delete packets (tests, probes) remain legal: freePacket()
+ * falls back to delete when the packet has no pool.
  */
 class MemPacket
 {
@@ -115,6 +217,9 @@ class MemPacket
     /** When the packet entered the memory system (for latency stats). */
     Tick issued = 0;
 
+    /** Owning pool, set by PacketPool::alloc(); nullptr = heap. */
+    PacketPool *pool = nullptr;
+
     /** True for posted writes that never generate a response. */
     bool posted() const { return client == nullptr; }
 
@@ -128,6 +233,9 @@ class MemPacket
     std::string toString() const;
 };
 
+/** Return @p pkt to its pool, or delete it if it has none. */
+void freePacket(MemPacket *pkt);
+
 /**
  * Complete a packet from the perspective of the component that
  * finished servicing it: respond to the client or, for posted writes,
@@ -139,7 +247,7 @@ completePacket(MemPacket *pkt)
     if (pkt->client)
         pkt->client->memResponse(pkt);
     else
-        delete pkt;
+        freePacket(pkt);
 }
 
 } // namespace emerald

@@ -1,0 +1,23 @@
+#include "sim/packet_pool.hh"
+
+namespace emerald
+{
+
+PacketPool::PacketPool(StatGroup &parent)
+    : _group(parent, "pool"),
+      statAllocs(_group, "allocs", "packets allocated"),
+      statHeapAllocs(_group, "heap_allocs",
+                     "allocations that hit the heap (pool cold)"),
+      statFrees(_group, "frees", "packets returned to the pool"),
+      statLiveHighWater(_group, "live_high_water",
+                        "peak packets live at once")
+{
+}
+
+PacketPool::~PacketPool()
+{
+    for (void *mem : _slabs)
+        ::operator delete(mem);
+}
+
+} // namespace emerald

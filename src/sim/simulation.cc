@@ -1,14 +1,31 @@
 #include "sim/simulation.hh"
 
+#include <fstream>
+
 #include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/simulation_builder.hh"
 
 namespace emerald
 {
 
 Simulation::Simulation()
     : _statsRoot(""), _simGroup(_statsRoot, "sim"),
+      _packetPool(std::make_unique<PacketPool>(_simGroup)),
       _profiler(std::make_unique<EventProfiler>(_simGroup))
 {
+}
+
+Simulation::~Simulation()
+{
+    if (_statsJsonOnExit.empty())
+        return;
+    std::ofstream os(_statsJsonOnExit);
+    if (!os.is_open()) {
+        warn("cannot open stats file '%s'", _statsJsonOnExit.c_str());
+        return;
+    }
+    dumpStatsJson(os);
 }
 
 ClockDomain &
@@ -17,6 +34,24 @@ Simulation::createClockDomain(double mhz, const std::string &name)
     _domains.push_back(
         std::make_unique<ClockDomain>(_eq, periodFromMHz(mhz), name));
     return *_domains.back();
+}
+
+ClockDomain *
+Simulation::findClockDomain(const std::string &name)
+{
+    for (const auto &domain : _domains) {
+        if (domain->name() == name)
+            return domain.get();
+    }
+    return nullptr;
+}
+
+ClockDomain &
+Simulation::clockDomain(const std::string &name)
+{
+    ClockDomain *domain = findClockDomain(name);
+    fatal_if(!domain, "no clock domain named '%s'", name.c_str());
+    return *domain;
 }
 
 void
@@ -48,11 +83,7 @@ Simulation::enableTracing(const std::string &path)
 void
 Simulation::configureObservability(const Config &cfg)
 {
-    std::string trace = cfg.getString("trace-file", "");
-    if (!trace.empty())
-        enableTracing(trace);
-    if (cfg.getBool("profile", false))
-        enableProfiling();
+    SimulationBuilder().observability(cfg).applyTo(*this);
 }
 
 } // namespace emerald

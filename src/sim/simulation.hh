@@ -15,6 +15,7 @@
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 #include "sim/event_tracer.hh"
+#include "sim/packet_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -32,6 +33,7 @@ class Simulation
 {
   public:
     Simulation();
+    ~Simulation();
 
     EventQueue &eventQueue() { return _eq; }
     Tick curTick() const { return _eq.curTick(); }
@@ -40,10 +42,26 @@ class Simulation
     StatGroup &statsRoot() { return _statsRoot; }
 
     /**
+     * The free-list packet allocator every component on the memory
+     * request path allocates from (stats under sim.pool.*). The pool
+     * dies with the Simulation, so packets must not outlive it.
+     */
+    PacketPool &packetPool() { return *_packetPool; }
+
+    /**
      * Create a clock domain owned by this simulation.
      * @param mhz frequency in MHz.
      */
     ClockDomain &createClockDomain(double mhz, const std::string &name);
+
+    /**
+     * Look up a clock domain by name (e.g. one declared through
+     * SimulationBuilder::clockDomain); fatal when absent.
+     */
+    ClockDomain &clockDomain(const std::string &name);
+
+    /** The named domain, or nullptr when absent. */
+    ClockDomain *findClockDomain(const std::string &name);
 
     /** Run until the event queue drains or @p limit is reached. */
     std::uint64_t run(Tick limit = maxTick) { return _eq.runUntil(limit); }
@@ -86,18 +104,29 @@ class Simulation
      */
     void configureObservability(const Config &cfg);
 
+    /**
+     * Stats sink: write the final stats tree as JSON to @p path when
+     * this Simulation is destroyed (empty path disables).
+     */
+    void writeStatsJsonAtExit(const std::string &path)
+    {
+        _statsJsonOnExit = path;
+    }
+
   private:
     void attachInstrument(EventInstrument *instrument);
 
     EventQueue _eq;
     StatGroup _statsRoot;
-    /** Parent of kernel-owned stats: sim.profile.*. */
+    /** Parent of kernel-owned stats: sim.profile.*, sim.pool.*. */
     StatGroup _simGroup;
+    std::unique_ptr<PacketPool> _packetPool;
     std::unique_ptr<EventProfiler> _profiler;
     std::unique_ptr<EventTracer> _tracer;
     InstrumentChain _instruments;
     bool _profiling = false;
     std::vector<std::unique_ptr<ClockDomain>> _domains;
+    std::string _statsJsonOnExit;
 };
 
 } // namespace emerald

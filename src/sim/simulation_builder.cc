@@ -1,0 +1,67 @@
+#include "sim/simulation_builder.hh"
+
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+
+namespace emerald
+{
+
+SimulationBuilder &
+SimulationBuilder::clockDomain(const std::string &name, double mhz)
+{
+    _domains.push_back({name, mhz});
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::traceFile(const std::string &path)
+{
+    _traceFile = path;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::profiling(bool on)
+{
+    _profiling = on;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::statsJsonOnExit(const std::string &path)
+{
+    _statsJsonOnExit = path;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::observability(const Config &cfg)
+{
+    traceFile(cfg.getString("trace-file", _traceFile));
+    profiling(cfg.getBool("profile", _profiling));
+    statsJsonOnExit(cfg.getString("sim-stats-json", _statsJsonOnExit));
+    return *this;
+}
+
+std::unique_ptr<Simulation>
+SimulationBuilder::build() const
+{
+    auto sim = std::make_unique<Simulation>();
+    applyTo(*sim);
+    return sim;
+}
+
+void
+SimulationBuilder::applyTo(Simulation &sim) const
+{
+    for (const DomainSpec &spec : _domains)
+        sim.createClockDomain(spec.mhz, spec.name);
+    if (!_traceFile.empty())
+        sim.enableTracing(_traceFile);
+    if (_profiling)
+        sim.enableProfiling();
+    if (!_statsJsonOnExit.empty())
+        sim.writeStatsJsonAtExit(_statsJsonOnExit);
+}
+
+} // namespace emerald

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fluent construction recipe for a Simulation: clock domains,
+ * observability (tracing / profiling), and stats sinks. Replaces the
+ * copy-pasted "parse config, wire tracer, dump stats at the end"
+ * prologue of the benches and examples.
+ */
+
+#ifndef EMERALD_SIM_SIMULATION_BUILDER_HH
+#define EMERALD_SIM_SIMULATION_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace emerald
+{
+
+class Config;
+class Simulation;
+
+/**
+ * Collects a declarative description of a Simulation and materializes
+ * it, either into a fresh instance (build()) or onto a Simulation a
+ * rig already owns (applyTo()). The recipe is inert data: a builder
+ * can be copied, passed across APIs (e.g. into SocTop), and reused.
+ *
+ *   auto sim = SimulationBuilder()
+ *                  .clockDomain("gpu_clk", 1000.0)
+ *                  .traceFile("trace.json")
+ *                  .profiling()
+ *                  .build();
+ */
+class SimulationBuilder
+{
+  public:
+    /** Add a clock domain; retrieve it via Simulation::clockDomain. */
+    SimulationBuilder &clockDomain(const std::string &name, double mhz);
+
+    /** Stream a Chrome-trace event log to @p path. */
+    SimulationBuilder &traceFile(const std::string &path);
+
+    /** Enable the sim.profile.* event counters. */
+    SimulationBuilder &profiling(bool on = true);
+
+    /** Write the final stats tree as JSON to @p path at destruction. */
+    SimulationBuilder &statsJsonOnExit(const std::string &path);
+
+    /**
+     * Read the observability keys from @p cfg: "trace-file" (path),
+     * "profile" (bool), "sim-stats-json" (path, dumped at exit).
+     */
+    SimulationBuilder &observability(const Config &cfg);
+
+    /** Create a Simulation and apply this recipe to it. */
+    std::unique_ptr<Simulation> build() const;
+
+    /** Apply this recipe to an existing Simulation. */
+    void applyTo(Simulation &sim) const;
+
+  private:
+    struct DomainSpec
+    {
+        std::string name;
+        double mhz;
+    };
+
+    std::vector<DomainSpec> _domains;
+    std::string _traceFile;
+    std::string _statsJsonOnExit;
+    bool _profiling = false;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_SIMULATION_BUILDER_HH

@@ -45,8 +45,10 @@ caseStudy2MemParams()
 
 StandaloneGpu::StandaloneGpu(unsigned fb_width, unsigned fb_height,
                              const gpu::GpuTopParams &gpu_params,
-                             const mem::MemorySystemParams &mem_params)
+                             const mem::MemorySystemParams &mem_params,
+                             const SimulationBuilder &builder)
 {
+    builder.applyTo(_sim);
     _gpuClock = &_sim.createClockDomain(1000.0, "gpu_clk");
     _memory = std::make_unique<mem::MemorySystem>(_sim, "dram",
                                                   mem_params,

@@ -15,6 +15,7 @@
 #include "mem/frfcfs_scheduler.hh"
 #include "mem/memory_system.hh"
 #include "sim/simulation.hh"
+#include "sim/simulation_builder.hh"
 
 namespace emerald::soc
 {
@@ -39,7 +40,8 @@ class StandaloneGpu
                   const gpu::GpuTopParams &gpu_params =
                       caseStudy2GpuParams(),
                   const mem::MemorySystemParams &mem_params =
-                      caseStudy2MemParams());
+                      caseStudy2MemParams(),
+                  const SimulationBuilder &builder = {});
 
     Simulation &sim() { return _sim; }
     gpu::GpuTop &gpu() { return *_gpu; }

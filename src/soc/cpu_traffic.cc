@@ -64,7 +64,7 @@ CpuCoreModel::nextAddr()
 void
 CpuCoreModel::trySchedule()
 {
-    if (_issueEvent.scheduled())
+    if (_issueEvent.scheduled() || _retryPkt)
         return;
     bool want_issue =
         (_quotaRemaining > 0 &&
@@ -84,27 +84,32 @@ void
 CpuCoreModel::issueOne()
 {
     bool quota = _quotaRemaining > 0;
-    if (!quota && !_background)
+    if ((!quota && !_background) || _retryPkt)
         return;
     if (_outstanding >= _params.maxOutstanding) {
         return; // Response path will reschedule.
     }
 
     bool write = _rng.chance(_params.writeFraction);
-    auto *pkt = new MemPacket(nextAddr(), 64, write, TrafficClass::Cpu,
-                              AccessKind::CpuData,
-                              static_cast<int>(_params.coreId), this,
-                              0);
+    MemPacket *pkt = sim().packetPool().alloc(
+        nextAddr(), 64, write, TrafficClass::Cpu, AccessKind::CpuData,
+        static_cast<int>(_params.coreId), this, 0);
     pkt->issued = curTick();
     // Count before offering: the sink may respond synchronously.
     ++_outstanding;
-    if (!_downstream.tryAccept(pkt)) {
-        --_outstanding;
-        delete pkt;
-        // Cache busy: retry shortly.
-        schedule(_issueEvent, _clock.clockEdge(2));
+    if (!_downstream.offer(pkt, *this)) {
+        // Cache busy: hold the packet (window slot stays reserved)
+        // until the cache's retryRequest() wakes us; no polling.
+        _retryPkt = pkt;
+        _retryQuota = quota;
         return;
     }
+    requestAccepted(quota);
+}
+
+void
+CpuCoreModel::requestAccepted(bool quota)
+{
     ++statRequests;
     if (quota)
         --_quotaRemaining;
@@ -113,6 +118,24 @@ CpuCoreModel::issueOne()
     maybeCompleteQuota();
     // Pipeline more requests up to the outstanding window.
     trySchedule();
+}
+
+void
+CpuCoreModel::retryRequest()
+{
+    if (!_retryPkt) {
+        trySchedule();
+        return;
+    }
+    MemPacket *pkt = _retryPkt;
+    _retryPkt = nullptr;
+    if (!_downstream.offer(pkt, *this)) {
+        _retryPkt = pkt;
+        return;
+    }
+    bool quota = _retryQuota;
+    _retryQuota = false;
+    requestAccepted(quota);
 }
 
 void
@@ -130,7 +153,7 @@ void
 CpuCoreModel::memResponse(MemPacket *pkt)
 {
     statLatency.sample(static_cast<double>(curTick() - pkt->issued));
-    delete pkt;
+    freePacket(pkt);
     panic_if(_outstanding == 0, "CPU response underflow");
     --_outstanding;
 

@@ -43,7 +43,9 @@ struct CpuCoreParams
     std::uint64_t seed = 1;
 };
 
-class CpuCoreModel : public SimObject, public MemClient
+class CpuCoreModel : public SimObject,
+                     public MemClient,
+                     public MemRequestor
 {
   public:
     CpuCoreModel(Simulation &sim, const std::string &name,
@@ -62,6 +64,7 @@ class CpuCoreModel : public SimObject, public MemClient
     bool quotaActive() const { return _quotaRemaining > 0; }
 
     void memResponse(MemPacket *pkt) override;
+    void retryRequest() override;
 
     /** @{ Statistics. */
     Scalar statRequests;
@@ -73,6 +76,8 @@ class CpuCoreModel : public SimObject, public MemClient
     void issueOne();
     void trySchedule();
     void maybeCompleteQuota();
+    /** Post-acceptance bookkeeping for one issued request. */
+    void requestAccepted(bool quota);
     Addr nextAddr();
 
     CpuCoreParams _params;
@@ -83,6 +88,14 @@ class CpuCoreModel : public SimObject, public MemClient
     std::function<void()> _quotaDone;
     bool _background = false;
     unsigned _outstanding = 0;
+    /**
+     * Request rejected by the cache, held (with its window slot still
+     * reserved) until retryRequest(); replaces the old fixed 2-cycle
+     * re-offer loop.
+     */
+    MemPacket *_retryPkt = nullptr;
+    /** Whether _retryPkt counts against the active quota. */
+    bool _retryQuota = false;
     Addr _cursor;
     Random _rng;
     EventFunction _issueEvent;

@@ -22,8 +22,7 @@ DisplayController::DisplayController(Simulation &sim,
       statRequests(*this, "requests", "read requests issued"),
       _params(params), _downstream(downstream), _dash(dash),
       _vsyncEvent([this] { vsync(); }, name + ".vsync"),
-      _scanEvent([this] { scanLine(); }, name + ".scan"),
-      _pumpEvent([this] { pump(); }, name + ".pump")
+      _scanEvent([this] { scanLine(); }, name + ".scan")
 {
     registerProfileCounters();
     if (_dash) {
@@ -54,7 +53,7 @@ DisplayController::stop()
     _running = false;
     descheduleIfPending(_vsyncEvent);
     descheduleIfPending(_scanEvent);
-    descheduleIfPending(_pumpEvent);
+    dropRetryPkt();
     if (_dash && _dashIp >= 0)
         _dash->endIpPeriod(_dashIp);
 }
@@ -87,6 +86,8 @@ DisplayController::vsync()
     _lineRespRemaining = 0;
     _underrunsThisFrame = 0;
     _frameAborted = false;
+    // A packet rejected during the previous frame is stale now.
+    dropRetryPkt();
 
     if (_dash && _dashIp >= 0) {
         _dash->beginIpPeriod(_dashIp, _params.refreshPeriod,
@@ -104,7 +105,7 @@ DisplayController::vsync()
 void
 DisplayController::pump()
 {
-    if (!_running || _frameAborted || _pumping)
+    if (!_running || _frameAborted || _pumping || _retryPkt)
         return;
     _pumping = true;
     while (_outstanding < _params.maxOutstanding &&
@@ -113,36 +114,71 @@ DisplayController::pump()
         Addr line_base =
             _params.fbBase + Addr(_fetchLine) * _params.width *
                                  _params.bytesPerPixel;
-        auto *pkt = new MemPacket(
+        MemPacket *pkt = sim().packetPool().alloc(
             line_base + Addr(_fetchPacket) * 128, 128, false,
             TrafficClass::Display, AccessKind::Display,
             displayRequestorId, this, 0);
         pkt->issued = curTick();
         // Count before offering: a zero-latency sink may respond
-        // synchronously from inside tryAccept().
+        // synchronously from inside the offer.
         ++_outstanding;
-        if (!_downstream.tryAccept(pkt)) {
-            --_outstanding;
-            delete pkt;
-            if (!_pumpEvent.scheduled())
-                scheduleIn(_pumpEvent, ticksFromNs(200.0));
+        if (!_downstream.offer(pkt, *this)) {
+            // Hold the packet (slot stays reserved) until the sink's
+            // retryRequest() wakes us; no polling.
+            _retryPkt = pkt;
             _pumping = false;
             return;
         }
-        ++statRequests;
-        if (++_fetchPacket >= packetsPerLine()) {
-            _fetchPacket = 0;
-            ++_fetchLine;
-        }
+        advanceFetchCursor();
     }
     _pumping = false;
+}
+
+void
+DisplayController::advanceFetchCursor()
+{
+    ++statRequests;
+    if (++_fetchPacket >= packetsPerLine()) {
+        _fetchPacket = 0;
+        ++_fetchLine;
+    }
+}
+
+void
+DisplayController::dropRetryPkt()
+{
+    if (!_retryPkt)
+        return;
+    freePacket(_retryPkt);
+    _retryPkt = nullptr;
+    panic_if(_outstanding == 0, "display retry slot underflow");
+    --_outstanding;
+}
+
+void
+DisplayController::retryRequest()
+{
+    if (!_running || _frameAborted) {
+        dropRetryPkt();
+        return;
+    }
+    if (_retryPkt) {
+        MemPacket *pkt = _retryPkt;
+        _retryPkt = nullptr;
+        if (!_downstream.offer(pkt, *this)) {
+            _retryPkt = pkt;
+            return;
+        }
+        advanceFetchCursor();
+    }
+    pump();
 }
 
 void
 DisplayController::memResponse(MemPacket *pkt)
 {
     statBytesFetched += pkt->size;
-    delete pkt;
+    freePacket(pkt);
     panic_if(_outstanding == 0, "display response underflow");
     --_outstanding;
 

@@ -38,7 +38,9 @@ struct DisplayParams
     unsigned abortThreshold = 8;
 };
 
-class DisplayController : public SimObject, public MemClient
+class DisplayController : public SimObject,
+                          public MemClient,
+                          public MemRequestor
 {
   public:
     DisplayController(Simulation &sim, const std::string &name,
@@ -50,6 +52,7 @@ class DisplayController : public SimObject, public MemClient
     void stop();
 
     void memResponse(MemPacket *pkt) override;
+    void retryRequest() override;
 
     /** @{ Statistics. */
     Scalar statFramesCompleted;
@@ -63,6 +66,10 @@ class DisplayController : public SimObject, public MemClient
     void vsync();
     void scanLine();
     void pump();
+    /** Post-acceptance bookkeeping for one fetched packet. */
+    void advanceFetchCursor();
+    /** Discard a rejected packet held across a frame boundary. */
+    void dropRetryPkt();
     unsigned packetsPerLine() const;
 
     DisplayParams _params;
@@ -82,10 +89,15 @@ class DisplayController : public SimObject, public MemClient
     unsigned _underrunsThisFrame = 0;
     /** Guards against re-entrant pump() on synchronous responses. */
     bool _pumping = false;
+    /**
+     * Packet rejected by memory, held (with its _outstanding slot
+     * still reserved) until the sink's retryRequest() wakes us. The
+     * controller never polls.
+     */
+    MemPacket *_retryPkt = nullptr;
 
     EventFunction _vsyncEvent;
     EventFunction _scanEvent;
-    EventFunction _pumpEvent;
 };
 
 } // namespace emerald::soc

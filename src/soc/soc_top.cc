@@ -28,9 +28,11 @@ struct SocTop::CpuNode
     std::unique_ptr<CpuCoreModel> core;
 };
 
-SocTop::SocTop(const SocParams &params)
+SocTop::SocTop(const SocParams &params,
+               const SimulationBuilder &builder)
     : _params(params)
 {
+    builder.applyTo(_sim);
     _cpuClock = &_sim.createClockDomain(params.cpuClockMHz, "cpu_clk");
     _gpuClock = &_sim.createClockDomain(params.gpuClockMHz, "gpu_clk");
 

@@ -22,6 +22,7 @@
 #include "noc/link.hh"
 #include "scenes/workloads.hh"
 #include "sim/simulation.hh"
+#include "sim/simulation_builder.hh"
 #include "soc/app_model.hh"
 #include "soc/cpu_traffic.hh"
 #include "soc/display_controller.hh"
@@ -63,7 +64,13 @@ struct SocParams
 class SocTop
 {
   public:
-    explicit SocTop(const SocParams &params);
+    /**
+     * @param builder optional recipe applied to the SoC's Simulation
+     *        before construction (observability, extra clock domains,
+     *        stats sinks).
+     */
+    explicit SocTop(const SocParams &params,
+                    const SimulationBuilder &builder = {});
     ~SocTop();
 
     /** Run until the app completes its frames (with a safety cap). */

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The backpressure protocol (offer / retryRequest) and the packet
+ * pool: FIFO wakeup under a retry storm, pool reuse across Simulation
+ * lifetimes, and posted-write completion through completePacket().
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/packet.hh"
+#include "sim/packet_pool.hh"
+#include "sim/simulation.hh"
+
+using namespace emerald;
+
+namespace
+{
+
+/** Sink with externally controlled capacity. */
+struct CapacitySink : public MemSink
+{
+    unsigned capacity = 0;
+    unsigned accepted = 0;
+
+    bool
+    tryAccept(MemPacket *pkt) override
+    {
+        if (accepted >= capacity)
+            return false;
+        ++accepted;
+        delete pkt;
+        return true;
+    }
+
+    void
+    freeSlots(unsigned n)
+    {
+        capacity += n;
+        while (accepted < capacity && wakeOneRetryChecked()) {
+        }
+    }
+};
+
+/** Requestor that records its wakeup order and re-offers one packet. */
+struct RecordingRequestor : public MemRequestor
+{
+    int id;
+    CapacitySink *sink;
+    std::vector<int> *wakeOrder;
+    bool pending = true;
+
+    void
+    retryRequest() override
+    {
+        wakeOrder->push_back(id);
+        if (!pending)
+            return;
+        auto *pkt = new MemPacket(0, 64, false, TrafficClass::Cpu,
+                                  AccessKind::CpuData, id, nullptr);
+        if (sink->offer(pkt, *this))
+            pending = false;
+        else
+            delete pkt;
+    }
+};
+
+} // namespace
+
+TEST(MemProtocol, RetryStormWakesFifo)
+{
+    CapacitySink sink;
+    std::vector<int> order;
+    std::vector<RecordingRequestor> reqs(4);
+    for (int i = 0; i < 4; ++i) {
+        reqs[i].id = i;
+        reqs[i].sink = &sink;
+        reqs[i].wakeOrder = &order;
+    }
+
+    // All four requestors collide with a zero-capacity sink.
+    for (auto &req : reqs) {
+        auto *pkt = new MemPacket(0, 64, false, TrafficClass::Cpu,
+                                  AccessKind::CpuData, req.id, nullptr);
+        EXPECT_FALSE(sink.offer(pkt, req));
+        delete pkt;
+    }
+
+    // Capacity frees one slot at a time: wakeups must be FIFO.
+    for (unsigned i = 0; i < 4; ++i)
+        sink.freeSlots(1);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sink.accepted, 4u);
+}
+
+TEST(MemProtocol, DuplicateRegistrationIsIgnored)
+{
+    CapacitySink sink;
+    std::vector<int> order;
+    RecordingRequestor req;
+    req.id = 7;
+    req.sink = &sink;
+    req.wakeOrder = &order;
+
+    for (int i = 0; i < 3; ++i) {
+        auto *pkt = new MemPacket(0, 64, false, TrafficClass::Cpu,
+                                  AccessKind::CpuData, 7, nullptr);
+        EXPECT_FALSE(sink.offer(pkt, req));
+        delete pkt;
+    }
+    sink.freeSlots(3);
+    // Three rejected offers produce ONE registration, hence one wake.
+    EXPECT_EQ(order, (std::vector<int>{7}));
+    EXPECT_EQ(sink.accepted, 1u);
+}
+
+TEST(MemProtocol, PoolReusesFreedStorage)
+{
+    Simulation sim;
+    PacketPool &pool = sim.packetPool();
+
+    std::vector<MemPacket *> pkts;
+    for (int i = 0; i < 16; ++i) {
+        pkts.push_back(pool.alloc(Addr(i) * 64, 64, false,
+                                  TrafficClass::Gpu,
+                                  AccessKind::GlobalData, 0, nullptr));
+    }
+    EXPECT_EQ(pool.live(), 16u);
+    for (MemPacket *pkt : pkts)
+        freePacket(pkt);
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.freeListSize(), 16u);
+
+    // Warm pool: further allocation cycles touch no new heap storage.
+    double heap_before = pool.statHeapAllocs.value();
+    for (int round = 0; round < 4; ++round) {
+        pkts.clear();
+        for (int i = 0; i < 16; ++i) {
+            pkts.push_back(pool.alloc(0, 64, true, TrafficClass::Cpu,
+                                      AccessKind::CpuData, 1, nullptr));
+        }
+        for (MemPacket *pkt : pkts)
+            freePacket(pkt);
+    }
+    EXPECT_EQ(pool.statHeapAllocs.value(), heap_before);
+    EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(MemProtocol, PoolResetsAcrossSimulationLifetimes)
+{
+    // Each Simulation owns a fresh pool; stats and free lists must
+    // not leak across lifetimes.
+    for (int life = 0; life < 3; ++life) {
+        Simulation sim;
+        PacketPool &pool = sim.packetPool();
+        EXPECT_EQ(pool.live(), 0u);
+        EXPECT_EQ(pool.freeListSize(), 0u);
+        EXPECT_EQ(pool.statAllocs.value(), 0.0);
+
+        MemPacket *pkt = pool.alloc(0x1000, 128, false,
+                                    TrafficClass::Gpu,
+                                    AccessKind::Texture, 2, nullptr);
+        EXPECT_EQ(pkt->pool, &pool);
+        freePacket(pkt);
+        EXPECT_EQ(pool.statAllocs.value(), 1.0);
+        EXPECT_EQ(pool.statFrees.value(), 1.0);
+    }
+}
+
+TEST(MemProtocol, PostedWriteCompletesIntoPool)
+{
+    Simulation sim;
+    PacketPool &pool = sim.packetPool();
+
+    // A posted write has no client: completePacket must recycle it.
+    MemPacket *wb = pool.alloc(0x2000, 128, true, TrafficClass::Gpu,
+                               AccessKind::Writeback, 3, nullptr);
+    EXPECT_EQ(pool.live(), 1u);
+    completePacket(wb);
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.freeListSize(), 1u);
+    EXPECT_EQ(pool.statFrees.value(), 1.0);
+
+    // Heap-allocated posted packets (tests, probes) still complete.
+    auto *heap_wb = new MemPacket(0x3000, 128, true, TrafficClass::Cpu,
+                                  AccessKind::Writeback, 4, nullptr);
+    completePacket(heap_wb); // Must not touch the pool.
+    EXPECT_EQ(pool.freeListSize(), 1u);
+}
+
+namespace
+{
+
+/** Client that records responses. */
+struct ResponseCounter : public MemClient
+{
+    unsigned responses = 0;
+
+    void
+    memResponse(MemPacket *pkt) override
+    {
+        ++responses;
+        freePacket(pkt);
+    }
+};
+
+} // namespace
+
+TEST(MemProtocol, ReadCompletionReachesClientThenPool)
+{
+    Simulation sim;
+    PacketPool &pool = sim.packetPool();
+    ResponseCounter client;
+
+    MemPacket *rd = pool.alloc(0x4000, 64, false, TrafficClass::Cpu,
+                               AccessKind::CpuData, 5, &client);
+    completePacket(rd);
+    EXPECT_EQ(client.responses, 1u);
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.freeListSize(), 1u);
+}

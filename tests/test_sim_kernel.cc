@@ -252,6 +252,13 @@ struct SinkCounter : public MemSink
         delete pkt;
         return true;
     }
+
+    /** Real sinks wake waiters when capacity frees; tests drive it. */
+    void wakeAll()
+    {
+        while (wakeOneRetryChecked()) {
+        }
+    }
 };
 
 } // namespace
@@ -302,10 +309,14 @@ TEST(Link, BackpressureAndRetry)
     delete overflow;
 
     sim.run(ticksFromNs(100.0));
-    EXPECT_EQ(sink.count, 0u); // Still rejecting.
+    EXPECT_EQ(sink.count, 0u); // Still rejecting; link is parked.
     sink.reject = false;
+    // No polling: nothing happens until the sink signals capacity.
     sim.run(ticksFromNs(300.0));
-    EXPECT_EQ(sink.count, 2u); // Delivered after retry.
+    EXPECT_EQ(sink.count, 0u);
+    sink.wakeAll();
+    sim.run(ticksFromNs(600.0));
+    EXPECT_EQ(sink.count, 2u); // Delivered after the retry wake.
 }
 
 TEST(Crossbar, RoutesByFunction)
