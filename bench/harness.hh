@@ -187,8 +187,10 @@ inline double
 correlation(const std::vector<double> &x, const std::vector<double> &y)
 {
     std::size_t n = x.size();
-    double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
-    double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    double mx =
+        std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+    double my =
+        std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
     double sxy = 0, sxx = 0, syy = 0;
     for (std::size_t i = 0; i < n; ++i) {
         sxy += (x[i] - mx) * (y[i] - my);

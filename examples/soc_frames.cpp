@@ -80,10 +80,13 @@ main(int argc, char **argv)
 
     std::printf("\nDRAM: %.2f MB total (CPU %.2f, GPU %.2f, display "
                 "%.2f), row-hit rate %.3f, %.1f bytes/activation\n",
-                soc.memory().totalBytes() / 1e6,
-                soc.memory().bytesFor(TrafficClass::Cpu) / 1e6,
-                soc.memory().bytesFor(TrafficClass::Gpu) / 1e6,
-                soc.memory().bytesFor(TrafficClass::Display) / 1e6,
+                static_cast<double>(soc.memory().totalBytes()) / 1e6,
+                static_cast<double>(
+                    soc.memory().bytesFor(TrafficClass::Cpu)) / 1e6,
+                static_cast<double>(
+                    soc.memory().bytesFor(TrafficClass::Gpu)) / 1e6,
+                static_cast<double>(
+                    soc.memory().bytesFor(TrafficClass::Display)) / 1e6,
                 soc.memory().rowHitRate(),
                 soc.memory().meanBytesPerActivation());
     std::printf("display: %.0f frames completed, %.0f aborted, %.0f "

@@ -23,6 +23,7 @@ Cache::Cache(Simulation &sim, const std::string &name,
       _sendEvent([this] { drainSendQueue(); }, name + ".send"),
       _respEvent([this] { deliverResponses(); }, name + ".resp")
 {
+    setSinkName(name);
     panic_if(!isPowerOf2(params.lineSize), "line size must be 2^n");
     std::uint64_t lines = params.sizeBytes / params.lineSize;
     panic_if(lines == 0 || lines % params.assoc != 0,

@@ -628,7 +628,7 @@ GraphicsPipeline::issueInstance(TcInstance &&instance)
     _fragWarpsOutstanding += warps;
     statFragWarps += warps;
     _frame.fragWarps += warps;
-    statFragments += frags.size();
+    statFragments += static_cast<double>(frags.size());
     _frame.fragments += frags.size();
     if (_progressListener)
         _progressListener(_frame.fragments);

@@ -179,10 +179,17 @@ SimtCore::chargeInstructionFetch(Warp &warp, unsigned)
     if (line == warp.lastFetchLine)
         return;
     warp.lastFetchLine = line;
-    // Synthetic instruction addresses: stable per program.
-    Addr base = 0x40000000ULL ^
-                (reinterpret_cast<std::uintptr_t>(warp.task.program) &
-                 0x0FFFF000ULL);
+    // Synthetic instruction addresses: stable per program. Derived
+    // from the program NAME, never its host pointer — heap addresses
+    // vary run to run, which would leak host allocator state into L1I
+    // conflict patterns and break event-stream determinism (caught by
+    // the sim.check.event_hash verifier).
+    std::uint64_t name_hash = 0xcbf29ce484222325ULL;
+    for (char c : warp.task.program->name) {
+        name_hash ^= static_cast<unsigned char>(c);
+        name_hash *= 0x00000100000001b3ULL;
+    }
+    Addr base = 0x40000000ULL ^ (name_hash & 0x0FFFF000ULL);
     Addr addr = base + static_cast<Addr>(line) * _params.l1i.lineSize;
     _lsuQueue.push_back({addr, false, AccessKind::Inst, -1});
 }

@@ -45,19 +45,24 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
       _issueEvent([this] { tryIssue(); }, name + ".issue"),
       _completeEvent([this] { completeHead(); }, name + ".complete")
 {
+    _retries.setOwner(name);
 }
 
 bool
 DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord,
                      MemRequestor *req)
 {
+    EMERALD_CHECK_HOOK(offerStarted(&_retries, pkt));
     if (full()) {
-        if (req)
+        if (req) {
+            EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, req));
             _retries.add(*req);
+        }
         return false;
     }
     _queue.push_back({pkt, coord, curTick()});
     scheduleIssue(curTick());
+    EMERALD_CHECK_HOOK(offerAccepted(&_retries, pkt));
     return true;
 }
 

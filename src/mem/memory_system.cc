@@ -11,6 +11,7 @@ MemorySystem::MemorySystem(Simulation &sim, const std::string &name,
                            DramScheduler &scheduler)
     : SimObject(sim, name), _params(params)
 {
+    setSinkName(name);
     registerProfileCounters();
     if (params.hmc) {
         fatal_if(params.hmcCpuChannels == 0 ||

@@ -11,6 +11,7 @@ Crossbar::Crossbar(Simulation &sim, const std::string &name,
     : SimObject(sim, name), _linkParams(link_params),
       _route(std::move(route))
 {
+    setSinkName(name);
 }
 
 unsigned

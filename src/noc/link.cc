@@ -17,6 +17,7 @@ Link::Link(Simulation &sim, const std::string &name,
       _params(params),
       _deliverEvent([this] { deliver(); }, name + ".deliver")
 {
+    setSinkName(name);
 }
 
 bool

@@ -1,0 +1,126 @@
+#include "sim/check/context.hh"
+
+#include <vector>
+
+#include "sim/check/hooks.hh"
+#include "sim/logging.hh"
+
+namespace emerald::check
+{
+
+namespace
+{
+
+/**
+ * Activation stack rather than a single slot: tests routinely build a
+ * scoped Simulation inside a fixture that owns another one, and hooks
+ * fired while the inner one is alive belong to the inner one.
+ */
+std::vector<CheckContext *> &
+activeStack()
+{
+    static std::vector<CheckContext *> stack;
+    return stack;
+}
+
+} // namespace
+
+CheckContext::CheckContext(EventQueue &eq)
+    : _lifecycle(eq), _retry(eq)
+{
+    activeStack().push_back(this);
+}
+
+CheckContext::~CheckContext()
+{
+    auto &stack = activeStack();
+    panic_if(stack.empty() || stack.back() != this,
+             "check context destroyed out of activation order");
+    stack.pop_back();
+}
+
+CheckContext *
+CheckContext::active()
+{
+    auto &stack = activeStack();
+    return stack.empty() ? nullptr : stack.back();
+}
+
+void
+CheckContext::onTeardown(bool queue_drained)
+{
+    if (!queue_drained)
+        return;
+    _retry.verifyQuiescent();
+    _lifecycle.verifyNoLeaks();
+}
+
+void
+packetAlloc(PacketPool *pool, MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->lifecycle().onAlloc(pool, pkt);
+}
+
+void
+packetFreeing(MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->lifecycle().onFreeing(pkt);
+}
+
+void
+packetPoolFree(PacketPool *pool, MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->lifecycle().onPoolFree(pool, pkt);
+}
+
+void
+packetCompleting(MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->lifecycle().onCompleting(pkt);
+}
+
+void
+offerStarted(RetryList *list, MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active()) {
+        ctx->lifecycle().onOfferStarted(pkt);
+        ctx->retry().onOfferStarted(list);
+    }
+}
+
+void
+offerAccepted(RetryList *list, const MemPacket *pkt)
+{
+    if (auto *ctx = CheckContext::active()) {
+        ctx->lifecycle().onOfferAccepted(pkt);
+        ctx->retry().onOfferAccepted(list);
+    }
+}
+
+void
+offerRejected(RetryList *list, const MemPacket *pkt, MemRequestor *req)
+{
+    (void)pkt;
+    if (auto *ctx = CheckContext::active())
+        ctx->retry().onOfferRejected(list, req);
+}
+
+void
+retryRegistered(RetryList *list, MemRequestor *req, bool deduped)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->retry().onRegistered(list, req, deduped);
+}
+
+void
+retryWoken(RetryList *list, MemRequestor *req)
+{
+    if (auto *ctx = CheckContext::active())
+        ctx->retry().onWoken(list, req);
+}
+
+} // namespace emerald::check

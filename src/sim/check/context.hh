@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-Simulation container for the correctness checkers, plus the
+ * active-context registry the kernel hooks dispatch through.
+ *
+ * PacketPool and RetryList are plain value members of deeper objects
+ * and carry no pointer back to their Simulation, so the hook functions
+ * in hooks.hh cannot reach a context through their arguments. Instead,
+ * each Simulation (when built with EMERALD_CHECKS) pushes its
+ * CheckContext onto a small activation stack at construction and pops
+ * it at destruction; the hooks forward to the innermost active
+ * context. The simulator is single-threaded per Simulation, and tests
+ * that nest a scoped Simulation inside another get the innermost one —
+ * matching which pool/list the hook actually fired from.
+ */
+
+#ifndef EMERALD_SIM_CHECK_CONTEXT_HH
+#define EMERALD_SIM_CHECK_CONTEXT_HH
+
+#include "sim/check/packet_lifecycle.hh"
+#include "sim/check/retry_protocol.hh"
+
+namespace emerald
+{
+
+class EventQueue;
+
+namespace check
+{
+
+/** Owns one Simulation's checkers and routes kernel hooks to them. */
+class CheckContext
+{
+  public:
+    explicit CheckContext(EventQueue &eq);
+    ~CheckContext();
+
+    CheckContext(const CheckContext &) = delete;
+    CheckContext &operator=(const CheckContext &) = delete;
+
+    PacketLifecycleChecker &lifecycle() { return _lifecycle; }
+    RetryProtocolChecker &retry() { return _retry; }
+
+    /**
+     * End-of-simulation checks, called from ~Simulation. Leak and
+     * quiescence verification only make sense when the event queue
+     * drained: benches that stop at a tick limit legally tear down
+     * with traffic still in flight, so @p queue_drained gates them.
+     */
+    void onTeardown(bool queue_drained);
+
+    /** Innermost active context, or nullptr when checks are idle. */
+    static CheckContext *active();
+
+  private:
+    PacketLifecycleChecker _lifecycle;
+    RetryProtocolChecker _retry;
+};
+
+} // namespace check
+} // namespace emerald
+
+#endif // EMERALD_SIM_CHECK_CONTEXT_HH

@@ -1,0 +1,33 @@
+#include "sim/check/determinism.hh"
+
+namespace emerald::check
+{
+
+void
+DeterminismVerifier::mix(const void *bytes, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    for (std::size_t i = 0; i < n; ++i) {
+        _hash ^= p[i];
+        _hash *= fnvPrime;
+    }
+}
+
+void
+DeterminismVerifier::onEvent(const std::string &name, Tick when,
+                             int priority, std::uint64_t wall_ns)
+{
+    // wall_ns is deliberately excluded: wall-clock cost differs
+    // between runs of an identical simulation.
+    (void)wall_ns;
+    std::uint64_t tick = when;
+    std::int64_t prio = priority;
+    mix(&tick, sizeof(tick));
+    mix(name.data(), name.size());
+    mix(&prio, sizeof(prio));
+    ++_numEvents;
+    // Scalars hold doubles; fold to 53 bits so the stat is exact.
+    _hashStat = static_cast<double>(_hash & ((1ULL << 53) - 1));
+}
+
+} // namespace emerald::check

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Order-sensitive hash of the processed event stream, for O(1)
+ * determinism diffing between runs.
+ *
+ * Two runs of the same configuration and seed must process exactly
+ * the same (tick, event-name, priority) sequence; wall-clock cost is
+ * excluded because it never repeats. The FNV-1a hash folds the whole
+ * stream into one value exposed as sim.check.event_hash, so comparing
+ * two multi-million-event runs is a single number diff instead of a
+ * trace diff. Enabled with --check-determinism (any build type): it
+ * rides the EventQueue's instrument branch, so runs without it pay
+ * nothing.
+ */
+
+#ifndef EMERALD_SIM_CHECK_DETERMINISM_HH
+#define EMERALD_SIM_CHECK_DETERMINISM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace emerald::check
+{
+
+/** Streams every processed event into one order-sensitive FNV hash. */
+class DeterminismVerifier : public EventInstrument
+{
+  public:
+    /** Mirrors the running hash into @p hash_stat (53-bit fold). */
+    explicit DeterminismVerifier(Scalar &hash_stat)
+        : _hashStat(hash_stat)
+    {
+    }
+
+    void onEvent(const std::string &name, Tick when, int priority,
+                 std::uint64_t wall_ns) override;
+
+    /** Full 64-bit stream hash (the stat holds a 53-bit fold). */
+    std::uint64_t hash() const { return _hash; }
+
+    /** Events folded into the hash so far. */
+    std::uint64_t numEvents() const { return _numEvents; }
+
+  private:
+    static constexpr std::uint64_t fnvOffsetBasis =
+        0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t fnvPrime = 0x00000100000001b3ULL;
+
+    void mix(const void *bytes, std::size_t n);
+
+    std::uint64_t _hash = fnvOffsetBasis;
+    std::uint64_t _numEvents = 0;
+    Scalar &_hashStat;
+};
+
+} // namespace emerald::check
+
+#endif // EMERALD_SIM_CHECK_DETERMINISM_HH

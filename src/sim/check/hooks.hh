@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Compile-out hook points for the correctness-checking subsystem.
+ *
+ * The simulator kernel (packet pool, offer/retry protocol) calls these
+ * hooks through EMERALD_CHECK_HOOK at every ownership- or
+ * protocol-relevant transition. With EMERALD_CHECKS defined (the Debug
+ * default) each hook forwards to the active check::CheckContext; in
+ * Release builds the macro expands to nothing, so every hot path
+ * carries zero checking cost. See docs/static_analysis.md.
+ */
+
+#ifndef EMERALD_SIM_CHECK_HOOKS_HH
+#define EMERALD_SIM_CHECK_HOOKS_HH
+
+#include <cstdint>
+
+namespace emerald
+{
+
+class MemPacket;
+class MemRequestor;
+class PacketPool;
+class RetryList;
+
+namespace check
+{
+
+/**
+ * High bit of MemPacket::checkGen, set when the packet's storage is
+ * returned to its pool. Until the slot is recycled, any access to the
+ * stale pointer sees the poison mark and aborts with a use-after-free
+ * diagnostic. Recycling clears the mark, so only the free-to-realloc
+ * window is covered; the ASan CI job covers the rest.
+ */
+inline constexpr std::uint64_t packetPoisonBit = 1ULL << 63;
+
+/** True when generation stamp @p gen carries the poison mark. */
+constexpr bool
+poisoned(std::uint64_t gen)
+{
+    return (gen & packetPoisonBit) != 0;
+}
+
+/**
+ * @{
+ * Hook entry points, implemented in src/sim/check/context.cc. Each
+ * forwards to the active CheckContext and is a no-op when none is
+ * active. Call sites must route through EMERALD_CHECK_HOOK so the
+ * calls vanish entirely when EMERALD_CHECKS is undefined.
+ *
+ * offerAccepted deliberately takes a const pointer used only as a map
+ * key: a sink may legally consume (even free) an accepted packet
+ * inside tryAccept, so the hook must never dereference it.
+ */
+void packetAlloc(PacketPool *pool, MemPacket *pkt);
+void packetFreeing(MemPacket *pkt);
+void packetPoolFree(PacketPool *pool, MemPacket *pkt);
+void packetCompleting(MemPacket *pkt);
+void offerStarted(RetryList *list, MemPacket *pkt);
+void offerAccepted(RetryList *list, const MemPacket *pkt);
+void offerRejected(RetryList *list, const MemPacket *pkt,
+                   MemRequestor *req);
+void retryRegistered(RetryList *list, MemRequestor *req, bool deduped);
+void retryWoken(RetryList *list, MemRequestor *req);
+/** @} */
+
+} // namespace check
+} // namespace emerald
+
+#ifdef EMERALD_CHECKS
+#define EMERALD_CHECK_HOOK(call) ::emerald::check::call
+#else
+#define EMERALD_CHECK_HOOK(call) ((void)0)
+#endif
+
+#endif // EMERALD_SIM_CHECK_HOOKS_HH

@@ -1,0 +1,172 @@
+#include "sim/check/packet_lifecycle.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/packet.hh"
+
+namespace emerald::check
+{
+
+const char *
+PacketLifecycleChecker::stateName(State s)
+{
+    switch (s) {
+      case State::Owned: return "owned";
+      case State::InFlight: return "in-flight";
+      case State::Freed: return "freed";
+    }
+    return "unknown";
+}
+
+void
+PacketLifecycleChecker::onAlloc(PacketPool *pool, MemPacket *pkt)
+{
+    Tick now = _eq.curTick();
+    auto it = _info.find(pkt);
+    if (it != _info.end() && it->second.state != State::Freed) {
+        panic("packet lifecycle: pool %p handed out storage %p that is "
+              "still %s (gen %llu, allocated tick %llu, last change "
+              "tick %llu) — pool free-list corruption",
+              static_cast<void *>(pool),
+              static_cast<const void *>(pkt),
+              stateName(it->second.state),
+              (unsigned long long)it->second.gen,
+              (unsigned long long)it->second.allocTick,
+              (unsigned long long)it->second.stateTick);
+    }
+    std::uint64_t gen = ++_nextGen;
+    pkt->checkGen = gen;
+    _info[pkt] = Info{State::Owned, gen, now, now, pool};
+}
+
+void
+PacketLifecycleChecker::onFreeing(MemPacket *pkt)
+{
+    if (poisoned(pkt->checkGen)) {
+        auto it = _info.find(pkt);
+        panic("packet lifecycle: double free of packet %p (gen %llu, "
+              "freed at tick %llu, now tick %llu)",
+              static_cast<const void *>(pkt),
+              (unsigned long long)(pkt->checkGen & ~packetPoisonBit),
+              (unsigned long long)(it != _info.end()
+                                       ? it->second.stateTick : 0),
+              (unsigned long long)_eq.curTick());
+    }
+    auto it = _info.find(pkt);
+    if (it == _info.end())
+        return; // Heap packet (tests, probes): not tracked.
+    if (it->second.state == State::InFlight) {
+        panic("packet lifecycle: freeing packet %p [%s] that a sink "
+              "still owns (accepted at tick %llu, now tick %llu) — "
+              "only the owner may free; see docs/memory_protocol.md",
+              static_cast<const void *>(pkt), pkt->toString().c_str(),
+              (unsigned long long)it->second.stateTick,
+              (unsigned long long)_eq.curTick());
+    }
+    if (it->second.state == State::Freed) {
+        panic("packet lifecycle: double free of packet %p (gen %llu, "
+              "freed at tick %llu, now tick %llu)",
+              static_cast<const void *>(pkt),
+              (unsigned long long)it->second.gen,
+              (unsigned long long)it->second.stateTick,
+              (unsigned long long)_eq.curTick());
+    }
+}
+
+void
+PacketLifecycleChecker::onPoolFree(PacketPool *pool, MemPacket *pkt)
+{
+    auto it = _info.find(pkt);
+    if (it != _info.end()) {
+        if (it->second.pool != pool) {
+            panic("packet lifecycle: packet %p allocated from pool %p "
+                  "returned to pool %p",
+                  static_cast<const void *>(pkt),
+                  static_cast<void *>(it->second.pool),
+                  static_cast<void *>(pool));
+        }
+        it->second.state = State::Freed;
+        it->second.stateTick = _eq.curTick();
+    }
+    // Poison the storage: any later access through a stale pointer
+    // (free, complete, offer) aborts until the slot is recycled.
+    pkt->checkGen |= packetPoisonBit;
+}
+
+void
+PacketLifecycleChecker::onCompleting(MemPacket *pkt)
+{
+    if (poisoned(pkt->checkGen)) {
+        panic("packet lifecycle: completePacket() on freed packet %p "
+              "(use after free, tick %llu)",
+              static_cast<const void *>(pkt),
+              (unsigned long long)_eq.curTick());
+    }
+    auto it = _info.find(pkt);
+    if (it == _info.end())
+        return;
+    if (it->second.state == State::Freed) {
+        panic("packet lifecycle: completePacket() on freed packet %p "
+              "(freed at tick %llu, now tick %llu)",
+              static_cast<const void *>(pkt),
+              (unsigned long long)it->second.stateTick,
+              (unsigned long long)_eq.curTick());
+    }
+    // Completion hands ownership back to the client (or frees it);
+    // either way the packet is no longer a sink's responsibility.
+    it->second.state = State::Owned;
+    it->second.stateTick = _eq.curTick();
+}
+
+void
+PacketLifecycleChecker::onOfferStarted(MemPacket *pkt)
+{
+    if (poisoned(pkt->checkGen)) {
+        panic("packet lifecycle: offering freed packet %p to a sink "
+              "(use after free, tick %llu)",
+              static_cast<const void *>(pkt),
+              (unsigned long long)_eq.curTick());
+    }
+}
+
+void
+PacketLifecycleChecker::onOfferAccepted(const MemPacket *pkt)
+{
+    auto it = _info.find(pkt);
+    // A sink may complete (and free) an accepted packet synchronously
+    // inside tryAccept; only an owned packet transitions to in-flight.
+    if (it == _info.end() || it->second.state == State::Freed)
+        return;
+    it->second.state = State::InFlight;
+    it->second.stateTick = _eq.curTick();
+}
+
+void
+PacketLifecycleChecker::verifyNoLeaks() const
+{
+    std::size_t leaked = 0;
+    std::string detail;
+    for (const auto &[pkt, info] : _info) {
+        if (info.state == State::Freed)
+            continue;
+        ++leaked;
+        if (leaked <= 4) {
+            // Tracked packets are pooled, and the pool outlives this
+            // checker, so the storage is safe to describe.
+            detail += strprintf(
+                "\n  %p [%s] %s since tick %llu (allocated tick %llu)",
+                static_cast<const void *>(pkt),
+                pkt->toString().c_str(), stateName(info.state),
+                (unsigned long long)info.stateTick,
+                (unsigned long long)info.allocTick);
+        }
+    }
+    if (leaked > 0) {
+        panic("packet lifecycle: %zu packet(s) still live at teardown "
+              "with a drained event queue (pool leak)%s%s",
+              leaked, detail.c_str(),
+              leaked > 4 ? "\n  ..." : "");
+    }
+}
+
+} // namespace emerald::check

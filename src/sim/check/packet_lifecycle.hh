@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tracks every pooled MemPacket through its lifecycle and aborts with
+ * a diagnostic on a rule violation (docs/memory_protocol.md):
+ *
+ *   alloc -> owned -> (in flight <-> owned)* -> freed
+ *
+ * Violations caught: double free (via the poisoned generation stamp in
+ * MemPacket::checkGen), free of a packet a sink still owns, completion
+ * of a freed packet, and packets still live when a Simulation whose
+ * event queue has drained is torn down (a pool leak: nothing can ever
+ * complete them).
+ */
+
+#ifndef EMERALD_SIM_CHECK_PACKET_LIFECYCLE_HH
+#define EMERALD_SIM_CHECK_PACKET_LIFECYCLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+class EventQueue;
+class MemPacket;
+class PacketPool;
+
+namespace check
+{
+
+/**
+ * Pointer-keyed state machine over every packet the pool hands out.
+ * Map entries persist across recycling (the key set is bounded by the
+ * pool's slab count), so diagnostics can report both the current and
+ * the previous life of a storage slot.
+ */
+class PacketLifecycleChecker
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        /** Held by its allocator, a requestor, or a client. */
+        Owned,
+        /** Accepted by a sink via offer(); the sink must complete it. */
+        InFlight,
+        /** Returned to the pool; storage poisoned until recycled. */
+        Freed,
+    };
+
+    explicit PacketLifecycleChecker(EventQueue &eq) : _eq(eq) {}
+
+    /** PacketPool::alloc handed out @p pkt. */
+    void onAlloc(PacketPool *pool, MemPacket *pkt);
+
+    /** freePacket() is about to release @p pkt (pool or heap). */
+    void onFreeing(MemPacket *pkt);
+
+    /** PacketPool::free is returning @p pkt to its free list. */
+    void onPoolFree(PacketPool *pool, MemPacket *pkt);
+
+    /** completePacket() is about to respond-or-free @p pkt. */
+    void onCompleting(MemPacket *pkt);
+
+    /** A requestor is offering @p pkt to a sink. */
+    void onOfferStarted(MemPacket *pkt);
+
+    /** A sink accepted @p pkt; identity only, never dereferenced. */
+    void onOfferAccepted(const MemPacket *pkt);
+
+    /**
+     * Abort if any tracked packet is not Freed. Only called when the
+     * event queue has drained: with no event left to complete them,
+     * live packets are leaks, not traffic in flight.
+     */
+    void verifyNoLeaks() const;
+
+    /** Tracked storage slots (bounded by pool slab count). */
+    std::size_t tracked() const { return _info.size(); }
+
+  private:
+    struct Info
+    {
+        State state;
+        /** Mirror of pkt->checkGen sans poison; bumps per recycle. */
+        std::uint64_t gen;
+        Tick allocTick;
+        Tick stateTick;
+        PacketPool *pool;
+    };
+
+    static const char *stateName(State s);
+
+    std::unordered_map<const MemPacket *, Info> _info;
+    std::uint64_t _nextGen = 0;
+    EventQueue &_eq;
+};
+
+} // namespace check
+} // namespace emerald
+
+#endif // EMERALD_SIM_CHECK_PACKET_LIFECYCLE_HH

@@ -11,11 +11,11 @@ namespace emerald
 void
 RetryList::add(MemRequestor &req)
 {
-    if (std::find(_waiters.begin(), _waiters.end(), &req) !=
-        _waiters.end()) {
-        return;
-    }
-    _waiters.push_back(&req);
+    bool duplicate = std::find(_waiters.begin(), _waiters.end(), &req) !=
+                     _waiters.end();
+    if (!duplicate)
+        _waiters.push_back(&req);
+    EMERALD_CHECK_HOOK(retryRegistered(this, &req, duplicate));
 }
 
 bool
@@ -25,6 +25,7 @@ RetryList::wakeOne()
         return false;
     MemRequestor *req = _waiters.front();
     _waiters.pop_front();
+    EMERALD_CHECK_HOOK(retryWoken(this, req));
     req->retryRequest();
     return true;
 }
@@ -32,10 +33,12 @@ RetryList::wakeOne()
 void
 freePacket(MemPacket *pkt)
 {
+    EMERALD_CHECK_HOOK(packetFreeing(pkt));
     if (pkt->pool)
         pkt->pool->free(pkt);
     else
-        delete pkt;
+        // Heap fallback; pooled packets go through free().
+        delete pkt; // NOLINT(cppcoreguidelines-owning-memory)
 }
 
 const char *

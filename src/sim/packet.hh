@@ -25,6 +25,7 @@
 #include <deque>
 #include <string>
 
+#include "sim/check/hooks.hh"
 #include "sim/types.hh"
 
 namespace emerald
@@ -109,8 +110,13 @@ class RetryList
     bool empty() const { return _waiters.empty(); }
     std::size_t size() const { return _waiters.size(); }
 
+    /** Name of the owning sink, for checker/abort diagnostics. */
+    void setOwner(const std::string &name) { _owner = name; }
+    const std::string &owner() const { return _owner; }
+
   private:
     std::deque<MemRequestor *> _waiters;
+    std::string _owner = "unnamed sink";
 };
 
 /** Accepts memory request packets. */
@@ -140,13 +146,22 @@ class MemSink
     virtual bool
     offer(MemPacket *pkt, MemRequestor &req)
     {
-        if (tryAccept(pkt))
+        EMERALD_CHECK_HOOK(offerStarted(&_retries, pkt));
+        if (tryAccept(pkt)) {
+            // pkt may already be completed (even freed) by the sink
+            // here; the hook uses it as an identity key only.
+            EMERALD_CHECK_HOOK(offerAccepted(&_retries, pkt));
             return true;
+        }
+        EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, &req));
         _retries.add(req);
         return false;
     }
 
   protected:
+    /** Name this sink's retry list for checker/abort diagnostics. */
+    void setSinkName(const std::string &name) { _retries.setOwner(name); }
+
     /**
      * Wake the longest-waiting rejected requestor, if any. Sinks call
      * this (typically in a loop against their capacity check) whenever
@@ -188,12 +203,12 @@ class MemSink
 class MemPacket
 {
   public:
-    MemPacket(Addr addr, unsigned size, bool write, TrafficClass tclass,
-              AccessKind kind, int requestor_id,
-              MemClient *client = nullptr, std::uint64_t token = 0)
-        : addr(addr), size(size), write(write), tclass(tclass),
-          kind(kind), requestorId(requestor_id), client(client),
-          token(token)
+    MemPacket(Addr addr_, unsigned size_, bool write_,
+              TrafficClass tclass_, AccessKind kind_, int requestor_id,
+              MemClient *client_ = nullptr, std::uint64_t token_ = 0)
+        : addr(addr_), size(size_), write(write_), tclass(tclass_),
+          kind(kind_), requestorId(requestor_id), client(client_),
+          token(token_)
     {}
 
     Addr addr;
@@ -220,6 +235,15 @@ class MemPacket
     /** Owning pool, set by PacketPool::alloc(); nullptr = heap. */
     PacketPool *pool = nullptr;
 
+    /**
+     * Lifecycle generation stamp, written by the check subsystem (see
+     * sim/check/hooks.hh): a fresh generation per pool alloc, with
+     * check::packetPoisonBit set while the storage sits in the free
+     * list. Always present so build flavors stay ABI-compatible; zero
+     * (never poisoned) when checks are off.
+     */
+    std::uint64_t checkGen = 0;
+
     /** True for posted writes that never generate a response. */
     bool posted() const { return client == nullptr; }
 
@@ -244,6 +268,7 @@ void freePacket(MemPacket *pkt);
 inline void
 completePacket(MemPacket *pkt)
 {
+    EMERALD_CHECK_HOOK(packetCompleting(pkt));
     if (pkt->client)
         pkt->client->memResponse(pkt);
     else

@@ -17,7 +17,7 @@ PacketPool::PacketPool(StatGroup &parent)
 PacketPool::~PacketPool()
 {
     for (void *mem : _slabs)
-        ::operator delete(mem);
+        ::operator delete(mem); // NOLINT(cppcoreguidelines-owning-memory)
 }
 
 } // namespace emerald

@@ -46,6 +46,8 @@ class PacketPool
     {
         void *mem;
         if (_free.empty()) {
+            // The pool is the owner of every slab (see _slabs).
+            // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
             mem = ::operator new(sizeof(MemPacket));
             _slabs.push_back(mem);
             ++statHeapAllocs;
@@ -60,6 +62,7 @@ class PacketPool
         }
         auto *pkt = new (mem) MemPacket(std::forward<Args>(args)...);
         pkt->pool = this;
+        EMERALD_CHECK_HOOK(packetAlloc(this, pkt));
         return pkt;
     }
 
@@ -70,6 +73,7 @@ class PacketPool
         // MemPacket is trivially destructible, so the storage can be
         // recycled by placement-new without running a destructor.
         static_assert(std::is_trivially_destructible_v<MemPacket>);
+        EMERALD_CHECK_HOOK(packetPoolFree(this, pkt));
         pkt->pool = nullptr;
         _free.push_back(pkt);
         ++statFrees;

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "sim/check/context.hh"
+#include "sim/check/determinism.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/simulation_builder.hh"
@@ -11,13 +13,26 @@ namespace emerald
 
 Simulation::Simulation()
     : _statsRoot(""), _simGroup(_statsRoot, "sim"),
+      _checkGroup(_simGroup, "check"),
+      _statEventHash(_checkGroup, "event_hash",
+                     "FNV hash of the processed event stream "
+                     "(53-bit fold; 0 = check disabled)"),
       _packetPool(std::make_unique<PacketPool>(_simGroup)),
       _profiler(std::make_unique<EventProfiler>(_simGroup))
 {
+#ifdef EMERALD_CHECKS
+    _checkContext = std::make_unique<check::CheckContext>(_eq);
+#endif
 }
 
 Simulation::~Simulation()
 {
+    // Leak/quiescence verification must run while components (and the
+    // packet pool) are still alive; a drained event queue is the gate
+    // that distinguishes leaks from traffic legally still in flight.
+    if (_checkContext)
+        _checkContext->onTeardown(_eq.empty());
+
     if (_statsJsonOnExit.empty())
         return;
     std::ofstream os(_statsJsonOnExit);
@@ -26,6 +41,22 @@ Simulation::~Simulation()
         return;
     }
     dumpStatsJson(os);
+}
+
+void
+Simulation::enableDeterminismCheck()
+{
+    if (_determinism)
+        return;
+    _determinism = std::make_unique<check::DeterminismVerifier>(
+        _statEventHash);
+    attachInstrument(_determinism.get());
+}
+
+std::uint64_t
+Simulation::determinismHash() const
+{
+    return _determinism ? _determinism->hash() : 0;
 }
 
 ClockDomain &

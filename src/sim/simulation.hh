@@ -24,6 +24,12 @@ namespace emerald
 
 class Config;
 
+namespace check
+{
+class CheckContext;
+class DeterminismVerifier;
+} // namespace check
+
 /**
  * Owns the event queue and the root of the stats tree. Every
  * SimObject is constructed against a Simulation and registers its
@@ -113,6 +119,28 @@ class Simulation
         _statsJsonOnExit = path;
     }
 
+    /**
+     * Start hashing every processed event into sim.check.event_hash
+     * (see sim/check/determinism.hh). Available in every build type —
+     * it rides the event-queue instrument branch, so runs without it
+     * pay nothing. Idempotent.
+     */
+    void enableDeterminismCheck();
+
+    /**
+     * Full 64-bit event-stream hash, or 0 when the determinism check
+     * was never enabled. The sim.check.event_hash stat carries a
+     * 53-bit fold of the same value.
+     */
+    std::uint64_t determinismHash() const;
+
+    /**
+     * This simulation's correctness checkers, or nullptr in builds
+     * without EMERALD_CHECKS. Tests use this to tune thresholds and
+     * run quiescence checks mid-run.
+     */
+    check::CheckContext *checkContext() { return _checkContext.get(); }
+
   private:
     void attachInstrument(EventInstrument *instrument);
 
@@ -120,13 +148,24 @@ class Simulation
     StatGroup _statsRoot;
     /** Parent of kernel-owned stats: sim.profile.*, sim.pool.*. */
     StatGroup _simGroup;
+    /** Parent of correctness-tooling stats: sim.check.*. */
+    StatGroup _checkGroup;
+    Scalar _statEventHash;
     std::unique_ptr<PacketPool> _packetPool;
     std::unique_ptr<EventProfiler> _profiler;
     std::unique_ptr<EventTracer> _tracer;
+    std::unique_ptr<check::DeterminismVerifier> _determinism;
     InstrumentChain _instruments;
     bool _profiling = false;
     std::vector<std::unique_ptr<ClockDomain>> _domains;
     std::string _statsJsonOnExit;
+    /**
+     * Null unless built with EMERALD_CHECKS. Pushed onto the check
+     * subsystem's activation stack at construction, so nested scoped
+     * Simulations must tear down innermost-first (they do: the stack
+     * mirrors C++ object lifetime).
+     */
+    std::unique_ptr<check::CheckContext> _checkContext;
 };
 
 } // namespace emerald

@@ -35,11 +35,19 @@ SimulationBuilder::statsJsonOnExit(const std::string &path)
 }
 
 SimulationBuilder &
+SimulationBuilder::checkDeterminism(bool on)
+{
+    _checkDeterminism = on;
+    return *this;
+}
+
+SimulationBuilder &
 SimulationBuilder::observability(const Config &cfg)
 {
     traceFile(cfg.getString("trace-file", _traceFile));
     profiling(cfg.getBool("profile", _profiling));
     statsJsonOnExit(cfg.getString("sim-stats-json", _statsJsonOnExit));
+    checkDeterminism(cfg.getBool("check-determinism", _checkDeterminism));
     return *this;
 }
 
@@ -62,6 +70,8 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.enableProfiling();
     if (!_statsJsonOnExit.empty())
         sim.writeStatsJsonAtExit(_statsJsonOnExit);
+    if (_checkDeterminism)
+        sim.enableDeterminismCheck();
 }
 
 } // namespace emerald

@@ -47,8 +47,15 @@ class SimulationBuilder
     SimulationBuilder &statsJsonOnExit(const std::string &path);
 
     /**
+     * Hash the processed event stream into sim.check.event_hash for
+     * run-to-run determinism diffing (works in every build type).
+     */
+    SimulationBuilder &checkDeterminism(bool on = true);
+
+    /**
      * Read the observability keys from @p cfg: "trace-file" (path),
-     * "profile" (bool), "sim-stats-json" (path, dumped at exit).
+     * "profile" (bool), "sim-stats-json" (path, dumped at exit),
+     * "check-determinism" (bool, --check-determinism on the CLI).
      */
     SimulationBuilder &observability(const Config &cfg);
 
@@ -69,6 +76,7 @@ class SimulationBuilder
     std::string _traceFile;
     std::string _statsJsonOnExit;
     bool _profiling = false;
+    bool _checkDeterminism = false;
 };
 
 } // namespace emerald

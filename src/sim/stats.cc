@@ -63,7 +63,7 @@ Distribution::sample(double v, std::uint64_t count)
         _max = std::max(_max, v);
     }
     _count += count;
-    _sum += v * count;
+    _sum += v * static_cast<double>(count);
 }
 
 void

@@ -84,7 +84,11 @@ class Distribution : public Stat
     void sample(double v, std::uint64_t count = 1);
 
     std::uint64_t count() const { return _count; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double
+    mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
     double total() const { return _sum; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }

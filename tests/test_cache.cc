@@ -238,7 +238,7 @@ TEST_P(CacheVsReference, HitMissSequenceMatches)
 
     for (int i = 0; i < 2000; ++i) {
         Addr line = (rng.next() % 64) * 128;
-        unsigned set = (line / 128) % sets;
+        auto set = static_cast<unsigned>((line / 128) % sets);
         auto &lru = ref[set];
         auto it = std::find(lru.begin(), lru.end(), line);
         bool ref_hit = it != lru.end();

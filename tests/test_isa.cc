@@ -207,8 +207,8 @@ INSTANTIATE_TEST_SUITE_P(
         AluCase{"sin", "mov.f32 r0, 0.0\nsin.f32 r1, r0", 1, 0.0f},
         AluCase{"cos", "mov.f32 r0, 0.0\ncos.f32 r1, r0", 1, 1.0f},
         AluCase{"pow", "mov.f32 r0, 2.0\npow.f32 r1, r0, 10.0", 1, 1024.0f}),
-    [](const ::testing::TestParamInfo<AluCase> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<AluCase> &param_info) {
+        return std::string(param_info.param.name);
     });
 
 TEST(Executor, IntegerOps)

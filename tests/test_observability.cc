@@ -589,8 +589,11 @@ TEST(EventQueueCompaction, RunUntilSurvivesCompactionMidRun)
     EventQueue eq;
     std::vector<std::unique_ptr<NamedEvent>> events;
     for (int i = 0; i < 200; ++i) {
-        events.push_back(
-            std::make_unique<NamedEvent>("e" + std::to_string(i)));
+        // Built with += rather than operator+ to dodge a GCC 12
+        // -Wrestrict false positive (PR105651) under -Werror.
+        std::string name = "e";
+        name += std::to_string(i);
+        events.push_back(std::make_unique<NamedEvent>(name));
         eq.schedule(*events.back(), 10 + i);
     }
     // Deschedule every other event to force staleness, then run.

@@ -189,8 +189,9 @@ TEST_P(RasterizerProperty, CoverageMatchesReference)
                     bool near_edge = std::fabs(e0) < eps ||
                                      std::fabs(e1) < eps ||
                                      std::fabs(e2) < eps;
-                    if (!near_edge)
+                    if (!near_edge) {
                         EXPECT_EQ(covered, ref);
+                    }
                 }
             }
         }

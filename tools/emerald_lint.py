@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Repo lint gate for Emerald (see docs/static_analysis.md).
+
+AST-free, regex-based checks for repo-specific rules that neither the
+compiler nor clang-tidy knows about:
+
+  packet-alloc    MemPackets on the hot path come from PacketPool;
+                  raw `new MemPacket` / `delete pkt` in src/ bypasses
+                  the pool, its stats, and the lifecycle checkers.
+  randomness      All randomness flows through sim/random.hh so runs
+                  are reproducible from one seed; rand()/mt19937
+                  elsewhere silently breaks determinism.
+  raw-print       src/ reports through logging.hh and stats.hh, not
+                  printf/std::cout, so output stays machine-parseable.
+  offer-checked   offer() returns false on backpressure; a call site
+                  that drops the result keeps ownership of a packet it
+                  thinks it sent (docs/memory_protocol.md).
+  stat-dup        Two stats registered with the same name on the same
+                  parent silently shadow each other in dumps.
+
+Run from anywhere: paths are resolved relative to the repo root
+(parent of this file's directory) unless --root is given. Exit status
+is the number of violations (0 = clean), capped at 99.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+class Violation:
+    def __init__(self, rule, path, line, text):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text}"
+
+
+def strip_comments(lines):
+    """Yield (lineno, text) with // and /* */ comments blanked out.
+
+    String literals are not tracked; rule patterns are specific enough
+    that code-like text inside strings does not occur in this repo.
+    """
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    i = end + 2
+                    in_block = False
+            else:
+                slash = line.find("//", i)
+                block = line.find("/*", i)
+                if slash >= 0 and (block < 0 or slash < block):
+                    out.append(line[i:slash])
+                    i = len(line)
+                elif block >= 0:
+                    out.append(line[i:block])
+                    i = block + 2
+                    in_block = True
+                else:
+                    out.append(line[i:])
+                    i = len(line)
+        yield lineno, "".join(out)
+
+
+# rule: packet-alloc ---------------------------------------------------
+
+RAW_NEW_RE = re.compile(r"\bnew\s+MemPacket\b")
+RAW_DELETE_RE = re.compile(r"\bdelete\s+(\w*pkt\w*|\w*packet\w*)\b")
+
+# freePacket()'s heap fallback is the one legal delete; the pool's
+# placement-new recycling does not match RAW_NEW_RE (operand differs).
+PACKET_ALLOC_ALLOWLIST = {"src/sim/packet.cc"}
+
+
+def check_packet_alloc(rel, clean_lines, out):
+    if rel in PACKET_ALLOC_ALLOWLIST:
+        return
+    for lineno, line in clean_lines:
+        if RAW_NEW_RE.search(line):
+            out.append(Violation(
+                "packet-alloc", rel, lineno,
+                "raw `new MemPacket` — allocate from "
+                "Simulation::packetPool() so the pool stats and "
+                "lifecycle checks see it"))
+        if RAW_DELETE_RE.search(line):
+            out.append(Violation(
+                "packet-alloc", rel, lineno,
+                "raw `delete` of a packet — release with freePacket() "
+                "or completePacket()"))
+
+
+# rule: randomness -----------------------------------------------------
+
+RANDOM_RE = re.compile(
+    r"(?<![\w:])(s?rand)\s*\(|std::mt19937|std::random_device")
+
+RANDOM_ALLOWLIST = {"src/sim/random.hh"}
+
+
+def check_randomness(rel, clean_lines, out):
+    if rel in RANDOM_ALLOWLIST:
+        return
+    for lineno, line in clean_lines:
+        if RANDOM_RE.search(line):
+            out.append(Violation(
+                "randomness", rel, lineno,
+                "raw randomness — draw from sim/random.hh so runs "
+                "replay from one seed"))
+
+
+# rule: raw-print ------------------------------------------------------
+
+# Bare printf only: strprintf/fprintf/snprintf have \w before "printf"
+# and fprintf-to-a-FILE* (framebuffer dumps) is legitimate.
+PRINT_RE = re.compile(r"(?<![\w:])printf\s*\(|std::cout\b|std::cerr\b")
+
+PRINT_ALLOWLIST = {"src/sim/logging.hh", "src/sim/logging.cc",
+                   "src/sim/stats.hh", "src/sim/stats.cc"}
+
+
+def check_raw_print(rel, clean_lines, out):
+    if rel in PRINT_ALLOWLIST:
+        return
+    for lineno, line in clean_lines:
+        if PRINT_RE.search(line):
+            out.append(Violation(
+                "raw-print", rel, lineno,
+                "direct console output in src/ — use logging.hh "
+                "(diagnostics) or stats (results)"))
+
+
+# rule: offer-checked --------------------------------------------------
+
+OFFER_CALL_RE = re.compile(r"[.>]\s*offer\s*\(")
+# A used result: condition, assignment, return, negation, boolean op.
+OFFER_USED_RE = re.compile(
+    r"(if\s*\(|while\s*\(|return\b|[=!&|]\s*|\bbool\b[^;]*=\s*)[^;]*"
+    r"[.>]\s*offer\s*\(")
+
+
+def check_offer_checked(rel, clean_lines, out):
+    lines = dict(clean_lines)
+    for lineno, line in lines.items():
+        if not OFFER_CALL_RE.search(line):
+            continue
+        # Join the statement across a couple of lines so wrapped
+        # conditions are seen whole.
+        start = lineno
+        while start - 1 in lines and \
+                re.search(r"(if|while|return|[=!&|(])\s*$",
+                          lines[start - 1].rstrip()):
+            start -= 1
+        stmt = " ".join(lines[n] for n in range(start, lineno + 1))
+        if OFFER_USED_RE.search(stmt):
+            continue
+        out.append(Violation(
+            "offer-checked", rel, lineno,
+            "offer() result ignored — a rejected offer leaves the "
+            "packet with the caller (docs/memory_protocol.md)"))
+
+
+# rule: stat-dup -------------------------------------------------------
+
+# Stat construction: Type name(parent, "stat_name", ... or the member
+# initializer form statX(parent, "stat_name", ...
+STAT_REG_RE = re.compile(
+    r"\b\w+\s*\(\s*([*\w][\w.\->]*)\s*,\s*\"([\w.]+)\"\s*,")
+
+
+def check_stat_dup(rel, clean_lines, out):
+    seen = {}
+    for lineno, line in clean_lines:
+        for match in STAT_REG_RE.finditer(line):
+            parent, name = match.group(1), match.group(2)
+            key = (parent, name)
+            if key in seen:
+                out.append(Violation(
+                    "stat-dup", rel, lineno,
+                    f'stat "{name}" registered twice on {parent} '
+                    f"(first at line {seen[key]}) — the dumps would "
+                    "carry two entries with one name"))
+            else:
+                seen[key] = lineno
+
+
+# driver ---------------------------------------------------------------
+
+def lint_file(path: Path, rel: str, out):
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        out.append(Violation("io", rel, 0, f"unreadable: {err}"))
+        return
+    clean = list(strip_comments(text.splitlines()))
+    check_packet_alloc(rel, clean, out)
+    check_randomness(rel, clean, out)
+    check_raw_print(rel, clean, out)
+    check_offer_checked(rel, clean, out)
+    check_stat_dup(rel, clean, out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=repo_root(),
+                        help="repository root (default: inferred)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+    else:
+        files = sorted(p for p in (root / "src").rglob("*")
+                       if p.suffix in SRC_SUFFIXES)
+
+    violations = []
+    for path in files:
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        lint_file(path, rel, violations)
+
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"emerald_lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+    else:
+        print(f"emerald_lint: {len(files)} file(s) clean")
+    return min(len(violations), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
