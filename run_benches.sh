@@ -1,30 +1,55 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every paper table/figure (see EXPERIMENTS.md).
 #
 # Usage: run_benches.sh [--stats-json <dir>]
 #   --stats-json <dir>  also write one machine-readable JSON results
 #                       file per bench into <dir> (see
 #                       docs/observability.md for the schema).
+#
+# Exits nonzero if any bench fails, listing the failures at the end;
+# the remaining benches still run so one bad bench does not hide the
+# results of the others.
+set -euo pipefail
+
+SCRIPT_DIR=$(cd -- "$(dirname -- "$0")" && pwd)
+OUTPUT="$SCRIPT_DIR/bench_output.txt"
+
 STATS_DIR=""
-case "$1" in
+case "${1-}" in
 --stats-json=*) STATS_DIR="${1#--stats-json=}" ;;
---stats-json) STATS_DIR="$2" ;;
+--stats-json) STATS_DIR="${2-}" ;;
+"") ;;
+*)
+    echo "usage: $0 [--stats-json <dir>]" >&2
+    exit 2
+    ;;
 esac
 
 if [ -n "$STATS_DIR" ]; then
     mkdir -p "$STATS_DIR"
 fi
 
-: > /root/repo/bench_output.txt
-for b in build/bench/*; do
-    [ -x "$b" ] || continue
+: > "$OUTPUT"
+failed=()
+for b in "$SCRIPT_DIR"/build/bench/*; do
+    # -f skips CMakeFiles/ and friends (directories pass -x).
+    [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
+    args=()
     # micro_kernels is a google-benchmark binary; it does not take
     # the emerald Config flags.
     if [ -n "$STATS_DIR" ] && [ "$name" != "micro_kernels" ]; then
-        "$b" "--stats-json=$STATS_DIR/$name.json"
-    else
-        "$b"
+        args+=("--stats-json=$STATS_DIR/$name.json")
     fi
-done 2>&1 | tee -a /root/repo/bench_output.txt
-echo "ALL_BENCHES_DONE" >> /root/repo/bench_output.txt
+    # `if ! cmd` keeps set -e from killing the loop on a bench failure.
+    if ! "$b" ${args[@]+"${args[@]}"} 2>&1 | tee -a "$OUTPUT"; then
+        echo "BENCH_FAILED: $name" | tee -a "$OUTPUT" >&2
+        failed+=("$name")
+    fi
+done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "FAILED_BENCHES: ${failed[*]}" | tee -a "$OUTPUT" >&2
+    exit 1
+fi
+echo "ALL_BENCHES_DONE" >> "$OUTPUT"

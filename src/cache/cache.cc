@@ -207,6 +207,18 @@ Cache::wakeUpstream()
 }
 
 void
+Cache::hangDiagnostics(std::ostream &os) const
+{
+    if (!_downstreamBlocked && _sendQueue.empty() &&
+        _mshrs.available() && !hasRetryWaiters())
+        return;
+    os << "mshrs_free=" << (_mshrs.available() ? "yes" : "no")
+       << " send_queue=" << _sendQueue.size() << "/"
+       << _params.sendQueueDepth
+       << (_downstreamBlocked ? " BLOCKED on downstream" : "");
+}
+
+void
 Cache::respondLater(MemPacket *pkt)
 {
     Tick when = curTick() + _domain.cyclesToTicks(_params.hitLatency);

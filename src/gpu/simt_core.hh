@@ -98,6 +98,7 @@ class SimtCore : public SimObject,
 
     void memResponse(MemPacket *pkt) override;
     void retryRequest() override;
+    std::string requestorName() const override { return name(); }
 
     /** @{ Statistics. */
     Scalar statCyclesActive;

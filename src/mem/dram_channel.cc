@@ -53,7 +53,13 @@ DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord,
                      MemRequestor *req)
 {
     EMERALD_CHECK_HOOK(offerStarted(&_retries, pkt));
-    if (full()) {
+    // This path bypasses MemSink::offer(), so it carries its own
+    // offer-burst fault seam (only meaningful with a requestor to
+    // park — probes passing req == nullptr just see the real queue).
+    auto *inj = fault::FaultInjector::active();
+    bool force_reject =
+        !full() && inj && req && inj->injectOfferReject(_retries, *req);
+    if (full() || force_reject) {
         if (req) {
             EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, req));
             _retries.add(*req);
@@ -164,6 +170,16 @@ DramChannel::tryIssue()
         return;
     }
 
+    // Fault seam: a dram-stall window freezes the issue path (refresh
+    // storm / thermal throttle); re-arm at the window's end.
+    if (auto *inj = fault::FaultInjector::active()) {
+        Tick until = inj->issueStallEnd(name(), now);
+        if (until > now) {
+            scheduleIssue(until);
+            return;
+        }
+    }
+
     std::size_t idx = _scheduler.pick(*this, _queue, now);
     panic_if(idx >= _queue.size(), "scheduler picked out of range");
     DramScheduler::QueueEntry entry = _queue[idx];
@@ -224,6 +240,17 @@ DramChannel::tryIssue()
 
     if (!_queue.empty())
         scheduleIssue(_busFreeTick);
+}
+
+void
+DramChannel::hangDiagnostics(std::ostream &os) const
+{
+    if (_queue.empty() && _inflight.empty() && _retries.empty())
+        return;
+    os << "queue=" << _queue.size() << "/" << _queueCapacity
+       << " inflight=" << _inflight.size()
+       << " waiters=" << _retries.size()
+       << " bus_free=" << _busFreeTick;
 }
 
 void

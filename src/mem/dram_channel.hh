@@ -110,6 +110,8 @@ class DramChannel : public SimObject
     /** Row-buffer hit rate over the channel's lifetime. */
     double rowHitRate() const;
 
+    void hangDiagnostics(std::ostream &os) const override;
+
   private:
     void tryIssue();
     void completeHead();

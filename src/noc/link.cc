@@ -36,6 +36,12 @@ Link::tryAccept(MemPacket *pkt)
     _serializerFree = start + ser;
     Tick ready = _serializerFree + _params.latency;
 
+    // Fault seam: link-delay sites add latency to this traversal
+    // (congested hop / marginal lane model). Delivery order within
+    // the link is preserved — the queue drains head-first regardless.
+    if (auto *inj = fault::FaultInjector::active())
+        ready += inj->extraLinkDelay(name());
+
     _queue.push_back({pkt, ready});
     ++statPackets;
     statBytes += pkt->size;
@@ -76,6 +82,15 @@ Link::retryRequest()
 {
     _blocked = false;
     deliver();
+}
+
+void
+Link::hangDiagnostics(std::ostream &os) const
+{
+    if (_queue.empty() && !_blocked)
+        return;
+    os << "queue=" << _queue.size() << "/" << _params.queueDepth
+       << (_blocked ? " BLOCKED on target" : "");
 }
 
 } // namespace emerald::noc

@@ -45,8 +45,14 @@ class Link : public SimObject, public MemSink, public MemRequestor
 
     bool tryAccept(MemPacket *pkt) override;
     void retryRequest() override;
+    std::string requestorName() const override { return name(); }
 
     std::size_t queueDepth() const { return _queue.size(); }
+
+    /** True while parked on the target's retry list. */
+    bool blocked() const { return _blocked; }
+
+    void hangDiagnostics(std::ostream &os) const override;
 
     /** @{ Statistics. */
     Scalar statPackets;

@@ -1,6 +1,7 @@
 #include "sim/check/retry_protocol.hh"
 
 #include "sim/event_queue.hh"
+#include "sim/fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "sim/packet.hh"
 
@@ -32,6 +33,12 @@ RetryProtocolChecker::onOfferAccepted(RetryList *list)
 {
     Tick now = _eq.curTick();
     checkStaleRejects(now);
+    // A fault campaign deliberately starves waiters (stall windows,
+    // rejection bursts), so the timing-based lost-wakeup heuristic
+    // would report the injector's own faults; the ProgressWatchdog
+    // owns hang detection under injection.
+    if (fault::FaultInjector::active())
+        return;
     for (const auto &[req, info] : _waiting) {
         if (info.list != list)
             continue;
@@ -124,7 +131,12 @@ RetryProtocolChecker::verifyQuiescent() const
               "tick %llu was never registered for a retry",
               static_cast<void *>(req), (unsigned long long)tick);
     }
+    auto *inj = fault::FaultInjector::active();
     for (const auto &[req, info] : _waiting) {
+        // Victims of deliberate faults (wake-suppress, injected
+        // rejections) are expected to be parked at teardown.
+        if (inj && inj->faultedRequestor(req))
+            continue;
         panic("retry protocol: lost wakeup: requestor %p is still "
               "parked on '%s' (since tick %llu) with nothing left "
               "that could wake it",

@@ -1,28 +1,125 @@
 #include "sim/config.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include "sim/logging.hh"
 
 namespace emerald
 {
 
+namespace
+{
+
+/**
+ * Every --key some bench, example or the simulation kernel reads.
+ * parseArgs rejects anything else (with a near-miss suggestion)
+ * unless --allow-unknown-args is given; keeping the table here, next
+ * to the parser, makes "add a flag" a one-line change.
+ */
+const char *const knownKeys[] = {
+    // Simulation kernel (SimulationBuilder::observability).
+    "check-determinism", "fault-plan", "fault-seed", "profile",
+    "sim-stats-json", "trace-file", "watchdog-mode", "watchdog-ticks",
+    // Parser control.
+    "allow-unknown-args",
+    // Benches and examples.
+    "alpha", "beta", "config", "frames", "gamma", "height", "highload",
+    "maxwt", "model", "n", "name", "out", "outdir", "prep", "quick",
+    "run_frames", "stats", "stats-json", "width", "workload", "wt",
+};
+
+bool
+isKnownKey(const std::string &key)
+{
+    for (const char *known : knownKeys)
+        if (key == known)
+            return true;
+    return false;
+}
+
+/** Classic Levenshtein distance (keys are short; O(n*m) is fine). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t prev = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = prev;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Closest known key within an edit distance worth suggesting. */
+std::string
+nearestKnownKey(const std::string &key)
+{
+    std::string best;
+    std::size_t best_dist = std::max<std::size_t>(2, key.size() / 3);
+    for (const char *known : knownKeys) {
+        std::size_t d = editDistance(key, known);
+        if (d <= best_dist) {
+            best_dist = d - 1; // Strictly better from now on.
+            best = known;
+        }
+    }
+    return best;
+}
+
+void
+rejectUnknownKey(const std::string &key)
+{
+    std::string suggestion = nearestKnownKey(key);
+    if (!suggestion.empty()) {
+        fatal("unknown option '--%s' — did you mean '--%s'? (pass "
+              "--allow-unknown-args to skip this check)",
+              key.c_str(), suggestion.c_str());
+    }
+    fatal("unknown option '--%s' (pass --allow-unknown-args to skip "
+          "this check)", key.c_str());
+}
+
+} // namespace
+
 void
 Config::parseArgs(int argc, char **argv)
 {
+    // First pass: the opt-out may appear anywhere on the line.
+    bool allow_unknown = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--allow-unknown-args" ||
+            arg.rfind("--allow-unknown-args=", 0) == 0)
+            allow_unknown = true;
+    }
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0)
             fatal("bad argument '%s': expected --key=value", arg.c_str());
         auto eq = arg.find('=');
+        std::string key = eq != std::string::npos
+                              ? arg.substr(2, eq - 2)
+                              : arg.substr(2);
+        if (!allow_unknown && !isKnownKey(key))
+            rejectUnknownKey(key);
         if (eq != std::string::npos) {
-            set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+            set(key, arg.substr(eq + 1));
         } else if (i + 1 < argc && argv[i + 1][0] != '-') {
             // "--key value" form, e.g. "--stats-json out.json".
-            set(arg.substr(2), argv[++i]);
+            set(key, argv[++i]);
         } else {
             // Bare "--flag" is a boolean switch.
-            set(arg.substr(2), "1");
+            set(key, "1");
         }
     }
 }

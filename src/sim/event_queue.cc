@@ -73,6 +73,17 @@ EventQueue::maybeCompact()
         compact();
 }
 
+std::string
+EventQueue::headSummary()
+{
+    skim();
+    if (_heap.empty())
+        return "(empty)";
+    const Entry &top = _heap.front();
+    return strprintf("%s @ %llu", top.event->name().c_str(),
+                     (unsigned long long)top.when);
+}
+
 Tick
 EventQueue::nextTick()
 {

@@ -165,6 +165,12 @@ class EventQueue
     std::size_t heapSize() const { return _heap.size(); }
 
     /**
+     * "name @ tick" of the next live event, or "(empty)". Skims stale
+     * entries first; used by the watchdog's hang report.
+     */
+    std::string headSummary();
+
+    /**
      * Install (or with nullptr remove) the observer notified after
      * every processed event. The queue does not own it.
      */

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-simulation registry of live RetryLists.
+ *
+ * The watchdog and the fault injector both need a global view of
+ * "who is parked waiting for a retry" — information that otherwise
+ * only exists scattered across every MemSink. RetryList registers
+ * itself with the innermost FaultDomain at construction (see
+ * sim/packet.cc), and the Simulation owns one domain, so walking
+ * Simulation::faultDomain().lists() enumerates every retry list in
+ * the model with zero per-offer cost.
+ *
+ * The domain uses the same activation-stack pattern as
+ * check::CheckContext: MemSink has no back-pointer to its Simulation,
+ * so registration goes through the innermost active domain instead.
+ * Lists constructed outside any Simulation (bare tests) simply stay
+ * unregistered.
+ */
+
+#ifndef EMERALD_SIM_FAULT_DOMAIN_HH
+#define EMERALD_SIM_FAULT_DOMAIN_HH
+
+#include <vector>
+
+namespace emerald
+{
+
+class RetryList;
+
+namespace fault
+{
+
+/** Registry of the RetryLists constructed while this domain is
+ *  innermost. Owned by Simulation; see file comment. */
+class FaultDomain
+{
+  public:
+    FaultDomain();
+    ~FaultDomain();
+
+    FaultDomain(const FaultDomain &) = delete;
+    FaultDomain &operator=(const FaultDomain &) = delete;
+
+    /** Innermost active domain, or nullptr outside any Simulation. */
+    static FaultDomain *current();
+
+    void registerList(RetryList *list);
+    void unregisterList(RetryList *list);
+
+    /** Live lists in construction order (deterministic reports). */
+    const std::vector<RetryList *> &lists() const { return _lists; }
+
+  private:
+    std::vector<RetryList *> _lists;
+};
+
+} // namespace fault
+} // namespace emerald
+
+#endif // EMERALD_SIM_FAULT_DOMAIN_HH

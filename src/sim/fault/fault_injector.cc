@@ -1,0 +1,167 @@
+#include "sim/fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/packet.hh"
+
+namespace emerald::fault
+{
+
+namespace
+{
+
+/** Heal horizon for open-ended offer-burst sites: lists starved by an
+ *  injected rejection are force-woken at most this much later. */
+constexpr Tick openEndedFlushDelay = ticksFromUs(5);
+
+} // namespace
+
+FaultInjector::FaultInjector(EventQueue &eq, StatGroup &parent,
+                             FaultPlan plan, std::uint64_t seed)
+    : _group(parent, "fault"),
+      statOfferRejects(_group, "offer_rejects",
+                       "offers force-rejected by the fault injector"),
+      statStalls(_group, "stalls",
+                 "DRAM issue attempts frozen by a stall window"),
+      statLinkDelays(_group, "link_delays",
+                     "NoC deliveries given extra injected latency"),
+      statWakesSuppressed(_group, "wake_suppressed",
+                          "retry wakeups swallowed (lost-wakeup model)"),
+      statDupWakes(_group, "dup_wakes",
+                   "spurious duplicate retry wakeups injected"),
+      _eq(eq), _plan(std::move(plan)), _rng(seed),
+      _flushEvent([this] { flushPending(); }, "fault-flush"),
+      _prev(s_active)
+{
+    s_active = this;
+}
+
+FaultInjector::~FaultInjector()
+{
+    s_active = _prev;
+}
+
+FaultSite *
+FaultInjector::pickSite(FaultKind kind, const std::string &name, Tick now)
+{
+    for (FaultSite &site : _plan.sites()) {
+        if (site.kind != kind || !site.matches(name))
+            continue;
+        if (site.injected >= site.count || !site.activeAt(now))
+            continue;
+        // Roll the RNG only after every deterministic filter passed, so
+        // sites that never open leave the random stream untouched.
+        if (site.prob < 1.0 && !_rng.chance(site.prob))
+            continue;
+        return &site;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::injectOfferReject(RetryList &list, MemRequestor &req)
+{
+    Tick now = _eq.curTick();
+    FaultSite *site = pickSite(FaultKind::OfferBurst, list.owner(), now);
+    if (!site)
+        return false;
+    ++site->injected;
+    ++statOfferRejects;
+    _faulted.insert(&req);
+
+    if (std::find(_pendingFlush.begin(), _pendingFlush.end(), &list) ==
+        _pendingFlush.end())
+        _pendingFlush.push_back(&list);
+
+    // Heal at the window's end: the sink believes nothing was enqueued,
+    // so no natural capacity-freed wake is owed to this requestor.
+    Tick end = site->windowEnd(now);
+    Tick flush_at = std::min(end, now + openEndedFlushDelay);
+    if (!_flushEvent.scheduled())
+        _eq.schedule(_flushEvent, flush_at);
+    else if (flush_at < _flushEvent.when())
+        _eq.reschedule(_flushEvent, flush_at);
+    return true;
+}
+
+Tick
+FaultInjector::issueStallEnd(const std::string &name, Tick now)
+{
+    FaultSite *site = pickSite(FaultKind::DramStall, name, now);
+    if (!site)
+        return now;
+    ++site->injected;
+    ++statStalls;
+    // dram-stall sites require len > 0, so the window end is finite
+    // and strictly after now: the channel re-arms its issue event
+    // there and progress resumes.
+    return site->windowEnd(now);
+}
+
+Tick
+FaultInjector::extraLinkDelay(const std::string &name)
+{
+    FaultSite *site =
+        pickSite(FaultKind::LinkDelay, name, _eq.curTick());
+    if (!site)
+        return 0;
+    ++site->injected;
+    ++statLinkDelays;
+    return site->delay;
+}
+
+bool
+FaultInjector::suppressWake(const RetryList &list, MemRequestor *req)
+{
+    FaultSite *site =
+        pickSite(FaultKind::WakeSuppress, list.owner(), _eq.curTick());
+    if (!site)
+        return false;
+    ++site->injected;
+    ++statWakesSuppressed;
+    _faulted.insert(req);
+    return true;
+}
+
+bool
+FaultInjector::duplicateWake(const RetryList &list, MemRequestor *req)
+{
+    FaultSite *site =
+        pickSite(FaultKind::DupWake, list.owner(), _eq.curTick());
+    if (!site)
+        return false;
+    ++site->injected;
+    ++statDupWakes;
+    // The duplicate wake is spurious by protocol spec, but the mirror
+    // checker would see a wake of an unregistered requestor; mark the
+    // victim so deliberate noise is not reported as a bug.
+    _faulted.insert(req);
+    return true;
+}
+
+std::uint64_t
+FaultInjector::injections() const
+{
+    std::uint64_t total = 0;
+    for (const FaultSite &site : _plan.sites())
+        total += site.injected;
+    return total;
+}
+
+void
+FaultInjector::flushPending()
+{
+    std::vector<RetryList *> lists;
+    lists.swap(_pendingFlush);
+    for (RetryList *list : lists) {
+        // Force-wake everyone parked at flush time, once each: woken
+        // requestors may legitimately re-register (real capacity may
+        // still be short), so bound the loop by the starting size.
+        std::size_t budget = list->size();
+        while (budget-- > 0 && list->wakeOne(/*force=*/true)) {
+        }
+    }
+}
+
+} // namespace emerald::fault

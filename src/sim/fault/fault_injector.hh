@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Seeded fault injector attached at the memory-protocol seams.
+ *
+ * One FaultInjector executes one FaultPlan (see fault_plan.hh). It is
+ * created by Simulation::configureFaults() and exposes itself through
+ * the activation-stack accessor active(): the protocol seams
+ * (MemSink::offer(), RetryList::wakeOne(), DramChannel, noc::Link)
+ * test `FaultInjector::active()` — a single inline null check — so a
+ * run with no plan pays one predictable branch per seam and its event
+ * stream (sim.check.event_hash) is bit-identical to a build without
+ * the subsystem.
+ *
+ * Injected offer-rejections follow the real rejection protocol (the
+ * requestor parks on the sink's RetryList), and the injector schedules
+ * a flush event at the fault window's end that force-wakes the lists
+ * it starved, so bursts heal and traffic resumes. Suppressed wakeups
+ * deliberately do NOT heal — they model lost retryRequest() calls and
+ * are what the ProgressWatchdog exists to catch.
+ *
+ * The RetryProtocolChecker consults faultedRequestor() so deliberate
+ * faults are not reported as protocol bugs (see
+ * src/sim/check/retry_protocol.cc).
+ */
+
+#ifndef EMERALD_SIM_FAULT_FAULT_INJECTOR_HH
+#define EMERALD_SIM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fault/fault_plan.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace emerald
+{
+
+class MemRequestor;
+class RetryList;
+
+namespace fault
+{
+
+class FaultInjector
+{
+  public:
+    FaultInjector(EventQueue &eq, StatGroup &parent, FaultPlan plan,
+                  std::uint64_t seed);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Innermost active injector; nullptr when injection is off. */
+    static FaultInjector *active() { return s_active; }
+
+    /**
+     * offer-burst seam: should the sink owning @p list force-reject
+     * this offer from @p req? On true the injector has queued @p list
+     * for a force-wake flush at the fault window's end and marked
+     * @p req as a deliberate-fault victim.
+     */
+    bool injectOfferReject(RetryList &list, MemRequestor &req);
+
+    /**
+     * dram-stall seam: earliest tick the channel named @p name may
+     * issue at; returns @p now when no stall window is open.
+     */
+    Tick issueStallEnd(const std::string &name, Tick now);
+
+    /** link-delay seam: extra delivery latency for link @p name. */
+    Tick extraLinkDelay(const std::string &name);
+
+    /**
+     * wake-suppress seam: swallow this wakeup? The caller must leave
+     * @p req parked. The requestor is remembered as deliberately
+     * faulted so the retry-protocol checker does not report it.
+     */
+    bool suppressWake(const RetryList &list, MemRequestor *req);
+
+    /** dup-wake seam: follow this wake with a spurious duplicate? */
+    bool duplicateWake(const RetryList &list, MemRequestor *req);
+
+    /**
+     * True when @p req was the victim of a deliberate fault; the
+     * RetryProtocolChecker skips its lost-wakeup / quiescence panics
+     * for such requestors.
+     */
+    bool
+    faultedRequestor(const MemRequestor *req) const
+    {
+        return _faulted.count(req) != 0;
+    }
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** Total injections across all sites and seams. */
+    std::uint64_t injections() const;
+
+  private:
+    /** Declared before the Scalars so it is constructed first. */
+    StatGroup _group;
+
+  public:
+    /** @{ sim.fault.* counters. */
+    Scalar statOfferRejects;
+    Scalar statStalls;
+    Scalar statLinkDelays;
+    Scalar statWakesSuppressed;
+    Scalar statDupWakes;
+    /** @} */
+
+  private:
+    /**
+     * First site of @p kind whose filter matches @p name with an open
+     * window and budget left, after a prob roll. The RNG is consumed
+     * only when every deterministic filter passed, so an inert plan
+     * leaves the random stream untouched.
+     */
+    FaultSite *pickSite(FaultKind kind, const std::string &name,
+                        Tick now);
+
+    /** Force-wake every list starved by an injected rejection. */
+    void flushPending();
+
+    EventQueue &_eq;
+    FaultPlan _plan;
+    Random _rng;
+
+    /** Lists owed a force-wake once their fault window closes. */
+    std::vector<RetryList *> _pendingFlush;
+    /** Victims of deliberate faults (checker suppression set). */
+    std::unordered_set<const MemRequestor *> _faulted;
+
+    EventFunction _flushEvent;
+
+    /** Enclosing injector restored by the destructor (nesting). */
+    FaultInjector *_prev;
+
+    inline static FaultInjector *s_active = nullptr;
+};
+
+} // namespace fault
+} // namespace emerald
+
+#endif // EMERALD_SIM_FAULT_FAULT_INJECTOR_HH

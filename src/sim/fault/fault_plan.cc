@@ -1,0 +1,210 @@
+#include "sim/fault/fault_plan.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace emerald::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::OfferBurst: return "offer-burst";
+      case FaultKind::DramStall: return "dram-stall";
+      case FaultKind::LinkDelay: return "link-delay";
+      case FaultKind::DupWake: return "dup-wake";
+      case FaultKind::WakeSuppress: return "wake-suppress";
+      default: return "unknown";
+    }
+}
+
+bool
+FaultSite::activeAt(Tick now) const
+{
+    if (now < start)
+        return false;
+    if (period == 0)
+        return len == 0 || now < start + len;
+    return (now - start) % period < len;
+}
+
+Tick
+FaultSite::windowEnd(Tick now) const
+{
+    if (period == 0)
+        return len == 0 ? maxTick : start + len;
+    Tick windowStart = now - (now - start) % period;
+    return windowStart + len;
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+FaultKind
+parseKind(const std::string &name)
+{
+    if (name == "offer-burst")
+        return FaultKind::OfferBurst;
+    if (name == "dram-stall")
+        return FaultKind::DramStall;
+    if (name == "link-delay")
+        return FaultKind::LinkDelay;
+    if (name == "dup-wake")
+        return FaultKind::DupWake;
+    if (name == "wake-suppress")
+        return FaultKind::WakeSuppress;
+    fatal("--fault-plan: unknown fault kind '%s' (expected offer-burst, "
+          "dram-stall, link-delay, dup-wake or wake-suppress)",
+          name.c_str());
+}
+
+double
+parseProb(const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0)
+        fatal("--fault-plan: bad prob '%s' (expected 0..1)", text.c_str());
+    return v;
+}
+
+std::uint64_t
+parseCount(const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("--fault-plan: bad count '%s'", text.c_str());
+    return v;
+}
+
+void
+applyKey(FaultSite &site, const std::string &key, const std::string &value)
+{
+    if (key == "match")
+        site.match = value;
+    else if (key == "start")
+        site.start = parseDuration(value, "--fault-plan start");
+    else if (key == "len")
+        site.len = parseDuration(value, "--fault-plan len");
+    else if (key == "period")
+        site.period = parseDuration(value, "--fault-plan period");
+    else if (key == "prob")
+        site.prob = parseProb(value);
+    else if (key == "count")
+        site.count = parseCount(value);
+    else if (key == "delay")
+        site.delay = parseDuration(value, "--fault-plan delay");
+    else
+        fatal("--fault-plan: unknown key '%s' (expected match, start, len, "
+              "period, prob, count or delay)", key.c_str());
+}
+
+void
+validateSite(const FaultSite &site)
+{
+    if (site.kind == FaultKind::DramStall && site.len == 0)
+        fatal("--fault-plan: dram-stall requires len>0 (an open-ended "
+              "stall can never make progress)");
+    if (site.period != 0 && site.len == 0)
+        fatal("--fault-plan: period without len describes windows that "
+              "never open");
+    if (site.period != 0 && site.len > site.period)
+        fatal("--fault-plan: len must not exceed period");
+}
+
+FaultSite
+parseSite(const std::string &text)
+{
+    std::size_t open = text.find('(');
+    FaultSite site;
+    if (open == std::string::npos) {
+        site.kind = parseKind(trim(text));
+        validateSite(site);
+        return site;
+    }
+    if (text.back() != ')')
+        fatal("--fault-plan: missing ')' in '%s'", text.c_str());
+    site.kind = parseKind(trim(text.substr(0, open)));
+    std::string body = text.substr(open + 1, text.size() - open - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        std::string kv = trim(body.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (kv.empty())
+            continue;
+        std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            fatal("--fault-plan: expected key=value, got '%s'", kv.c_str());
+        applyKey(site, trim(kv.substr(0, eq)), trim(kv.substr(eq + 1)));
+    }
+    validateSite(site);
+    return site;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t semi = text.find(';', pos);
+        if (semi == std::string::npos)
+            semi = text.size();
+        std::string token = trim(text.substr(pos, semi - pos));
+        pos = semi + 1;
+        if (token.empty())
+            continue;
+        plan._sites.push_back(parseSite(token));
+    }
+    return plan;
+}
+
+Tick
+parseDuration(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        fatal("%s: empty duration", what.c_str());
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || v < 0.0)
+        fatal("%s: bad duration '%s'", what.c_str(), text.c_str());
+    std::string suffix = trim(end);
+    if (suffix.empty()) {
+        // Bare number: raw ticks (picoseconds).
+        return static_cast<Tick>(v + 0.5);
+    }
+    if (suffix == "ns")
+        return ticksFromNs(v);
+    if (suffix == "us")
+        return ticksFromUs(v);
+    if (suffix == "ms")
+        return ticksFromMs(v);
+    if (suffix == "s")
+        return static_cast<Tick>(v * static_cast<double>(ticksPerSecond) +
+                                 0.5);
+    fatal("%s: bad duration suffix '%s' (expected ns, us, ms or s)",
+          what.c_str(), suffix.c_str());
+}
+
+} // namespace emerald::fault

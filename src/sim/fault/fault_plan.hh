@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative description of a fault-injection campaign, parsed from
+ * the --fault-plan config string (docs/fault_injection.md).
+ *
+ * A plan is a semicolon-separated list of fault sites:
+ *
+ *   kind(key=value,key=value);kind2(...)
+ *
+ * Kinds (each attaches at one protocol seam):
+ *   offer-burst    MemSink::offer() / DramChannel::enqueue() forced
+ *                  rejections while a window is open.
+ *   dram-stall     DramChannel issue path frozen while a window is
+ *                  open (refresh-storm / thermal-throttle style).
+ *   link-delay     extra delivery latency on matching noc::Links.
+ *   dup-wake       a successful RetryList wake is followed by a
+ *                  spurious duplicate retryRequest().
+ *   wake-suppress  a RetryList wake is swallowed: the waiter stays
+ *                  parked and the wake is lost (lost-wakeup model).
+ *
+ * Keys: match (substring of the sink/component name, empty = all),
+ * start/len/period (durations: "250us", "3ms", "1000" raw ticks),
+ * prob (0..1 per-opportunity probability), count (max injections),
+ * delay (link-delay only: extra latency).
+ *
+ * Every stochastic decision draws from one Random seeded by
+ * --fault-seed, so a campaign replays exactly.
+ */
+
+#ifndef EMERALD_SIM_FAULT_FAULT_PLAN_HH
+#define EMERALD_SIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emerald::fault
+{
+
+enum class FaultKind : std::uint8_t
+{
+    OfferBurst,
+    DramStall,
+    LinkDelay,
+    DupWake,
+    WakeSuppress,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One fault site: a kind, a target filter, and a timing window. */
+struct FaultSite
+{
+    FaultKind kind = FaultKind::OfferBurst;
+    /** Substring match on the sink/component name; empty = all. */
+    std::string match;
+    /** First window opens at this tick. */
+    Tick start = 0;
+    /** Window length; 0 = open-ended (from start onwards). */
+    Tick len = 0;
+    /** Window repeat period; 0 = single window. */
+    Tick period = 0;
+    /** Per-opportunity injection probability. */
+    double prob = 1.0;
+    /** Injection budget; the site goes inert once spent. */
+    std::uint64_t count = ~std::uint64_t(0);
+    /** link-delay: extra delivery latency. */
+    Tick delay = 0;
+
+    /** Injections performed so far (runtime state). */
+    std::uint64_t injected = 0;
+
+    /** True when @p name passes this site's match filter. */
+    bool
+    matches(const std::string &name) const
+    {
+        return match.empty() || name.find(match) != std::string::npos;
+    }
+
+    /** True when a window is open at @p now (budget not considered). */
+    bool activeAt(Tick now) const;
+
+    /** Tick at which the window open at @p now closes. @pre activeAt. */
+    Tick windowEnd(Tick now) const;
+};
+
+/**
+ * A parsed --fault-plan. Sites keep per-site runtime counters, so one
+ * FaultPlan instance belongs to one FaultInjector.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse the --fault-plan grammar above; fatal() with the offending
+     * token on a syntax error. An empty/whitespace string yields an
+     * empty plan.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    bool empty() const { return _sites.empty(); }
+    std::vector<FaultSite> &sites() { return _sites; }
+    const std::vector<FaultSite> &sites() const { return _sites; }
+
+  private:
+    std::vector<FaultSite> _sites;
+};
+
+/**
+ * Parse a duration token: a float with an ns/us/ms/s suffix, or a
+ * bare integer tick count. fatal() on malformed input; @p what names
+ * the value in the error message.
+ */
+Tick parseDuration(const std::string &text, const std::string &what);
+
+} // namespace emerald::fault
+
+#endif // EMERALD_SIM_FAULT_FAULT_PLAN_HH

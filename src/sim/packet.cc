@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "sim/fault/domain.hh"
 #include "sim/logging.hh"
 #include "sim/packet_pool.hh"
 
 namespace emerald
 {
+
+RetryList::RetryList() : _domain(fault::FaultDomain::current())
+{
+    if (_domain)
+        _domain->registerList(this);
+}
+
+RetryList::~RetryList()
+{
+    if (_domain)
+        _domain->unregisterList(this);
+}
 
 void
 RetryList::add(MemRequestor &req)
@@ -19,14 +32,33 @@ RetryList::add(MemRequestor &req)
 }
 
 bool
-RetryList::wakeOne()
+RetryList::wakeOne(bool force)
 {
     if (_waiters.empty())
         return false;
     MemRequestor *req = _waiters.front();
+
+    auto *inj = fault::FaultInjector::active();
+    if (!force && inj && inj->suppressWake(*this, req)) {
+        // Lost wakeup: the victim stays parked and (deliberately)
+        // loses its FIFO slot — exactly the bug class the watchdog
+        // exists to catch. No retryWoken hook fires: from the
+        // protocol's point of view this wake never happened.
+        _waiters.pop_front();
+        _waiters.push_back(req);
+        return false;
+    }
+
     _waiters.pop_front();
     EMERALD_CHECK_HOOK(retryWoken(this, req));
     req->retryRequest();
+
+    if (!force && inj && inj->duplicateWake(*this, req)) {
+        // Spurious duplicate: legal per the MemRequestor contract
+        // ("wakeups can be spurious"), so a correct requestor must
+        // tolerate it; no hook, the mirror checker never sees it.
+        req->retryRequest();
+    }
     return true;
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "sim/check/hooks.hh"
+#include "sim/fault/fault_injector.hh"
 #include "sim/types.hh"
 
 namespace emerald
@@ -61,6 +62,11 @@ const char *trafficClassName(TrafficClass tclass);
 class MemPacket;
 class PacketPool;
 
+namespace fault
+{
+class FaultDomain;
+} // namespace fault
+
 /** Receives responses for packets it sent downstream. */
 class MemClient
 {
@@ -87,6 +93,16 @@ class MemRequestor
      * so implementations must tolerate having nothing to send.
      */
     virtual void retryRequest() = 0;
+
+    /**
+     * Who this requestor is, for the watchdog's hang report ("who is
+     * parked on which RetryList"). Components that are SimObjects
+     * return their instance name.
+     */
+    virtual std::string requestorName() const
+    {
+        return "unnamed requestor";
+    }
 };
 
 /**
@@ -98,17 +114,42 @@ class MemRequestor
 class RetryList
 {
   public:
+    /**
+     * Registers with the innermost fault::FaultDomain (the one the
+     * enclosing Simulation owns) so the watchdog can enumerate parked
+     * waiters; lists constructed outside a Simulation stay
+     * unregistered.
+     */
+    RetryList();
+    ~RetryList();
+
+    RetryList(const RetryList &) = delete;
+    RetryList &operator=(const RetryList &) = delete;
+
     /** Queue @p req for a wakeup; duplicates are ignored. */
     void add(MemRequestor &req);
 
     /**
      * Wake the longest-waiting requestor.
-     * @return false when no requestor was waiting.
+     *
+     * With @p force the wake bypasses fault injection: the injector's
+     * heal flush and the watchdog's degrade recovery use it so their
+     * wakeups cannot be re-suppressed. A non-forced wake swallowed by
+     * a wake-suppress fault returns false and sends the victim to the
+     * back of the FIFO (the lost wakeup also loses its queue slot).
+     *
+     * @return false when no requestor was woken.
      */
-    bool wakeOne();
+    bool wakeOne(bool force = false);
 
     bool empty() const { return _waiters.empty(); }
     std::size_t size() const { return _waiters.size(); }
+
+    /** Parked requestors in FIFO order (watchdog hang report). */
+    const std::deque<MemRequestor *> &waiters() const
+    {
+        return _waiters;
+    }
 
     /** Name of the owning sink, for checker/abort diagnostics. */
     void setOwner(const std::string &name) { _owner = name; }
@@ -117,6 +158,8 @@ class RetryList
   private:
     std::deque<MemRequestor *> _waiters;
     std::string _owner = "unnamed sink";
+    /** Domain this list registered with (null outside a Simulation). */
+    fault::FaultDomain *_domain = nullptr;
 };
 
 /** Accepts memory request packets. */
@@ -147,6 +190,14 @@ class MemSink
     offer(MemPacket *pkt, MemRequestor &req)
     {
         EMERALD_CHECK_HOOK(offerStarted(&_retries, pkt));
+        // Fault seam: an active injector may force-reject this offer
+        // (offer-burst sites). Cost when injection is off: one branch.
+        if (auto *inj = fault::FaultInjector::active();
+            inj && inj->injectOfferReject(_retries, req)) {
+            EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, &req));
+            _retries.add(req);
+            return false;
+        }
         if (tryAccept(pkt)) {
             // pkt may already be completed (even freed) by the sink
             // here; the hook uses it as an identity key only.

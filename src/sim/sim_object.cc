@@ -8,12 +8,19 @@ namespace emerald
 SimObject::SimObject(Simulation &sim, const std::string &name)
     : StatGroup(sim.statsRoot(), name), _sim(sim), _name(name)
 {
+    _sim.registerObject(this);
 }
 
 SimObject::SimObject(SimObject &parent, const std::string &name)
     : StatGroup(parent, name), _sim(parent._sim),
       _name(parent.name() + "." + name)
 {
+    _sim.registerObject(this);
+}
+
+SimObject::~SimObject()
+{
+    _sim.unregisterObject(this);
 }
 
 Tick

@@ -11,6 +11,7 @@
 #ifndef EMERALD_SIM_SIM_OBJECT_HH
 #define EMERALD_SIM_SIM_OBJECT_HH
 
+#include <ostream>
 #include <string>
 
 #include "sim/event_queue.hh"
@@ -28,7 +29,10 @@ class SimObject : public StatGroup
   public:
     SimObject(Simulation &sim, const std::string &name);
     SimObject(SimObject &parent, const std::string &name);
-    ~SimObject() override = default;
+    ~SimObject() override;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
 
     const std::string &name() const { return _name; }
     Simulation &sim() { return _sim; }
@@ -56,6 +60,24 @@ class SimObject : public StatGroup
      * constructor; the counters stay zero until profiling is enabled.
      */
     void registerProfileCounters();
+
+    /**
+     * Contribute one line to the watchdog's hang report: whatever
+     * internal state explains why this component could be stuck
+     * (queue depths, blocked flags, held packets). Write nothing when
+     * there is nothing interesting to say — empty output is elided.
+     */
+    virtual void hangDiagnostics(std::ostream &os) const
+    {
+        (void)os;
+    }
+
+    /**
+     * The watchdog detected a hang in degrade mode and force-woke all
+     * parked waiters; shed load if possible (e.g. the display
+     * controller abandons the in-flight frame). Default: do nothing.
+     */
+    virtual void onWatchdogDegrade() {}
 
   private:
     Simulation &_sim;

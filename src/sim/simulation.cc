@@ -2,10 +2,15 @@
 
 #include <fstream>
 
+#include <algorithm>
+
 #include "sim/check/context.hh"
 #include "sim/check/determinism.hh"
 #include "sim/config.hh"
+#include "sim/fault/fault_injector.hh"
+#include "sim/fault/watchdog.hh"
 #include "sim/logging.hh"
+#include "sim/sim_object.hh"
 #include "sim/simulation_builder.hh"
 
 namespace emerald
@@ -33,6 +38,12 @@ Simulation::~Simulation()
     if (_checkContext)
         _checkContext->onTeardown(_eq.empty());
 
+    flushStatsJson();
+}
+
+void
+Simulation::flushStatsJson()
+{
     if (_statsJsonOnExit.empty())
         return;
     std::ofstream os(_statsJsonOnExit);
@@ -41,6 +52,37 @@ Simulation::~Simulation()
         return;
     }
     dumpStatsJson(os);
+}
+
+void
+Simulation::unregisterObject(SimObject *obj)
+{
+    auto it = std::find(_objects.begin(), _objects.end(), obj);
+    if (it != _objects.end())
+        _objects.erase(it);
+}
+
+void
+Simulation::configureFaults(const std::string &plan_text,
+                            std::uint64_t seed)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse(plan_text);
+    if (plan.empty())
+        return;
+    panic_if(_faultInjector != nullptr,
+             "configureFaults called twice on one Simulation");
+    _faultInjector = std::make_unique<fault::FaultInjector>(
+        _eq, _simGroup, std::move(plan), seed);
+}
+
+void
+Simulation::enableWatchdog(Tick budget, fault::WatchdogMode mode)
+{
+    if (_watchdog)
+        return;
+    _watchdog = std::make_unique<fault::ProgressWatchdog>(
+        *this, _simGroup, budget, mode);
+    _watchdog->arm();
 }
 
 void

@@ -15,6 +15,7 @@
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 #include "sim/event_tracer.hh"
+#include "sim/fault/domain.hh"
 #include "sim/packet_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -23,12 +24,20 @@ namespace emerald
 {
 
 class Config;
+class SimObject;
 
 namespace check
 {
 class CheckContext;
 class DeterminismVerifier;
 } // namespace check
+
+namespace fault
+{
+class FaultInjector;
+class ProgressWatchdog;
+enum class WatchdogMode : std::uint8_t;
+} // namespace fault
 
 /**
  * Owns the event queue and the root of the stats tree. Every
@@ -141,10 +150,64 @@ class Simulation
      */
     check::CheckContext *checkContext() { return _checkContext.get(); }
 
+    /**
+     * Registry of every RetryList constructed under this Simulation —
+     * the watchdog's and the fault injector's view of who is parked
+     * waiting for a retry.
+     */
+    fault::FaultDomain &faultDomain() { return _faultDomain; }
+
+    /**
+     * Parse @p plan_text (--fault-plan grammar, see
+     * docs/fault_injection.md) and activate a seeded FaultInjector for
+     * this simulation's lifetime. An empty plan creates nothing, so
+     * runs without faults keep FaultInjector::active() == nullptr and
+     * pay a single branch per protocol seam.
+     */
+    void configureFaults(const std::string &plan_text,
+                         std::uint64_t seed);
+
+    /** The active injector, or nullptr when faults are off. */
+    fault::FaultInjector *faultInjector()
+    {
+        return _faultInjector.get();
+    }
+
+    /**
+     * Arm the progress watchdog: declare a hang when @p budget ticks
+     * elapse with zero packet completions while requestors sit parked
+     * on RetryLists. See sim/fault/watchdog.hh for abort vs degrade.
+     */
+    void enableWatchdog(Tick budget, fault::WatchdogMode mode);
+
+    /** The armed watchdog, or nullptr when disabled. */
+    fault::ProgressWatchdog *watchdog() { return _watchdog.get(); }
+
+    /**
+     * Write the stats-JSON sink (writeStatsJsonAtExit) immediately.
+     * The watchdog's abort path calls this because abort() skips
+     * destructors. No-op when no sink is configured.
+     */
+    void flushStatsJson();
+
+    /** Every live SimObject, in construction order. */
+    const std::vector<SimObject *> &objects() const { return _objects; }
+
   private:
+    friend class SimObject;
+
+    void registerObject(SimObject *obj) { _objects.push_back(obj); }
+    void unregisterObject(SimObject *obj);
+
     void attachInstrument(EventInstrument *instrument);
 
     EventQueue _eq;
+    /**
+     * Declared first among the registries so it outlives every
+     * component (and RetryList) constructed against this Simulation.
+     */
+    fault::FaultDomain _faultDomain;
+    std::vector<SimObject *> _objects;
     StatGroup _statsRoot;
     /** Parent of kernel-owned stats: sim.profile.*, sim.pool.*. */
     StatGroup _simGroup;
@@ -166,6 +229,8 @@ class Simulation
      * mirrors C++ object lifetime).
      */
     std::unique_ptr<check::CheckContext> _checkContext;
+    std::unique_ptr<fault::FaultInjector> _faultInjector;
+    std::unique_ptr<fault::ProgressWatchdog> _watchdog;
 };
 
 } // namespace emerald

@@ -1,6 +1,8 @@
 #include "sim/simulation_builder.hh"
 
 #include "sim/config.hh"
+#include "sim/fault/fault_plan.hh"
+#include "sim/fault/watchdog.hh"
 #include "sim/simulation.hh"
 
 namespace emerald
@@ -42,12 +44,35 @@ SimulationBuilder::checkDeterminism(bool on)
 }
 
 SimulationBuilder &
+SimulationBuilder::faultPlan(const std::string &plan, std::uint64_t seed)
+{
+    _faultPlan = plan;
+    _faultSeed = seed;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::watchdog(Tick budget, const std::string &mode)
+{
+    _watchdogTicks = budget;
+    _watchdogMode = mode;
+    return *this;
+}
+
+SimulationBuilder &
 SimulationBuilder::observability(const Config &cfg)
 {
     traceFile(cfg.getString("trace-file", _traceFile));
     profiling(cfg.getBool("profile", _profiling));
     statsJsonOnExit(cfg.getString("sim-stats-json", _statsJsonOnExit));
     checkDeterminism(cfg.getBool("check-determinism", _checkDeterminism));
+    faultPlan(cfg.getString("fault-plan", _faultPlan),
+              cfg.getU64("fault-seed", _faultSeed));
+    if (cfg.has("watchdog-ticks")) {
+        _watchdogTicks = fault::parseDuration(
+            cfg.getString("watchdog-ticks", ""), "--watchdog-ticks");
+    }
+    _watchdogMode = cfg.getString("watchdog-mode", _watchdogMode);
     return *this;
 }
 
@@ -72,6 +97,12 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.writeStatsJsonAtExit(_statsJsonOnExit);
     if (_checkDeterminism)
         sim.enableDeterminismCheck();
+    if (!_faultPlan.empty())
+        sim.configureFaults(_faultPlan, _faultSeed);
+    if (_watchdogTicks > 0) {
+        sim.enableWatchdog(_watchdogTicks,
+                           fault::watchdogModeFromString(_watchdogMode));
+    }
 }
 
 } // namespace emerald

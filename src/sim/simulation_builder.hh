@@ -9,9 +9,12 @@
 #ifndef EMERALD_SIM_SIMULATION_BUILDER_HH
 #define EMERALD_SIM_SIMULATION_BUILDER_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/types.hh"
 
 namespace emerald
 {
@@ -53,9 +56,28 @@ class SimulationBuilder
     SimulationBuilder &checkDeterminism(bool on = true);
 
     /**
+     * Run a fault-injection campaign: @p plan uses the --fault-plan
+     * grammar (docs/fault_injection.md), @p seed drives every
+     * stochastic site. An empty plan disables injection entirely.
+     */
+    SimulationBuilder &faultPlan(const std::string &plan,
+                                 std::uint64_t seed = 1);
+
+    /**
+     * Arm the progress watchdog with a no-progress budget of
+     * @p budget ticks; @p mode is "abort" or "degrade" (see
+     * sim/fault/watchdog.hh). budget == 0 disables.
+     */
+    SimulationBuilder &watchdog(Tick budget,
+                                const std::string &mode = "abort");
+
+    /**
      * Read the observability keys from @p cfg: "trace-file" (path),
      * "profile" (bool), "sim-stats-json" (path, dumped at exit),
-     * "check-determinism" (bool, --check-determinism on the CLI).
+     * "check-determinism" (bool, --check-determinism on the CLI),
+     * plus the robustness keys "fault-plan" (campaign string),
+     * "fault-seed" (integer), "watchdog-ticks" (duration: "1ms",
+     * "250us", or raw ticks) and "watchdog-mode" (abort|degrade).
      */
     SimulationBuilder &observability(const Config &cfg);
 
@@ -77,6 +99,10 @@ class SimulationBuilder
     std::string _statsJsonOnExit;
     bool _profiling = false;
     bool _checkDeterminism = false;
+    std::string _faultPlan;
+    std::uint64_t _faultSeed = 1;
+    Tick _watchdogTicks = 0;
+    std::string _watchdogMode = "abort";
 };
 
 } // namespace emerald

@@ -65,6 +65,7 @@ class CpuCoreModel : public SimObject,
 
     void memResponse(MemPacket *pkt) override;
     void retryRequest() override;
+    std::string requestorName() const override { return name(); }
 
     /** @{ Statistics. */
     Scalar statRequests;

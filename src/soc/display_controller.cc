@@ -20,6 +20,8 @@ DisplayController::DisplayController(Simulation &sim,
                     "scanout reached an unfetched line"),
       statBytesFetched(*this, "bytes_fetched", "framebuffer bytes read"),
       statRequests(*this, "requests", "read requests issued"),
+      statDroppedFrames(*this, "dropped_frames",
+                        "frames abandoned by watchdog degrade recovery"),
       _params(params), _downstream(downstream), _dash(dash),
       _vsyncEvent([this] { vsync(); }, name + ".vsync"),
       _scanEvent([this] { scanLine(); }, name + ".scan")
@@ -191,6 +193,36 @@ DisplayController::memResponse(MemPacket *pkt)
             _dash->addIpProgress(_dashIp, 1.0);
     }
     pump();
+}
+
+void
+DisplayController::onWatchdogDegrade()
+{
+    // Only shed load when a fetch is actually stuck; an idle or
+    // healthy controller ignores the recovery sweep.
+    if (!_running || _frameAborted ||
+        (!_retryPkt && _outstanding == 0))
+        return;
+    // Mirror the underrun abort path: set the flag and let the next
+    // vsync() do the frames_aborted accounting.
+    ++statDroppedFrames;
+    _frameAborted = true;
+    dropRetryPkt();
+    if (_dash && _dashIp >= 0)
+        _dash->endIpPeriod(_dashIp);
+    // Responses still in flight drain through memResponse() as usual;
+    // the frame restarts at the next vsync.
+}
+
+void
+DisplayController::hangDiagnostics(std::ostream &os) const
+{
+    if (!_retryPkt && _outstanding == 0)
+        return;
+    os << "outstanding=" << _outstanding << "/"
+       << _params.maxOutstanding << " fetch_line=" << _fetchLine
+       << " scan_line=" << _scanLine
+       << (_retryPkt ? " HOLDING rejected packet" : "");
 }
 
 void

@@ -53,6 +53,17 @@ class DisplayController : public SimObject,
 
     void memResponse(MemPacket *pkt) override;
     void retryRequest() override;
+    std::string requestorName() const override { return name(); }
+
+    /**
+     * Watchdog degrade recovery: if a fetch is stuck (a held rejected
+     * packet or responses that never arrived), abandon the frame so
+     * scanout restarts clean at the next vsync. Counted in
+     * soc.display.dropped_frames.
+     */
+    void onWatchdogDegrade() override;
+
+    void hangDiagnostics(std::ostream &os) const override;
 
     /** @{ Statistics. */
     Scalar statFramesCompleted;
@@ -60,6 +71,7 @@ class DisplayController : public SimObject,
     Scalar statUnderruns;
     Scalar statBytesFetched;
     Scalar statRequests;
+    Scalar statDroppedFrames;
     /** @} */
 
   private:

@@ -17,6 +17,11 @@ compiler nor clang-tidy knows about:
                   thinks it sent (docs/memory_protocol.md).
   stat-dup        Two stats registered with the same name on the same
                   parent silently shadow each other in dumps.
+  fatal-exit      src/ terminates through panic()/fatal() (logging.hh)
+                  so every abort flushes stats and prints a diagnosed
+                  report; a raw abort()/exit() skips both. Only the
+                  logging sink itself, the sim/check checkers, and the
+                  watchdog report path may touch the process directly.
 
 Run from anywhere: paths are resolved relative to the repo root
 (parent of this file's directory) unless --root is given. Exit status
@@ -202,6 +207,30 @@ def check_stat_dup(rel, clean_lines, out):
                 seen[key] = lineno
 
 
+# rule: fatal-exit -----------------------------------------------------
+
+ABORT_RE = re.compile(
+    r"(?<![\w:.])(?:std::)?(abort|_Exit|quick_exit|exit)\s*\(")
+
+FATAL_EXIT_ALLOWLIST = {"src/sim/logging.cc", "src/sim/fault/watchdog.cc"}
+FATAL_EXIT_ALLOW_PREFIXES = ("src/sim/check/",)
+
+
+def check_fatal_exit(rel, clean_lines, out):
+    if rel in FATAL_EXIT_ALLOWLIST:
+        return
+    if any(rel.startswith(p) for p in FATAL_EXIT_ALLOW_PREFIXES):
+        return
+    for lineno, line in clean_lines:
+        match = ABORT_RE.search(line)
+        if match:
+            out.append(Violation(
+                "fatal-exit", rel, lineno,
+                f"direct {match.group(1)}() — terminate via panic() / "
+                "fatal() (logging.hh) so stats flush and the hang "
+                "report prints"))
+
+
 # driver ---------------------------------------------------------------
 
 def lint_file(path: Path, rel: str, out):
@@ -216,6 +245,7 @@ def lint_file(path: Path, rel: str, out):
     check_raw_print(rel, clean, out)
     check_offer_checked(rel, clean, out)
     check_stat_dup(rel, clean, out)
+    check_fatal_exit(rel, clean, out)
 
 
 def main(argv=None):
