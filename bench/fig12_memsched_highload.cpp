@@ -7,6 +7,8 @@
  * (M1/M3) hurt most.
  */
 
+#include <chrono>
+
 #include "harness.hh"
 
 using namespace emerald;
@@ -37,16 +39,32 @@ main(int argc, char **argv)
     for (scenes::WorkloadId model : models) {
         std::vector<double> total_ms, gpu_ms;
         for (soc::MemConfig config : configs) {
+            // Per-config checkpoint scope: a --checkpoint-at run
+            // produces <dir>/<config> and --restore reads it back.
             soc::SocTop soc(caseStudy1Params(model, config, true),
-                            harness.builder());
+                            harness.builderFor(
+                                soc::memConfigName(config)));
+            auto wall_start = std::chrono::steady_clock::now();
             soc.run();
+            double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
             total_ms.push_back(soc.meanTotalFrameMs());
             gpu_ms.push_back(soc.meanGpuFrameMs());
-            results.record(std::string(scenes::workloadName(model)) +
-                               "." + soc::memConfigName(config) +
-                               ".events",
+            std::string key =
+                std::string(scenes::workloadName(model)) + "." +
+                soc::memConfigName(config);
+            results.record(key + ".events",
                            static_cast<double>(
                                soc.sim().eventQueue().numProcessed()));
+            results.record(key + ".wall_ms", wall_ms);
+            // 53-bit fold of the event-stream hash (exact in JSON):
+            // the restore-determinism gate compares cold vs warm.
+            results.record(
+                key + ".event_hash",
+                static_cast<double>(soc.sim().determinismHash() &
+                                    ((1ULL << 53) - 1)));
         }
         std::printf("%-14s |", scenes::workloadName(model));
         for (std::size_t i = 0; i < 4; ++i) {

@@ -140,6 +140,18 @@ class BenchHarness
         return SimulationBuilder().observability(cfg);
     }
 
+    /**
+     * Like builder(), but scoped for one of several simulations the
+     * bench runs in a single process: checkpoint/restore directories
+     * get a per-run @p label subdirectory, so --checkpoint-at with a
+     * multi-config bench produces one checkpoint per configuration.
+     */
+    SimulationBuilder
+    builderFor(const std::string &label) const
+    {
+        return builder().subdir(label);
+    }
+
     Config cfg;
     bool quick = false;
     std::unique_ptr<BenchResults> results;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize/packet_serialize.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/simulation.hh"
 
 namespace emerald::cache
@@ -31,6 +33,11 @@ Cache::Cache(Simulation &sim, const std::string &name,
     _numSets = lines / params.assoc;
     panic_if(!isPowerOf2(_numSets), "set count must be 2^n");
     _lines.resize(lines);
+
+    registerCheckpointEvent(_sendEvent);
+    registerCheckpointEvent(_respEvent);
+    registerCheckpointClient(*this);
+    registerCheckpointRequestor(*this);
 }
 
 std::size_t
@@ -240,6 +247,123 @@ Cache::deliverResponses()
     }
     if (!_respQueue.empty())
         schedule(_respEvent, _respQueue.begin()->first);
+}
+
+void
+Cache::serialize(CheckpointOut &out) const
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+
+    std::vector<std::uint64_t> valid, dirty, tag, last_use;
+    valid.reserve(_lines.size());
+    for (const Line &line : _lines) {
+        valid.push_back(line.valid);
+        dirty.push_back(line.dirty);
+        tag.push_back(line.tag);
+        last_use.push_back(line.lastUse);
+    }
+    out.putU64Vec("line.valid", valid);
+    out.putU64Vec("line.dirty", dirty);
+    out.putU64Vec("line.tag", tag);
+    out.putU64Vec("line.last_use", last_use);
+    out.putU64("use_counter", _useCounter);
+
+    // The MSHR file is a hash map; sort by line address so the same
+    // cache state always produces byte-identical sections.
+    std::vector<const Mshr *> mshrs;
+    mshrs.reserve(_mshrs.inUse());
+    for (const auto &kv : _mshrs.entries())
+        mshrs.push_back(&kv.second);
+    std::sort(mshrs.begin(), mshrs.end(),
+              [](const Mshr *a, const Mshr *b) {
+                  return a->lineAddr < b->lineAddr;
+              });
+    out.putU64("num_mshrs", mshrs.size());
+    for (std::size_t i = 0; i < mshrs.size(); ++i) {
+        const Mshr &mshr = *mshrs[i];
+        std::string prefix = strprintf("mshr%zu", i);
+        out.putU64(prefix + ".line_addr", mshr.lineAddr);
+        out.putBool(prefix + ".fill_sent", mshr.fillSent);
+        out.putU64(prefix + ".num_targets", mshr.targets.size());
+        for (std::size_t j = 0; j < mshr.targets.size(); ++j) {
+            putPacket(out, prefix + strprintf(".t%zu", j),
+                      *mshr.targets[j], reg);
+        }
+    }
+
+    out.putU64("num_sends", _sendQueue.size());
+    for (std::size_t i = 0; i < _sendQueue.size(); ++i)
+        putPacket(out, strprintf("send%zu", i), *_sendQueue[i], reg);
+
+    out.putU64("num_resps", _respQueue.size());
+    std::size_t i = 0;
+    for (const auto &entry : _respQueue) {
+        std::string prefix = strprintf("resp%zu", i++);
+        out.putTick(prefix + ".when", entry.first);
+        putPacket(out, prefix, *entry.second, reg);
+    }
+
+    out.putBool("downstream_blocked", _downstreamBlocked);
+    retryList().serialize(out, "retry", reg);
+}
+
+void
+Cache::unserialize(CheckpointIn &in)
+{
+    panic_if(_mshrs.inUse() || !_sendQueue.empty() ||
+             !_respQueue.empty(),
+             "%s: unserialize into a non-empty cache", name().c_str());
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    PacketPool &pool = sim().packetPool();
+
+    auto valid = in.getU64Vec("line.valid");
+    auto dirty = in.getU64Vec("line.dirty");
+    auto tag = in.getU64Vec("line.tag");
+    auto last_use = in.getU64Vec("line.last_use");
+    fatal_if(valid.size() != _lines.size(),
+             "%s: checkpoint holds %zu cache lines but this "
+             "configuration has %zu",
+             name().c_str(), valid.size(), _lines.size());
+    for (std::size_t w = 0; w < _lines.size(); ++w) {
+        _lines[w].valid = valid[w] != 0;
+        _lines[w].dirty = dirty[w] != 0;
+        _lines[w].tag = tag[w];
+        _lines[w].lastUse = last_use[w];
+    }
+    _useCounter = in.getU64("use_counter");
+
+    std::uint64_t num_mshrs = in.getU64("num_mshrs");
+    for (std::uint64_t i = 0; i < num_mshrs; ++i) {
+        std::string prefix = strprintf("mshr%llu",
+                                       (unsigned long long)i);
+        Mshr &mshr = _mshrs.allocate(in.getU64(prefix + ".line_addr"));
+        mshr.fillSent = in.getBool(prefix + ".fill_sent");
+        std::uint64_t targets = in.getU64(prefix + ".num_targets");
+        for (std::uint64_t j = 0; j < targets; ++j) {
+            mshr.targets.push_back(
+                getPacket(in, prefix + strprintf(".t%llu",
+                                                 (unsigned long long)j),
+                          pool, reg));
+        }
+    }
+
+    std::uint64_t num_sends = in.getU64("num_sends");
+    for (std::uint64_t i = 0; i < num_sends; ++i) {
+        _sendQueue.push_back(
+            getPacket(in, strprintf("send%llu", (unsigned long long)i),
+                      pool, reg));
+    }
+
+    std::uint64_t num_resps = in.getU64("num_resps");
+    for (std::uint64_t i = 0; i < num_resps; ++i) {
+        std::string prefix = strprintf("resp%llu",
+                                       (unsigned long long)i);
+        Tick when = in.getTick(prefix + ".when");
+        _respQueue.emplace(when, getPacket(in, prefix, pool, reg));
+    }
+
+    _downstreamBlocked = in.getBool("downstream_blocked");
+    retryList().unserialize(in, "retry", reg);
 }
 
 } // namespace emerald::cache

@@ -71,6 +71,9 @@ class Cache : public SimObject,
 
     void hangDiagnostics(std::ostream &os) const override;
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
     const CacheParams &params() const { return _params; }
 
     /** Functional lookup: would @p addr hit right now? (for tests) */

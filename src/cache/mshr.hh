@@ -56,6 +56,13 @@ class MshrFile
 
     std::size_t inUse() const { return _entries.size(); }
 
+    /** All live entries, for checkpointing (unordered). */
+    const std::unordered_map<Addr, Mshr> &
+    entries() const
+    {
+        return _entries;
+    }
+
   private:
     unsigned _numEntries;
     unsigned _targetsPerEntry;

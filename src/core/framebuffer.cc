@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -122,6 +123,37 @@ Framebuffer::writePpm(const std::string &path) const
     }
     std::fclose(f);
     return true;
+}
+
+void
+Framebuffer::serialize(CheckpointOut &out) const
+{
+    out.putU64("width", _width);
+    out.putU64("height", _height);
+    out.putBool("depth_write", _depthWrite);
+    out.putBlob("color", _color.data(),
+                _color.size() * sizeof(_color[0]));
+    out.putBlob("depth", _depth.data(),
+                _depth.size() * sizeof(_depth[0]));
+}
+
+void
+Framebuffer::unserialize(CheckpointIn &in)
+{
+    fatal_if(in.getU64("width") != _width ||
+             in.getU64("height") != _height,
+             "framebuffer checkpoint is %llux%llu but this run is "
+             "%ux%u",
+             (unsigned long long)in.getU64("width"),
+             (unsigned long long)in.getU64("height"), _width, _height);
+    _depthWrite = in.getBool("depth_write");
+    const std::string &color = in.getBlob("color");
+    const std::string &depth = in.getBlob("depth");
+    fatal_if(color.size() != _color.size() * sizeof(_color[0]) ||
+             depth.size() != _depth.size() * sizeof(_depth[0]),
+             "framebuffer checkpoint plane size mismatch");
+    std::memcpy(_color.data(), color.data(), color.size());
+    std::memcpy(_depth.data(), depth.data(), depth.size());
 }
 
 } // namespace emerald::core

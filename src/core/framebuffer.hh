@@ -18,12 +18,13 @@
 #include <vector>
 
 #include "gpu/isa/executor.hh"
+#include "sim/serialize/serialize.hh"
 #include "sim/types.hh"
 
 namespace emerald::core
 {
 
-class Framebuffer : public gpu::isa::RopIface
+class Framebuffer : public gpu::isa::RopIface, public Serializable
 {
   public:
     /**
@@ -82,6 +83,9 @@ class Framebuffer : public gpu::isa::RopIface
 
     /** Pack float RGBA in [0,1] to 8-bit ABGR (R in low byte). */
     static std::uint32_t packRgba(const float rgba[4]);
+
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
 
   private:
     std::size_t

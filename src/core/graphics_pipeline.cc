@@ -5,6 +5,8 @@
 
 #include "core/clipper.hh"
 #include "sim/logging.hh"
+#include "sim/serialize/packet_serialize.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/simulation.hh"
 
 namespace emerald::core
@@ -53,6 +55,77 @@ GraphicsPipeline::GraphicsPipeline(Simulation &sim,
     lp.queueDepth = 64;
     _l2Link = std::make_unique<noc::Link>(sim, name + ".l2link", lp);
     _l2Link->setTarget(gpu.l2());
+
+    registerCheckpointEvent(tickEvent());
+    registerCheckpointRequestor(*this);
+}
+
+void
+GraphicsPipeline::serialize(CheckpointOut &out) const
+{
+    // Only reached between frames (checkpointSafe()), so the draw
+    // queue, clusters and warp counters are all empty; Hi-Z and the
+    // framebuffer are cleared at the next beginFrame() anyway (the
+    // displayed framebuffer is checkpointed separately by SocTop).
+    panic_if(_frameOpen, "%s: serialize with a frame open",
+             name().c_str());
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    out.putU64("wt_size", _mapping->wtSize());
+    out.putU64("pending_wt_size", _pendingWtSize);
+    out.putU64("seq_counter", _seqCounter);
+    out.putU64("next_core_rr", _nextCoreRR);
+    out.putBool("l2_blocked", _l2Blocked);
+    out.putU64("num_l2_traffic", _l2Traffic.size());
+    for (std::size_t i = 0; i < _l2Traffic.size(); ++i)
+        putPacket(out, strprintf("l2t%zu", i), *_l2Traffic[i], reg);
+
+    out.putU64("last.cycles", _lastFrame.cycles);
+    out.putTick("last.start_tick", _lastFrame.startTick);
+    out.putTick("last.end_tick", _lastFrame.endTick);
+    out.putU64("last.vertices", _lastFrame.vertices);
+    out.putU64("last.prims_in", _lastFrame.primsIn);
+    out.putU64("last.prims_culled", _lastFrame.primsCulled);
+    out.putU64("last.raster_tiles", _lastFrame.rasterTiles);
+    out.putU64("last.hiz_rejects", _lastFrame.hizRejects);
+    out.putU64("last.fragments", _lastFrame.fragments);
+    out.putU64("last.frag_warps", _lastFrame.fragWarps);
+    out.putU64("last.wt_size", _lastFrame.wtSize);
+}
+
+void
+GraphicsPipeline::unserialize(CheckpointIn &in)
+{
+    panic_if(_frameOpen, "%s: unserialize with a frame open",
+             name().c_str());
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    PacketPool &pool = sim().packetPool();
+
+    _mapping->setWtSize(
+        static_cast<unsigned>(in.getU64("wt_size")));
+    _pendingWtSize =
+        static_cast<unsigned>(in.getU64("pending_wt_size"));
+    _seqCounter = in.getU64("seq_counter");
+    _nextCoreRR = static_cast<unsigned>(in.getU64("next_core_rr"));
+    _l2Blocked = in.getBool("l2_blocked");
+    std::uint64_t num_l2 = in.getU64("num_l2_traffic");
+    for (std::uint64_t i = 0; i < num_l2; ++i) {
+        _l2Traffic.push_back(
+            getPacket(in, strprintf("l2t%llu", (unsigned long long)i),
+                      pool, reg));
+    }
+
+    _lastFrame.cycles = in.getU64("last.cycles");
+    _lastFrame.startTick = in.getTick("last.start_tick");
+    _lastFrame.endTick = in.getTick("last.end_tick");
+    _lastFrame.vertices = in.getU64("last.vertices");
+    _lastFrame.primsIn = in.getU64("last.prims_in");
+    _lastFrame.primsCulled = in.getU64("last.prims_culled");
+    _lastFrame.rasterTiles = in.getU64("last.raster_tiles");
+    _lastFrame.hizRejects = in.getU64("last.hiz_rejects");
+    _lastFrame.fragments = in.getU64("last.fragments");
+    _lastFrame.fragWarps = in.getU64("last.frag_warps");
+    _lastFrame.wtSize =
+        static_cast<unsigned>(in.getU64("last.wt_size"));
 }
 
 void

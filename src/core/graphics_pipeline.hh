@@ -135,6 +135,11 @@ class GraphicsPipeline : public SimObject,
         _progressListener = std::move(listener);
     }
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+    /** An open frame's in-flight pipeline state does not round-trip. */
+    bool checkpointSafe() const override { return !_frameOpen; }
+
     /** @{ Statistics. */
     Scalar statFrames;
     Scalar statVertexWarps;

@@ -10,6 +10,23 @@ KernelDispatcher::KernelDispatcher(Simulation &sim,
                                    const std::string &name, GpuTop &gpu)
     : SimObject(sim, name), Clocked(gpu.coreClock(), name), _gpu(gpu)
 {
+    registerCheckpointEvent(tickEvent());
+}
+
+void
+KernelDispatcher::serialize(CheckpointOut &out) const
+{
+    panic_if(busy(), "%s: serialize with kernels in flight",
+             name().c_str());
+    out.putU64("next_core", _nextCore);
+    out.putI64("next_cta_key", _nextCtaKey);
+}
+
+void
+KernelDispatcher::unserialize(CheckpointIn &in)
+{
+    _nextCore = static_cast<unsigned>(in.getU64("next_core"));
+    _nextCtaKey = static_cast<int>(in.getI64("next_cta_key"));
 }
 
 void

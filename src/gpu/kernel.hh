@@ -56,6 +56,15 @@ class KernelDispatcher : public SimObject, public Clocked
 
     bool busy() const { return _current || !_pending.empty(); }
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+    /**
+     * Launch queues hold program pointers and completion lambdas
+     * that cannot travel through a checkpoint; only the idle
+     * dispatcher (round-robin cursor, CTA key counter) can.
+     */
+    bool checkpointSafe() const override { return !busy(); }
+
   protected:
     bool tick() override;
 

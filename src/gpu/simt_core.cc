@@ -46,6 +46,50 @@ SimtCore::SimtCore(Simulation &sim, const std::string &name,
     _l1t = make_cache("l1t", params.l1t);
     _l1z = make_cache("l1z", params.l1z);
     _l1c = make_cache("l1c", params.l1c);
+
+    registerCheckpointEvent(tickEvent());
+    registerCheckpointClient(*this);
+    registerCheckpointRequestor(*this);
+}
+
+void
+SimtCore::serialize(CheckpointOut &out) const
+{
+    // Checkpoints only happen at quiescent points (checkpointSafe()),
+    // so resident warps, LSU state and scoreboard entries are all
+    // empty; only the allocation cursors that steer future decisions
+    // need to survive.
+    panic_if(!idle(), "%s: serialize while busy", name().c_str());
+    std::vector<std::uint64_t> ptrs(_issuePtr.begin(), _issuePtr.end());
+    out.putU64Vec("issue_ptr", ptrs);
+    std::vector<std::uint64_t> free_list(_memInstrFreeList.begin(),
+                                         _memInstrFreeList.end());
+    out.putU64Vec("mem_instr_free_list", free_list);
+    out.putU64("num_mem_instrs", _memInstrs.size());
+}
+
+void
+SimtCore::unserialize(CheckpointIn &in)
+{
+    panic_if(!idle(), "%s: unserialize while busy", name().c_str());
+    auto ptrs = in.getU64Vec("issue_ptr");
+    fatal_if(ptrs.size() != _issuePtr.size(),
+             "%s: checkpoint holds %zu schedulers but this "
+             "configuration has %zu",
+             name().c_str(), ptrs.size(), _issuePtr.size());
+    for (std::size_t s = 0; s < ptrs.size(); ++s)
+        _issuePtr[s] = static_cast<unsigned>(ptrs[s]);
+    _memInstrs.clear();
+    _memInstrs.resize(in.getU64("num_mem_instrs"));
+    _memInstrFreeList.clear();
+    for (std::uint64_t id : in.getU64Vec("mem_instr_free_list"))
+        _memInstrFreeList.push_back(static_cast<unsigned>(id));
+}
+
+bool
+SimtCore::checkpointSafe() const
+{
+    return idle();
 }
 
 cache::Cache &

@@ -100,6 +100,11 @@ class SimtCore : public SimObject,
     void retryRequest() override;
     std::string requestorName() const override { return name(); }
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+    /** A busy core's in-flight state does not round-trip. */
+    bool checkpointSafe() const override;
+
     /** @{ Statistics. */
     Scalar statCyclesActive;
     Scalar statWarpInstrs;

@@ -91,6 +91,9 @@ class DashCoordinator : public SimObject
     /** Force a clustering pass now (used by unit tests). */
     void recluster();
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
   private:
     void switchingTick();
     void quantumTick();

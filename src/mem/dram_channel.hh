@@ -112,6 +112,9 @@ class DramChannel : public SimObject
 
     void hangDiagnostics(std::ostream &os) const override;
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
   private:
     void tryIssue();
     void completeHead();

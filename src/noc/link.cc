@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize/packet_serialize.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/simulation.hh"
 
 namespace emerald::noc
@@ -18,6 +20,8 @@ Link::Link(Simulation &sim, const std::string &name,
       _deliverEvent([this] { deliver(); }, name + ".deliver")
 {
     setSinkName(name);
+    registerCheckpointEvent(_deliverEvent);
+    registerCheckpointRequestor(*this);
 }
 
 bool
@@ -82,6 +86,40 @@ Link::retryRequest()
 {
     _blocked = false;
     deliver();
+}
+
+void
+Link::serialize(CheckpointOut &out) const
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    out.putU64("num_queue", _queue.size());
+    for (std::size_t i = 0; i < _queue.size(); ++i) {
+        std::string prefix = strprintf("q%zu", i);
+        putPacket(out, prefix, *_queue[i].pkt, reg);
+        out.putTick(prefix + ".ready_at", _queue[i].readyAt);
+    }
+    out.putTick("serializer_free", _serializerFree);
+    out.putBool("blocked", _blocked);
+    retryList().serialize(out, "retry", reg);
+}
+
+void
+Link::unserialize(CheckpointIn &in)
+{
+    panic_if(!_queue.empty(), "%s: unserialize into a busy link",
+             name().c_str());
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    PacketPool &pool = sim().packetPool();
+
+    std::uint64_t num_queue = in.getU64("num_queue");
+    for (std::uint64_t i = 0; i < num_queue; ++i) {
+        std::string prefix = strprintf("q%llu", (unsigned long long)i);
+        MemPacket *pkt = getPacket(in, prefix, pool, reg);
+        _queue.push_back({pkt, in.getTick(prefix + ".ready_at")});
+    }
+    _serializerFree = in.getTick("serializer_free");
+    _blocked = in.getBool("blocked");
+    retryList().unserialize(in, "retry", reg);
 }
 
 void

@@ -54,6 +54,9 @@ class Link : public SimObject, public MemSink, public MemRequestor
 
     void hangDiagnostics(std::ostream &os) const override;
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
     /** @{ Statistics. */
     Scalar statPackets;
     Scalar statBytes;

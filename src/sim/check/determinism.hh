@@ -44,6 +44,20 @@ class DeterminismVerifier : public EventInstrument
     /** Events folded into the hash so far. */
     std::uint64_t numEvents() const { return _numEvents; }
 
+    /**
+     * Resume a hash stream captured by a checkpoint: the verifier
+     * continues folding from the cold run's prefix, so the final hash
+     * of a restored run equals the cold run's iff the measured-region
+     * event streams are identical (the warm-start oracle).
+     */
+    void
+    restoreState(std::uint64_t hash, std::uint64_t num_events)
+    {
+        _hash = hash;
+        _numEvents = num_events;
+        _hashStat = static_cast<double>(_hash & ((1ULL << 53) - 1));
+    }
+
   private:
     static constexpr std::uint64_t fnvOffsetBasis =
         0xcbf29ce484222325ULL;

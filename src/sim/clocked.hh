@@ -92,6 +92,13 @@ class Clocked
     /** Current cycle in this component's domain. */
     Cycle curCycle() const { return _domain.curCycle(); }
 
+    /**
+     * The per-cycle tick event, exposed so Clocked SimObjects can
+     * register it for checkpointing (a scheduled tick event is what
+     * "active" means, so restoring it restores activity).
+     */
+    Event &tickEvent() { return _tickEvent; }
+
   protected:
     /**
      * Do one cycle of work.

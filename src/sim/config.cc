@@ -20,7 +20,8 @@ namespace
  */
 const char *const knownKeys[] = {
     // Simulation kernel (SimulationBuilder::observability).
-    "check-determinism", "fault-plan", "fault-seed", "profile",
+    "check-determinism", "checkpoint-at", "checkpoint-dir",
+    "fault-plan", "fault-seed", "profile", "restore", "restore-force",
     "sim-stats-json", "trace-file", "watchdog-mode", "watchdog-ticks",
     // Parser control.
     "allow-unknown-args",

@@ -131,6 +131,53 @@ EventQueue::runOne()
     return true;
 }
 
+std::vector<EventQueue::LiveEventRef>
+EventQueue::liveEventsSorted() const
+{
+    std::vector<LiveEventRef> out;
+    out.reserve(_liveEvents);
+    for (const Entry &e : _heap) {
+        if (live(e))
+            out.push_back({e.when, e.priority, e.seq, e.event});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LiveEventRef &a, const LiveEventRef &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+void
+EventQueue::clearForRestore()
+{
+    for (Entry &e : _heap) {
+        if (live(e)) {
+            e.event->_scheduled = false;
+            ++e.event->_generation;
+        }
+    }
+    _heap.clear();
+    _liveEvents = 0;
+}
+
+void
+EventQueue::restoreTime(Tick tick, std::uint64_t num_processed)
+{
+    panic_if(tick < _curTick, "restoreTime would move time backwards");
+    for (const Entry &e : _heap) {
+        panic_if(live(e) && e.when < tick,
+                 "restoreTime(%llu) with event %s pending at %llu",
+                 (unsigned long long)tick, e.event->name().c_str(),
+                 (unsigned long long)e.when);
+    }
+    _curTick = tick;
+    _numProcessed = num_processed;
+}
+
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {

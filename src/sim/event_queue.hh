@@ -181,6 +181,38 @@ class EventQueue
 
     EventInstrument *instrument() const { return _instrument; }
 
+    /** One live scheduling, as exposed for checkpointing. */
+    struct LiveEventRef
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *event;
+    };
+
+    /**
+     * Every live scheduling in service order (when, priority, seq).
+     * Re-scheduling these in order on a fresh queue reproduces the
+     * same-tick tie-breaks even though the new queue assigns fresh
+     * sequence numbers.
+     */
+    std::vector<LiveEventRef> liveEventsSorted() const;
+
+    /**
+     * Deschedule everything (restore prologue). Topology constructors
+     * pre-schedule events (clock ticks, DASH quantum timers); a
+     * restore clears those and re-schedules exactly the checkpoint's
+     * pending set. curTick and numProcessed are untouched — see
+     * restoreTime().
+     */
+    void clearForRestore();
+
+    /**
+     * Jump the clock to a checkpoint's position. @pre the queue holds
+     * no live event scheduled before @p tick.
+     */
+    void restoreTime(Tick tick, std::uint64_t num_processed);
+
   private:
     struct Entry
     {

@@ -59,6 +59,9 @@ enum class AccessKind : std::uint8_t
 const char *accessKindName(AccessKind kind);
 const char *trafficClassName(TrafficClass tclass);
 
+class CheckpointIn;
+class CheckpointOut;
+class CheckpointRegistry;
 class MemPacket;
 class PacketPool;
 
@@ -155,6 +158,18 @@ class RetryList
     void setOwner(const std::string &name) { _owner = name; }
     const std::string &owner() const { return _owner; }
 
+    /**
+     * Checkpoint the parked waiters under "<prefix>." keys as
+     * registry names (fatal for an unregistered waiter: a parked
+     * requestor that cannot be named cannot be restored).
+     */
+    void serialize(CheckpointOut &out, const std::string &prefix,
+                   const CheckpointRegistry &reg) const;
+
+    /** Restore waiters saved by serialize(), in FIFO order. */
+    void unserialize(CheckpointIn &in, const std::string &prefix,
+                     const CheckpointRegistry &reg);
+
   private:
     std::deque<MemRequestor *> _waiters;
     std::string _owner = "unnamed sink";
@@ -237,6 +252,10 @@ class MemSink
     }
 
     bool hasRetryWaiters() const { return !_retries.empty(); }
+
+    /** This sink's retry list, for checkpointing parked waiters. */
+    RetryList &retryList() { return _retries; }
+    const RetryList &retryList() const { return _retries; }
 
   private:
     RetryList _retries;

@@ -86,6 +86,22 @@ class PacketPool
     /** Recycled storage blocks currently available. */
     std::size_t freeListSize() const { return _free.size(); }
 
+    /** High-water mark of live(), mirrored in statLiveHighWater. */
+    std::uint64_t liveHighWater() const { return _liveHighWater; }
+
+    /**
+     * Restore the high-water shadow from a checkpoint. The stats tree
+     * restore overwrites statLiveHighWater; this keeps the internal
+     * counter the stat mirrors consistent with it, so later traffic
+     * only raises the mark past the cold run's.
+     */
+    void
+    restoreLiveHighWater(std::uint64_t v)
+    {
+        _liveHighWater = v;
+        statLiveHighWater = static_cast<double>(v);
+    }
+
   private:
     /** Declared before the Scalars so it is constructed first. */
     StatGroup _group;

@@ -8,6 +8,7 @@
 #ifndef EMERALD_SIM_RANDOM_HH
 #define EMERALD_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace emerald
@@ -90,6 +91,24 @@ class Random
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /**
+     * The raw generator state, for checkpointing and for tests that
+     * pin a mid-stream position instead of replaying N draws.
+     */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {_state[0], _state[1], _state[2], _state[3]};
+    }
+
+    /** Restore a state captured with state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            _state[i] = s[static_cast<std::size_t>(i)];
     }
 
   private:

@@ -1,0 +1,53 @@
+#include "sim/serialize/packet_serialize.hh"
+
+#include "sim/packet.hh"
+#include "sim/packet_pool.hh"
+#include "sim/serialize/registry.hh"
+
+namespace emerald
+{
+
+void
+putPacket(CheckpointOut &out, const std::string &prefix,
+          const MemPacket &pkt, const CheckpointRegistry &reg)
+{
+    out.putU64(prefix + ".addr", pkt.addr);
+    out.putU64(prefix + ".size", pkt.size);
+    out.putBool(prefix + ".write", pkt.write);
+    out.putU64(prefix + ".tclass",
+               static_cast<std::uint64_t>(pkt.tclass));
+    out.putU64(prefix + ".kind", static_cast<std::uint64_t>(pkt.kind));
+    out.putI64(prefix + ".requestor_id", pkt.requestorId);
+    out.putStr(prefix + ".client",
+               pkt.client ? reg.clientName(*pkt.client)
+                          : std::string());
+    out.putU64(prefix + ".token", pkt.token);
+    out.putTick(prefix + ".issued", pkt.issued);
+}
+
+MemPacket *
+getPacket(CheckpointIn &in, const std::string &prefix,
+          PacketPool &pool, const CheckpointRegistry &reg)
+{
+    std::string client_name = in.getStr(prefix + ".client");
+    MemClient *client =
+        client_name.empty() ? nullptr : &reg.client(client_name);
+    std::uint64_t tclass = in.getU64(prefix + ".tclass");
+    std::uint64_t kind = in.getU64(prefix + ".kind");
+    fatal_if(kind >= static_cast<std::uint64_t>(AccessKind::NumKinds),
+             "checkpoint section '%s': packet '%s' has bad access "
+             "kind %llu", in.sectionName().c_str(), prefix.c_str(),
+             (unsigned long long)kind);
+    MemPacket *pkt = pool.alloc(
+        in.getU64(prefix + ".addr"),
+        static_cast<unsigned>(in.getU64(prefix + ".size")),
+        in.getBool(prefix + ".write"),
+        static_cast<TrafficClass>(tclass),
+        static_cast<AccessKind>(kind),
+        static_cast<int>(in.getI64(prefix + ".requestor_id")), client,
+        in.getU64(prefix + ".token"));
+    pkt->issued = in.getTick(prefix + ".issued");
+    return pkt;
+}
+
+} // namespace emerald

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Checkpoint helpers for in-flight MemPackets.
+ *
+ * Packet ownership in Emerald is exclusive: at any instant each live
+ * packet sits in exactly one component's queue (or held-retry slot),
+ * so each component serializes the packets it holds. These helpers
+ * write/restore one packet under a key prefix; the response target
+ * (MemPacket::client) travels as a registry name and the storage is
+ * re-allocated from the Simulation's PacketPool on restore.
+ */
+
+#ifndef EMERALD_SIM_SERIALIZE_PACKET_SERIALIZE_HH
+#define EMERALD_SIM_SERIALIZE_PACKET_SERIALIZE_HH
+
+#include <string>
+
+#include "sim/serialize/serialize.hh"
+
+namespace emerald
+{
+
+class CheckpointRegistry;
+class MemPacket;
+class PacketPool;
+
+/** Write @p pkt's fields under "<prefix>." keys. */
+void putPacket(CheckpointOut &out, const std::string &prefix,
+               const MemPacket &pkt, const CheckpointRegistry &reg);
+
+/**
+ * Re-allocate a packet saved by putPacket() from @p pool, resolving
+ * its client through @p reg (a posted write restores client ==
+ * nullptr).
+ */
+MemPacket *getPacket(CheckpointIn &in, const std::string &prefix,
+                     PacketPool &pool, const CheckpointRegistry &reg);
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_SERIALIZE_PACKET_SERIALIZE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Name <-> pointer tables used to checkpoint cross-object references.
+ *
+ * A checkpoint cannot store pointers, so anything referenced across
+ * objects is written as a name and resolved against this registry on
+ * restore: pending Events (re-scheduled by name), MemClients (packet
+ * response targets) and MemRequestors (parked RetryList waiters).
+ * Components register in their constructors — the same construction
+ * that rebuilds the topology on restore rebuilds the registry, so the
+ * names resolve to the equivalent objects in the new process.
+ */
+
+#ifndef EMERALD_SIM_SERIALIZE_REGISTRY_HH
+#define EMERALD_SIM_SERIALIZE_REGISTRY_HH
+
+#include <map>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+class Event;
+class MemClient;
+class MemRequestor;
+
+/** Checkpoint name tables owned by the Simulation. */
+class CheckpointRegistry
+{
+  public:
+    /** @{ Pending-event table (EventQueue re-scheduling by name). */
+    void
+    registerEvent(const std::string &name, Event &ev)
+    {
+        auto [it, inserted] = _events.emplace(name, &ev);
+        panic_if(!inserted,
+                 "checkpoint registry: duplicate event name '%s'",
+                 name.c_str());
+        _eventNames.emplace(&ev, name);
+    }
+
+    void
+    unregisterEvent(Event &ev)
+    {
+        auto it = _eventNames.find(&ev);
+        if (it == _eventNames.end())
+            return;
+        _events.erase(it->second);
+        _eventNames.erase(it);
+    }
+
+    Event *
+    findEvent(const std::string &name) const
+    {
+        auto it = _events.find(name);
+        return it == _events.end() ? nullptr : it->second;
+    }
+
+    /** Registered name of @p ev, or "" when unregistered. */
+    std::string
+    eventName(const Event &ev) const
+    {
+        auto it = _eventNames.find(&ev);
+        return it == _eventNames.end() ? std::string() : it->second;
+    }
+    /** @} */
+
+    /** @{ Response-target table (MemPacket::client by name). */
+    void
+    registerClient(const std::string &name, MemClient &client)
+    {
+        auto [it, inserted] = _clients.emplace(name, &client);
+        panic_if(!inserted,
+                 "checkpoint registry: duplicate client name '%s'",
+                 name.c_str());
+        _clientNames.emplace(&client, name);
+    }
+
+    void
+    unregisterClient(MemClient &client)
+    {
+        auto it = _clientNames.find(&client);
+        if (it == _clientNames.end())
+            return;
+        _clients.erase(it->second);
+        _clientNames.erase(it);
+    }
+
+    MemClient &
+    client(const std::string &name) const
+    {
+        auto it = _clients.find(name);
+        fatal_if(it == _clients.end(),
+                 "checkpoint restore: no MemClient named '%s' in this "
+                 "topology", name.c_str());
+        return *it->second;
+    }
+
+    /** Registered name of @p client (fatal when unregistered). */
+    const std::string &
+    clientName(const MemClient &client) const
+    {
+        auto it = _clientNames.find(&client);
+        fatal_if(it == _clientNames.end(),
+                 "checkpoint: in-flight packet references an "
+                 "unregistered MemClient — every response target must "
+                 "call registerCheckpointClient()");
+        return it->second;
+    }
+    /** @} */
+
+    /** @{ Retry-waiter table (RetryList parking by name). */
+    void
+    registerRequestor(const std::string &name, MemRequestor &req)
+    {
+        auto [it, inserted] = _requestors.emplace(name, &req);
+        panic_if(!inserted,
+                 "checkpoint registry: duplicate requestor name '%s'",
+                 name.c_str());
+        _requestorNames.emplace(&req, name);
+    }
+
+    void
+    unregisterRequestor(MemRequestor &req)
+    {
+        auto it = _requestorNames.find(&req);
+        if (it == _requestorNames.end())
+            return;
+        _requestors.erase(it->second);
+        _requestorNames.erase(it);
+    }
+
+    MemRequestor &
+    requestor(const std::string &name) const
+    {
+        auto it = _requestors.find(name);
+        fatal_if(it == _requestors.end(),
+                 "checkpoint restore: no MemRequestor named '%s' in "
+                 "this topology", name.c_str());
+        return *it->second;
+    }
+
+    /** Registered name of @p req (fatal when unregistered). */
+    const std::string &
+    requestorName(const MemRequestor &req) const
+    {
+        auto it = _requestorNames.find(&req);
+        fatal_if(it == _requestorNames.end(),
+                 "checkpoint: parked retry waiter is an unregistered "
+                 "MemRequestor — every requestor that can block must "
+                 "call registerCheckpointRequestor()");
+        return it->second;
+    }
+    /** @} */
+
+  private:
+    std::map<std::string, Event *> _events;
+    std::map<const Event *, std::string> _eventNames;
+    std::map<std::string, MemClient *> _clients;
+    std::map<const MemClient *, std::string> _clientNames;
+    std::map<std::string, MemRequestor *> _requestors;
+    std::map<const MemRequestor *, std::string> _requestorNames;
+};
+
+} // namespace emerald
+
+#endif // EMERALD_SIM_SERIALIZE_REGISTRY_HH

@@ -1,0 +1,641 @@
+#include "sim/serialize/serialize.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+
+namespace
+{
+
+const char *
+recordTypeName(RecordType t)
+{
+    switch (t) {
+    case RecordType::U64: return "u64";
+    case RecordType::I64: return "i64";
+    case RecordType::F64: return "f64";
+    case RecordType::Bool: return "bool";
+    case RecordType::Str: return "str";
+    case RecordType::Blob: return "blob";
+    case RecordType::U64Vec: return "u64vec";
+    case RecordType::F64Vec: return "f64vec";
+    }
+    return "?";
+}
+
+void
+appendLE(std::string &buf, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t
+readLE(const char *p, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+/**
+ * Minimal JSON scanner for the manifest we write ourselves: objects,
+ * arrays, strings and unsigned integers. All numeric manifest fields
+ * are written as JSON strings (u64 values do not survive a double
+ * round-trip), so the number production only needs to tolerate, not
+ * preserve, foreign numbers.
+ */
+class ManifestParser
+{
+  public:
+    ManifestParser(const std::string &text, std::string path)
+        : _text(text), _path(std::move(path))
+    {}
+
+    void
+    die(const char *what) const
+    {
+        fatal("checkpoint manifest '%s': malformed JSON (%s near "
+              "offset %zu)", _path.c_str(), what, _pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\n' ||
+                _text[_pos] == '\t' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            die("unexpected end");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            die("unexpected character");
+        ++_pos;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_pos >= _text.size())
+                die("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    die("bad escape");
+                char e = _text[_pos++];
+                switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case 'n': out.push_back('\n'); break;
+                case 't': out.push_back('\t'); break;
+                case '/': out.push_back('/'); break;
+                default: die("unsupported escape");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+
+    /** Parse a value but keep only strings; others are skipped. */
+    std::string
+    parseScalar()
+    {
+        char c = peek();
+        if (c == '"')
+            return parseString();
+        // Bare number (tolerated, returned as text).
+        std::string out;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '-' || _text[_pos] == '.' ||
+                _text[_pos] == 'e' || _text[_pos] == 'E' ||
+                _text[_pos] == '+'))
+            out.push_back(_text[_pos++]);
+        if (out.empty())
+            die("expected scalar");
+        return out;
+    }
+
+    /**
+     * Parse an object of scalar fields plus at most one array-valued
+     * field; @p onField receives scalar fields, @p onArrayElem is
+     * invoked with a fresh sub-object parser position for each array
+     * element (used for "sections").
+     */
+    template <typename FieldFn, typename ArrayFn>
+    void
+    parseObject(FieldFn onField, ArrayFn onArrayElem)
+    {
+        expect('{');
+        if (peek() == '}') {
+            ++_pos;
+            return;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            if (peek() == '[') {
+                ++_pos;
+                if (peek() == ']') {
+                    ++_pos;
+                } else {
+                    while (true) {
+                        onArrayElem(key);
+                        char c = peek();
+                        if (c == ',') {
+                            ++_pos;
+                            continue;
+                        }
+                        expect(']');
+                        break;
+                    }
+                }
+            } else {
+                onField(key, parseScalar());
+            }
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+  private:
+    const std::string &_text;
+    std::string _path;
+    std::size_t _pos = 0;
+};
+
+std::uint64_t
+parseU64Field(const std::string &text, const std::string &key,
+              const std::string &path)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    fatal_if(end == text.c_str() || *end != '\0',
+             "checkpoint manifest '%s': field '%s' ('%s') is not an "
+             "unsigned integer", path.c_str(), key.c_str(),
+             text.c_str());
+    return v;
+}
+
+} // namespace
+
+//
+// CheckpointOut
+//
+
+void
+CheckpointOut::header(const std::string &key, RecordType type)
+{
+    panic_if(key.empty() || key.size() > 0xffff,
+             "checkpoint section '%s': bad key length %zu",
+             _section.c_str(), key.size());
+    auto [it, inserted] = _seen.emplace(key, type);
+    panic_if(!inserted, "checkpoint section '%s': duplicate key '%s'",
+             _section.c_str(), key.c_str());
+    _buf.push_back(static_cast<char>(type));
+    appendLE(_buf, key.size(), 2);
+    _buf.append(key);
+    ++_numRecords;
+}
+
+void
+CheckpointOut::raw(const void *bytes, std::size_t n)
+{
+    _buf.append(static_cast<const char *>(bytes), n);
+}
+
+void
+CheckpointOut::putU64(const std::string &key, std::uint64_t v)
+{
+    header(key, RecordType::U64);
+    appendLE(_buf, v, 8);
+}
+
+void
+CheckpointOut::putI64(const std::string &key, std::int64_t v)
+{
+    header(key, RecordType::I64);
+    appendLE(_buf, static_cast<std::uint64_t>(v), 8);
+}
+
+void
+CheckpointOut::putF64(const std::string &key, double v)
+{
+    header(key, RecordType::F64);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    appendLE(_buf, bits, 8);
+}
+
+void
+CheckpointOut::putBool(const std::string &key, bool v)
+{
+    header(key, RecordType::Bool);
+    _buf.push_back(v ? 1 : 0);
+}
+
+void
+CheckpointOut::putStr(const std::string &key, const std::string &v)
+{
+    header(key, RecordType::Str);
+    appendLE(_buf, v.size(), 4);
+    _buf.append(v);
+}
+
+void
+CheckpointOut::putBlob(const std::string &key, const void *bytes,
+                       std::size_t n)
+{
+    header(key, RecordType::Blob);
+    appendLE(_buf, n, 4);
+    raw(bytes, n);
+}
+
+void
+CheckpointOut::putU64Vec(const std::string &key,
+                         const std::vector<std::uint64_t> &v)
+{
+    header(key, RecordType::U64Vec);
+    appendLE(_buf, v.size(), 4);
+    for (std::uint64_t x : v)
+        appendLE(_buf, x, 8);
+}
+
+void
+CheckpointOut::putF64Vec(const std::string &key,
+                         const std::vector<double> &v)
+{
+    header(key, RecordType::F64Vec);
+    appendLE(_buf, v.size(), 4);
+    for (double x : v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &x, 8);
+        appendLE(_buf, bits, 8);
+    }
+}
+
+//
+// CheckpointIn
+//
+
+CheckpointIn::CheckpointIn(std::string section_name, const char *bytes,
+                           std::size_t n)
+    : _section(std::move(section_name))
+{
+    std::size_t pos = 0;
+    auto need = [&](std::size_t k) {
+        fatal_if(pos + k > n,
+                 "checkpoint section '%s': truncated at offset %zu",
+                 _section.c_str(), pos);
+    };
+    while (pos < n) {
+        need(3);
+        auto type = static_cast<RecordType>(
+            static_cast<unsigned char>(bytes[pos]));
+        fatal_if(static_cast<unsigned>(type) >
+                     static_cast<unsigned>(RecordType::F64Vec),
+                 "checkpoint section '%s': bad record type %u at "
+                 "offset %zu", _section.c_str(),
+                 static_cast<unsigned>(type), pos);
+        std::size_t key_len = readLE(bytes + pos + 1, 2);
+        pos += 3;
+        need(key_len);
+        std::string key(bytes + pos, key_len);
+        pos += key_len;
+
+        std::size_t payload_len = 0;
+        switch (type) {
+        case RecordType::U64:
+        case RecordType::I64:
+        case RecordType::F64:
+            payload_len = 8;
+            break;
+        case RecordType::Bool:
+            payload_len = 1;
+            break;
+        case RecordType::Str:
+        case RecordType::Blob:
+            need(4);
+            payload_len = readLE(bytes + pos, 4);
+            pos += 4;
+            break;
+        case RecordType::U64Vec:
+        case RecordType::F64Vec:
+            need(4);
+            payload_len = readLE(bytes + pos, 4) * 8;
+            pos += 4;
+            break;
+        }
+        need(payload_len);
+        auto [it, inserted] = _records.emplace(
+            std::move(key),
+            Record{type, std::string(bytes + pos, payload_len)});
+        fatal_if(!inserted,
+                 "checkpoint section '%s': duplicate key '%s'",
+                 _section.c_str(), it->first.c_str());
+        pos += payload_len;
+    }
+}
+
+const CheckpointIn::Record &
+CheckpointIn::fetch(const std::string &key, RecordType want) const
+{
+    auto it = _records.find(key);
+    fatal_if(it == _records.end(),
+             "checkpoint section '%s': missing key '%s' — the "
+             "checkpoint does not match this binary's schema",
+             _section.c_str(), key.c_str());
+    fatal_if(it->second.type != want,
+             "checkpoint section '%s': key '%s' is %s, expected %s",
+             _section.c_str(), key.c_str(),
+             recordTypeName(it->second.type), recordTypeName(want));
+    return it->second;
+}
+
+std::uint64_t
+CheckpointIn::getU64(const std::string &key) const
+{
+    return readLE(fetch(key, RecordType::U64).payload.data(), 8);
+}
+
+std::int64_t
+CheckpointIn::getI64(const std::string &key) const
+{
+    return static_cast<std::int64_t>(
+        readLE(fetch(key, RecordType::I64).payload.data(), 8));
+}
+
+double
+CheckpointIn::getF64(const std::string &key) const
+{
+    std::uint64_t bits =
+        readLE(fetch(key, RecordType::F64).payload.data(), 8);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+bool
+CheckpointIn::getBool(const std::string &key) const
+{
+    return fetch(key, RecordType::Bool).payload[0] != 0;
+}
+
+std::string
+CheckpointIn::getStr(const std::string &key) const
+{
+    return fetch(key, RecordType::Str).payload;
+}
+
+const std::string &
+CheckpointIn::getBlob(const std::string &key) const
+{
+    return fetch(key, RecordType::Blob).payload;
+}
+
+std::vector<std::uint64_t>
+CheckpointIn::getU64Vec(const std::string &key) const
+{
+    const std::string &p = fetch(key, RecordType::U64Vec).payload;
+    std::vector<std::uint64_t> out(p.size() / 8);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = readLE(p.data() + i * 8, 8);
+    return out;
+}
+
+std::vector<double>
+CheckpointIn::getF64Vec(const std::string &key) const
+{
+    const std::string &p = fetch(key, RecordType::F64Vec).payload;
+    std::vector<double> out(p.size() / 8);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        std::uint64_t bits = readLE(p.data() + i * 8, 8);
+        std::memcpy(&out[i], &bits, 8);
+    }
+    return out;
+}
+
+//
+// CheckpointWriter
+//
+
+CheckpointWriter::CheckpointWriter(std::string dir,
+                                   std::uint64_t config_fingerprint,
+                                   Tick tick,
+                                   std::uint64_t num_processed)
+    : _dir(std::move(dir)), _fingerprint(config_fingerprint),
+      _tick(tick), _numProcessed(num_processed)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    fatal_if(static_cast<bool>(ec),
+             "cannot create checkpoint directory '%s': %s",
+             _dir.c_str(), ec.message().c_str());
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    if (!_finalized)
+        finalize();
+}
+
+CheckpointOut &
+CheckpointWriter::section(const std::string &name)
+{
+    panic_if(_finalized, "checkpoint '%s' already finalized",
+             _dir.c_str());
+    for (const CheckpointOut &s : _sections)
+        panic_if(s.sectionName() == name,
+                 "checkpoint '%s': duplicate section '%s'",
+                 _dir.c_str(), name.c_str());
+    _sections.emplace_back(name);
+    return _sections.back();
+}
+
+void
+CheckpointWriter::finalize()
+{
+    if (_finalized)
+        return;
+    _finalized = true;
+
+    std::string data_path = _dir + "/data.bin";
+    std::ofstream data(data_path, std::ios::binary);
+    fatal_if(!data.is_open(), "cannot write '%s'", data_path.c_str());
+
+    std::ostringstream manifest;
+    manifest << "{\n"
+             << "  \"format_version\": \"" << checkpointFormatVersion
+             << "\",\n"
+             << "  \"config_fingerprint\": \"" << _fingerprint
+             << "\",\n"
+             << "  \"tick\": \"" << _tick << "\",\n"
+             << "  \"num_processed\": \"" << _numProcessed << "\",\n"
+             << "  \"sections\": [\n";
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < _sections.size(); ++i) {
+        const CheckpointOut &s = _sections[i];
+        data.write(s.bytes().data(),
+                   static_cast<std::streamsize>(s.bytes().size()));
+        manifest << "    {\"name\": \"" << jsonEscape(s.sectionName())
+                 << "\", \"offset\": \"" << offset
+                 << "\", \"size\": \"" << s.bytes().size() << "\"}"
+                 << (i + 1 < _sections.size() ? "," : "") << "\n";
+        offset += s.bytes().size();
+    }
+    manifest << "  ]\n}\n";
+    data.close();
+    fatal_if(data.fail(), "write to '%s' failed", data_path.c_str());
+
+    std::string manifest_path = _dir + "/manifest.json";
+    std::ofstream mf(manifest_path);
+    fatal_if(!mf.is_open(), "cannot write '%s'",
+             manifest_path.c_str());
+    mf << manifest.str();
+    mf.close();
+    fatal_if(mf.fail(), "write to '%s' failed", manifest_path.c_str());
+}
+
+//
+// CheckpointReader
+//
+
+CheckpointReader::CheckpointReader(const std::string &dir) : _dir(dir)
+{
+    std::string manifest_path = _dir + "/manifest.json";
+    std::ifstream mf(manifest_path);
+    fatal_if(!mf.is_open(),
+             "cannot open checkpoint manifest '%s' — is '%s' a "
+             "checkpoint directory?", manifest_path.c_str(),
+             _dir.c_str());
+    std::stringstream ss;
+    ss << mf.rdbuf();
+    std::string text = ss.str();
+
+    bool saw_version = false;
+    std::uint64_t version = 0;
+    ManifestParser p(text, manifest_path);
+    p.parseObject(
+        [&](const std::string &key, const std::string &value) {
+            if (key == "format_version") {
+                version = parseU64Field(value, key, manifest_path);
+                saw_version = true;
+            } else if (key == "config_fingerprint") {
+                _fingerprint =
+                    parseU64Field(value, key, manifest_path);
+            } else if (key == "tick") {
+                _tick = parseU64Field(value, key, manifest_path);
+            } else if (key == "num_processed") {
+                _numProcessed =
+                    parseU64Field(value, key, manifest_path);
+            }
+            // Unknown scalar fields are ignored: adding manifest
+            // metadata is a compatible change.
+        },
+        [&](const std::string &key) {
+            std::string name;
+            std::uint64_t offset = 0;
+            std::uint64_t size = 0;
+            p.parseObject(
+                [&](const std::string &k, const std::string &v) {
+                    if (k == "name")
+                        name = v;
+                    else if (k == "offset")
+                        offset = parseU64Field(v, k, manifest_path);
+                    else if (k == "size")
+                        size = parseU64Field(v, k, manifest_path);
+                },
+                [&](const std::string &) {
+                    p.die("nested array in section entry");
+                });
+            fatal_if(key != "sections",
+                     "checkpoint manifest '%s': unexpected array "
+                     "field '%s'", manifest_path.c_str(), key.c_str());
+            fatal_if(name.empty(),
+                     "checkpoint manifest '%s': section without a "
+                     "name", manifest_path.c_str());
+            auto [it, inserted] = _sections.emplace(
+                name, SectionRef{static_cast<std::size_t>(offset),
+                                 static_cast<std::size_t>(size)});
+            fatal_if(!inserted,
+                     "checkpoint manifest '%s': duplicate section "
+                     "'%s'", manifest_path.c_str(), name.c_str());
+        });
+
+    fatal_if(!saw_version,
+             "checkpoint manifest '%s': missing format_version",
+             manifest_path.c_str());
+    fatal_if(version != checkpointFormatVersion,
+             "checkpoint '%s' has format version %llu; this binary "
+             "reads version %llu", _dir.c_str(),
+             (unsigned long long)version,
+             (unsigned long long)checkpointFormatVersion);
+
+    std::string data_path = _dir + "/data.bin";
+    std::ifstream data(data_path, std::ios::binary);
+    fatal_if(!data.is_open(), "cannot open checkpoint data '%s'",
+             data_path.c_str());
+    std::stringstream ds;
+    ds << data.rdbuf();
+    _data = ds.str();
+
+    for (const auto &[name, ref] : _sections) {
+        fatal_if(ref.offset + ref.size > _data.size(),
+                 "checkpoint '%s': section '%s' extends past the end "
+                 "of data.bin", _dir.c_str(), name.c_str());
+    }
+}
+
+bool
+CheckpointReader::hasSection(const std::string &name) const
+{
+    return _sections.count(name) != 0;
+}
+
+CheckpointIn
+CheckpointReader::section(const std::string &name) const
+{
+    auto it = _sections.find(name);
+    fatal_if(it == _sections.end(),
+             "checkpoint '%s': no section '%s' — the checkpointed "
+             "topology does not match this configuration",
+             _dir.c_str(), name.c_str());
+    return CheckpointIn(name, _data.data() + it->second.offset,
+                        it->second.size);
+}
+
+} // namespace emerald

@@ -13,18 +13,32 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/serialize/serialize.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace emerald
 {
 
+class MemClient;
+class MemRequestor;
 class Simulation;
 
-/** Base class of every named component in the simulated system. */
-class SimObject : public StatGroup
+/**
+ * Base class of every named component in the simulated system.
+ *
+ * Every SimObject is Serializable: its name() is its checkpoint
+ * section name. Stateful subclasses override serialize()/
+ * unserialize(); emerald_lint flags ones that forget (see the
+ * serializable-coverage rule). Cross-object references that must
+ * survive a checkpoint (pending events, response targets, retry
+ * waiters) are registered by name in the constructor via the
+ * registerCheckpoint*() helpers.
+ */
+class SimObject : public StatGroup, public Serializable
 {
   public:
     SimObject(Simulation &sim, const std::string &name);
@@ -79,9 +93,28 @@ class SimObject : public StatGroup
      */
     virtual void onWatchdogDegrade() {}
 
+  protected:
+    /**
+     * Register @p ev in the Simulation's checkpoint registry under
+     * ev.name() so a checkpoint can re-schedule it by name. Every
+     * Event that may be pending at a checkpoint must be registered
+     * (saving with an unregistered pending event is fatal).
+     */
+    void registerCheckpointEvent(Event &ev);
+
+    /** Register @p client under this object's name(). */
+    void registerCheckpointClient(MemClient &client);
+
+    /** Register @p req under this object's name(). */
+    void registerCheckpointRequestor(MemRequestor &req);
+
   private:
     Simulation &_sim;
     std::string _name;
+    /** Registrations to undo in the destructor. */
+    std::vector<Event *> _ckptEvents;
+    MemClient *_ckptClient = nullptr;
+    MemRequestor *_ckptRequestor = nullptr;
 };
 
 } // namespace emerald

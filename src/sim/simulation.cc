@@ -10,11 +10,56 @@
 #include "sim/fault/fault_injector.hh"
 #include "sim/fault/watchdog.hh"
 #include "sim/logging.hh"
+#include "sim/serialize/serialize.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation_builder.hh"
 
 namespace emerald
 {
+
+/**
+ * Fires the armed --checkpoint-at save from the event-queue
+ * instrument chain: between events, after the determinism verifier
+ * has folded the just-processed one, so the saved hash covers exactly
+ * the pre-checkpoint prefix and the event stream itself is never
+ * perturbed (no probe events). Stays attached but inert after firing.
+ */
+class CheckpointTrigger : public EventInstrument
+{
+  public:
+    CheckpointTrigger(Simulation &sim, Tick at, std::string dir)
+        : _sim(sim), _at(at), _dir(std::move(dir))
+    {}
+
+    void
+    onEvent(const std::string &name, Tick when, int priority,
+            std::uint64_t wall_ns) override
+    {
+        (void)name;
+        (void)priority;
+        (void)wall_ns;
+        if (_fired || when < _at)
+            return;
+        if (!_sim.checkpointSafeNow()) {
+            if (!_deferred) {
+                _deferred = true;
+                inform("checkpoint at tick %llu deferred: waiting for "
+                       "a quiescent boundary (open frame or busy "
+                       "core)", (unsigned long long)_at);
+            }
+            return;
+        }
+        _fired = true;
+        _sim.saveCheckpoint(_dir);
+    }
+
+  private:
+    Simulation &_sim;
+    Tick _at;
+    std::string _dir;
+    bool _fired = false;
+    bool _deferred = false;
+};
 
 Simulation::Simulation()
     : _statsRoot(""), _simGroup(_statsRoot, "sim"),
@@ -157,6 +202,208 @@ void
 Simulation::configureObservability(const Config &cfg)
 {
     SimulationBuilder().observability(cfg).applyTo(*this);
+}
+
+void
+Simulation::registerSerializable(const std::string &name,
+                                 Serializable &obj)
+{
+    for (const auto &[existing, ptr] : _extras)
+        panic_if(existing == name,
+                 "registerSerializable: duplicate name '%s'",
+                 name.c_str());
+    _extras.emplace_back(name, &obj);
+}
+
+bool
+Simulation::checkpointSafeNow() const
+{
+    for (const SimObject *obj : _objects) {
+        if (!obj->checkpointSafe())
+            return false;
+    }
+    for (const auto &[name, obj] : _extras) {
+        if (!obj->checkpointSafe())
+            return false;
+    }
+    return true;
+}
+
+void
+Simulation::scheduleCheckpoint(Tick at, const std::string &dir)
+{
+    panic_if(_ckptTrigger != nullptr,
+             "scheduleCheckpoint called twice on one Simulation");
+    fatal_if(dir.empty(), "--checkpoint-at needs a checkpoint "
+             "directory (--checkpoint-dir)");
+    _ckptTrigger = std::make_unique<CheckpointTrigger>(*this, at, dir);
+    attachInstrument(_ckptTrigger.get());
+}
+
+void
+Simulation::saveCheckpoint(const std::string &dir)
+{
+    fatal_if(!checkpointSafeNow(),
+             "saveCheckpoint('%s'): a component is mid-operation and "
+             "cannot serialize; use --checkpoint-at, which waits for "
+             "a quiescent boundary", dir.c_str());
+
+    CheckpointWriter w(dir, _configFingerprint, _eq.curTick(),
+                       _eq.numProcessed());
+
+    // Kernel state first: the pending-event table...
+    CheckpointOut &events = w.section("sim.events");
+    auto live = _eq.liveEventsSorted();
+    events.putU64("num_events", live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto &e = live[i];
+        std::string ev_name = _ckptRegistry.eventName(*e.event);
+        fatal_if(ev_name.empty(),
+                 "checkpoint: pending event '%s' (tick %llu) is not "
+                 "in the checkpoint registry — its owner must call "
+                 "registerCheckpointEvent(), or (watchdog/fault "
+                 "timers) cannot be armed across a checkpoint",
+                 e.event->name().c_str(), (unsigned long long)e.when);
+        std::string key = strprintf("e%zu", i);
+        events.putStr(key + ".name", ev_name);
+        events.putTick(key + ".when", e.when);
+    }
+
+    // ...the packet pool's internal shadow of its high-water stat...
+    CheckpointOut &pool = w.section("sim.pool");
+    pool.putU64("live_high_water", _packetPool->liveHighWater());
+
+    // ...and the determinism verifier, so a restored run resumes the
+    // cold run's hash stream (the warm-start acceptance oracle).
+    CheckpointOut &chk = w.section("sim.check");
+    chk.putBool("determinism", _determinism != nullptr);
+    if (_determinism) {
+        chk.putU64("hash", _determinism->hash());
+        chk.putU64("num_events", _determinism->numEvents());
+    }
+
+    for (const SimObject *obj : _objects)
+        obj->serialize(w.section(obj->name()));
+    for (const auto &[name, extra] : _extras)
+        extra->serialize(w.section(name));
+
+    // The whole stats tree in one section, keyed by full stat path.
+    _statsRoot.serializeStats(w.section("stats"));
+
+    w.finalize();
+
+    // Boundary stats snapshot: lets a warm run's deltas be diffed
+    // against the cold run's measured region (tools/check_restore.py).
+    std::string stats_path = dir + "/stats.json";
+    std::ofstream stats(stats_path);
+    if (stats.is_open())
+        dumpStatsJson(stats);
+    else
+        warn("cannot write '%s'", stats_path.c_str());
+
+    inform("checkpoint written to '%s' at tick %llu (%llu events, "
+           "%zu live packets)", dir.c_str(),
+           (unsigned long long)_eq.curTick(),
+           (unsigned long long)_eq.numProcessed(),
+           static_cast<std::size_t>(_packetPool->live()));
+}
+
+void
+Simulation::restoreCheckpoint()
+{
+    panic_if(_restoreDir.empty(),
+             "restoreCheckpoint without setRestoreSpec");
+    panic_if(_restored, "restoreCheckpoint called twice");
+    panic_if(_eq.numProcessed() != 0,
+             "restoreCheckpoint after events have run");
+
+    CheckpointReader r(_restoreDir);
+    if (r.configFingerprint() != _configFingerprint) {
+        if (_restoreForce) {
+            warn("checkpoint '%s' was taken under config fingerprint "
+                 "%016llx but this run is %016llx; proceeding because "
+                 "of --restore-force", _restoreDir.c_str(),
+                 (unsigned long long)r.configFingerprint(),
+                 (unsigned long long)_configFingerprint);
+        } else {
+            fatal("checkpoint '%s' was taken under config fingerprint "
+                  "%016llx but this run is %016llx — restoring state "
+                  "into a different configuration would be silently "
+                  "corrupt. Re-run with the checkpoint's "
+                  "configuration, or pass --restore-force to "
+                  "override.", _restoreDir.c_str(),
+                  (unsigned long long)r.configFingerprint(),
+                  (unsigned long long)_configFingerprint);
+        }
+    }
+
+    // Topology constructors pre-schedule events (clock ticks, DASH
+    // quantum timers); drop them all — the checkpoint's pending set
+    // is re-scheduled below — then jump the clock.
+    _eq.clearForRestore();
+    _eq.restoreTime(r.tick(), r.numProcessed());
+
+    for (SimObject *obj : _objects) {
+        CheckpointIn in = r.section(obj->name());
+        obj->unserialize(in);
+    }
+    for (const auto &[name, extra] : _extras) {
+        CheckpointIn in = r.section(name);
+        extra->unserialize(in);
+    }
+
+    // Stats after objects: component restore re-allocates in-flight
+    // packets, which inflates sim.pool.* — overwriting the tree with
+    // the checkpoint's values puts every counter back to the cold
+    // run's boundary state.
+    {
+        CheckpointIn in = r.section("stats");
+        _statsRoot.unserializeStats(in);
+    }
+    {
+        CheckpointIn in = r.section("sim.pool");
+        _packetPool->restoreLiveHighWater(
+            in.getU64("live_high_water"));
+    }
+    {
+        CheckpointIn in = r.section("sim.check");
+        if (_determinism) {
+            fatal_if(!in.getBool("determinism"),
+                     "--check-determinism is on but checkpoint '%s' "
+                     "was taken without it; the event hash cannot be "
+                     "resumed. Re-take the checkpoint with "
+                     "--check-determinism.", _restoreDir.c_str());
+            _determinism->restoreState(in.getU64("hash"),
+                                       in.getU64("num_events"));
+        }
+    }
+
+    // Re-schedule the pending events by registry name. The entries
+    // were saved in service order, so scheduling them in sequence
+    // reproduces the cold run's same-tick tie-breaks with fresh
+    // sequence numbers.
+    {
+        CheckpointIn in = r.section("sim.events");
+        std::uint64_t n = in.getU64("num_events");
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string key =
+                strprintf("e%llu", (unsigned long long)i);
+            std::string ev_name = in.getStr(key + ".name");
+            Event *ev = _ckptRegistry.findEvent(ev_name);
+            fatal_if(!ev,
+                     "checkpoint restore: no event named '%s' in this "
+                     "topology — the checkpointed configuration does "
+                     "not match", ev_name.c_str());
+            _eq.schedule(*ev, in.getTick(key + ".when"));
+        }
+    }
+
+    _restored = true;
+    inform("restored checkpoint '%s': tick %llu, %llu events "
+           "processed, %zu live packets", _restoreDir.c_str(),
+           (unsigned long long)r.tick(),
+           (unsigned long long)r.numProcessed(),
+           static_cast<std::size_t>(_packetPool->live()));
 }
 
 } // namespace emerald

@@ -17,13 +17,16 @@
 #include "sim/event_tracer.hh"
 #include "sim/fault/domain.hh"
 #include "sim/packet_pool.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace emerald
 {
 
+class CheckpointTrigger;
 class Config;
+class Serializable;
 class SimObject;
 
 namespace check
@@ -193,6 +196,93 @@ class Simulation
     /** Every live SimObject, in construction order. */
     const std::vector<SimObject *> &objects() const { return _objects; }
 
+    /**
+     * Name tables for checkpointable cross-object references (events,
+     * response targets, retry waiters). See sim/serialize/registry.hh.
+     */
+    CheckpointRegistry &checkpointRegistry() { return _ckptRegistry; }
+    const CheckpointRegistry &
+    checkpointRegistry() const
+    {
+        return _ckptRegistry;
+    }
+
+    /**
+     * Record the hash of the construction-time configuration. A
+     * checkpoint stores it and restore refuses on mismatch (unless
+     * forced): state from one topology silently deserialized into a
+     * different one is the failure mode this subsystem must never
+     * have.
+     */
+    void
+    setConfigFingerprint(std::uint64_t fp)
+    {
+        _configFingerprint = fp;
+    }
+
+    std::uint64_t configFingerprint() const { return _configFingerprint; }
+
+    /**
+     * Checkpoint a stateful object that is not a SimObject (e.g. the
+     * framebuffer): @p obj is saved/restored as section @p name
+     * alongside the SimObjects. The caller keeps ownership and must
+     * outlive the Simulation's save/restore calls.
+     */
+    void registerSerializable(const std::string &name,
+                              Serializable &obj);
+
+    /**
+     * Arm a checkpoint at the first inter-event boundary at or after
+     * @p at ticks (--checkpoint-at). The trigger rides the event-queue
+     * instrument chain, so arming it perturbs no event ordering; if
+     * components report !checkpointSafe() at @p at (an open frame, a
+     * busy SIMT core) the save is deferred to the next safe boundary.
+     */
+    void scheduleCheckpoint(Tick at, const std::string &dir);
+
+    /**
+     * Write a checkpoint of the current state into directory @p dir
+     * (manifest.json + data.bin + stats.json). Fatal when any object
+     * reports !checkpointSafe().
+     */
+    void saveCheckpoint(const std::string &dir);
+
+    /**
+     * Declare that this simulation will restore from @p dir
+     * (--restore). The actual restore runs once the topology exists —
+     * rigs call restoreCheckpoint() after construction (SocTop does
+     * this automatically). @p force downgrades the config-fingerprint
+     * mismatch from fatal to a warning (--restore-force).
+     */
+    void
+    setRestoreSpec(const std::string &dir, bool force)
+    {
+        _restoreDir = dir;
+        _restoreForce = force;
+    }
+
+    /** True when setRestoreSpec ran and restoreCheckpoint has not. */
+    bool
+    restorePending() const
+    {
+        return !_restoreDir.empty() && !_restored;
+    }
+
+    /**
+     * Restore the checkpoint named by setRestoreSpec onto the
+     * constructed topology: validates the fingerprint, rewinds the
+     * event queue, unserializes every object (construction order),
+     * overwrites the stats tree and re-schedules the pending events
+     * by name.
+     */
+    void restoreCheckpoint();
+
+    /** True once restoreCheckpoint has run (warm start). */
+    bool restored() const { return _restored; }
+
+    /** True when every object can serialize right now. */
+    bool checkpointSafeNow() const;
+
   private:
     friend class SimObject;
 
@@ -231,6 +321,14 @@ class Simulation
     std::unique_ptr<check::CheckContext> _checkContext;
     std::unique_ptr<fault::FaultInjector> _faultInjector;
     std::unique_ptr<fault::ProgressWatchdog> _watchdog;
+    CheckpointRegistry _ckptRegistry;
+    std::uint64_t _configFingerprint = 0;
+    /** Extra (non-SimObject) checkpoint participants, in order. */
+    std::vector<std::pair<std::string, Serializable *>> _extras;
+    std::unique_ptr<CheckpointTrigger> _ckptTrigger;
+    std::string _restoreDir;
+    bool _restoreForce = false;
+    bool _restored = false;
 };
 
 } // namespace emerald

@@ -60,6 +60,32 @@ SimulationBuilder::watchdog(Tick budget, const std::string &mode)
 }
 
 SimulationBuilder &
+SimulationBuilder::checkpointAt(Tick at, const std::string &dir)
+{
+    _checkpointAt = at;
+    _checkpointDir = dir;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::restoreFrom(const std::string &dir, bool force)
+{
+    _restoreDir = dir;
+    _restoreForce = force;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::subdir(const std::string &label)
+{
+    if (!_checkpointDir.empty())
+        _checkpointDir += "/" + label;
+    if (!_restoreDir.empty())
+        _restoreDir += "/" + label;
+    return *this;
+}
+
+SimulationBuilder &
 SimulationBuilder::observability(const Config &cfg)
 {
     traceFile(cfg.getString("trace-file", _traceFile));
@@ -73,6 +99,16 @@ SimulationBuilder::observability(const Config &cfg)
             cfg.getString("watchdog-ticks", ""), "--watchdog-ticks");
     }
     _watchdogMode = cfg.getString("watchdog-mode", _watchdogMode);
+    if (cfg.has("checkpoint-at")) {
+        checkpointAt(fault::parseDuration(
+                         cfg.getString("checkpoint-at", ""),
+                         "--checkpoint-at"),
+                     cfg.getString("checkpoint-dir", "ckpt"));
+    }
+    if (cfg.has("restore")) {
+        restoreFrom(cfg.getString("restore", ""),
+                    cfg.getBool("restore-force", false));
+    }
     return *this;
 }
 
@@ -97,6 +133,12 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.writeStatsJsonAtExit(_statsJsonOnExit);
     if (_checkDeterminism)
         sim.enableDeterminismCheck();
+    // The checkpoint trigger attaches after the determinism verifier
+    // so a saved hash always covers the just-processed event.
+    if (!_checkpointDir.empty())
+        sim.scheduleCheckpoint(_checkpointAt, _checkpointDir);
+    if (!_restoreDir.empty())
+        sim.setRestoreSpec(_restoreDir, _restoreForce);
     if (!_faultPlan.empty())
         sim.configureFaults(_faultPlan, _faultSeed);
     if (_watchdogTicks > 0) {

@@ -72,12 +72,40 @@ class SimulationBuilder
                                 const std::string &mode = "abort");
 
     /**
+     * Checkpoint into @p dir at the first quiescent inter-event
+     * boundary at or after @p at ticks (--checkpoint-at /
+     * --checkpoint-dir). at == 0 with an empty dir disables.
+     */
+    SimulationBuilder &checkpointAt(Tick at, const std::string &dir);
+
+    /**
+     * Warm-start from the checkpoint directory @p dir (--restore).
+     * The restore itself runs after topology construction (SocTop
+     * triggers it); @p force turns the config-fingerprint mismatch
+     * from fatal into a warning (--restore-force).
+     */
+    SimulationBuilder &restoreFrom(const std::string &dir,
+                                   bool force = false);
+
+    /**
+     * Scope the checkpoint and restore directories into a
+     * @p label subdirectory. Benches that build several simulations
+     * in one process (e.g. one per memory configuration) apply this
+     * per run so each gets its own checkpoint directory under the
+     * user-supplied base.
+     */
+    SimulationBuilder &subdir(const std::string &label);
+
+    /**
      * Read the observability keys from @p cfg: "trace-file" (path),
      * "profile" (bool), "sim-stats-json" (path, dumped at exit),
      * "check-determinism" (bool, --check-determinism on the CLI),
-     * plus the robustness keys "fault-plan" (campaign string),
+     * the robustness keys "fault-plan" (campaign string),
      * "fault-seed" (integer), "watchdog-ticks" (duration: "1ms",
-     * "250us", or raw ticks) and "watchdog-mode" (abort|degrade).
+     * "250us", or raw ticks) and "watchdog-mode" (abort|degrade),
+     * plus the checkpoint keys "checkpoint-at" (duration),
+     * "checkpoint-dir" (path, default "ckpt"), "restore" (path) and
+     * "restore-force" (bool).
      */
     SimulationBuilder &observability(const Config &cfg);
 
@@ -103,6 +131,10 @@ class SimulationBuilder
     std::uint64_t _faultSeed = 1;
     Tick _watchdogTicks = 0;
     std::string _watchdogMode = "abort";
+    Tick _checkpointAt = 0;
+    std::string _checkpointDir;
+    std::string _restoreDir;
+    bool _restoreForce = false;
 };
 
 } // namespace emerald

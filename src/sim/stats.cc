@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/serialize/serialize.hh"
 
 namespace emerald
 {
@@ -50,6 +51,18 @@ Scalar::dumpJson(std::ostream &os) const
 {
     os << "{\"type\":\"scalar\",\"value\":" << jsonNumber(_value)
        << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+void
+Scalar::serialize(CheckpointOut &out, const std::string &key) const
+{
+    out.putF64(key, _value);
+}
+
+void
+Scalar::unserialize(CheckpointIn &in, const std::string &key)
+{
+    _value = in.getF64(key);
 }
 
 void
@@ -101,6 +114,25 @@ Distribution::dumpJson(std::ostream &os) const
        << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
 }
 
+void
+Distribution::serialize(CheckpointOut &out,
+                        const std::string &key) const
+{
+    out.putU64(key + ".count", _count);
+    out.putF64(key + ".sum", _sum);
+    out.putF64(key + ".min", _min);
+    out.putF64(key + ".max", _max);
+}
+
+void
+Distribution::unserialize(CheckpointIn &in, const std::string &key)
+{
+    _count = in.getU64(key + ".count");
+    _sum = in.getF64(key + ".sum");
+    _min = in.getF64(key + ".min");
+    _max = in.getF64(key + ".max");
+}
+
 TimeSeries::TimeSeries(StatGroup &parent, std::string name,
                        std::string desc, Tick bucket_width)
     : Stat(parent, std::move(name), std::move(desc)),
@@ -145,6 +177,27 @@ TimeSeries::dumpJson(std::ostream &os) const
         os << jsonNumber(_buckets[i]);
     }
     os << "],\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+void
+TimeSeries::serialize(CheckpointOut &out, const std::string &key) const
+{
+    out.putU64(key + ".bucket_width", _bucketWidth);
+    out.putF64Vec(key + ".buckets", _buckets);
+    out.putU64(key + ".clamped", _clampedSamples);
+}
+
+void
+TimeSeries::unserialize(CheckpointIn &in, const std::string &key)
+{
+    Tick width = in.getU64(key + ".bucket_width");
+    fatal_if(width != _bucketWidth,
+             "checkpoint: TimeSeries '%s' was saved with bucket width "
+             "%llu but this run uses %llu — stats buckets would not "
+             "line up", key.c_str(), (unsigned long long)width,
+             (unsigned long long)_bucketWidth);
+    _buckets = in.getF64Vec(key + ".buckets");
+    _clampedSamples = in.getU64(key + ".clamped");
 }
 
 StatGroup::StatGroup(std::string name)
@@ -226,6 +279,30 @@ StatGroup::resetStats()
         stat->reset();
     for (StatGroup *child : _children)
         child->resetStats();
+}
+
+void
+StatGroup::serializeStats(CheckpointOut &out) const
+{
+    std::string prefix = fullStatName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const Stat *stat : _stats)
+        stat->serialize(out, prefix + stat->name());
+    for (const StatGroup *child : _children)
+        child->serializeStats(out);
+}
+
+void
+StatGroup::unserializeStats(CheckpointIn &in)
+{
+    std::string prefix = fullStatName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (Stat *stat : _stats)
+        stat->unserialize(in, prefix + stat->name());
+    for (StatGroup *child : _children)
+        child->unserializeStats(in);
 }
 
 } // namespace emerald

@@ -22,6 +22,8 @@
 namespace emerald
 {
 
+class CheckpointIn;
+class CheckpointOut;
 class StatGroup;
 
 /** Base class of all statistics. */
@@ -50,6 +52,15 @@ class Stat
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
+    /** Write this stat's state under @p key (checkpointing). */
+    virtual void serialize(CheckpointOut &out,
+                           const std::string &key) const = 0;
+
+    /** Restore state written by serialize() (strict: fatal when the
+     *  checkpoint lacks @p key — see docs/checkpointing.md). */
+    virtual void unserialize(CheckpointIn &in,
+                             const std::string &key) = 0;
+
   private:
     std::string _name;
     std::string _desc;
@@ -70,6 +81,10 @@ class Scalar : public Stat
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
     void reset() override { _value = 0.0; }
+    void serialize(CheckpointOut &out,
+                   const std::string &key) const override;
+    void unserialize(CheckpointIn &in,
+                     const std::string &key) override;
 
   private:
     double _value = 0.0;
@@ -96,6 +111,10 @@ class Distribution : public Stat
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
     void reset() override;
+    void serialize(CheckpointOut &out,
+                   const std::string &key) const override;
+    void unserialize(CheckpointIn &in,
+                     const std::string &key) override;
 
   private:
     std::uint64_t _count = 0;
@@ -133,6 +152,10 @@ class TimeSeries : public Stat
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
     void reset() override { _buckets.clear(); _clampedSamples = 0; }
+    void serialize(CheckpointOut &out,
+                   const std::string &key) const override;
+    void unserialize(CheckpointIn &in,
+                     const std::string &key) override;
 
   private:
     Tick _bucketWidth;
@@ -176,6 +199,22 @@ class StatGroup
 
     /** Reset this group's stats and all children. */
     void resetStats();
+
+    /**
+     * Checkpoint this subtree: every stat is written under its full
+     * dotted path. The whole stats tree lands in one "stats" section,
+     * so restore overwrites counters after components have re-created
+     * in-flight state (fixing up e.g. pool alloc counts).
+     */
+    void serializeStats(CheckpointOut &out) const;
+
+    /**
+     * Restore a subtree written by serializeStats(). Strict by
+     * design: a stat present in the binary but absent from the
+     * checkpoint is fatal (adding stats is a checkpoint-breaking
+     * change; see docs/checkpointing.md).
+     */
+    void unserializeStats(CheckpointIn &in);
 
   private:
     friend class Stat;

@@ -68,6 +68,14 @@ class AppModel : public SimObject
     bool done() const { return _framesDone >= _params.frames; }
     const std::vector<FrameRecord> &frames() const { return _records; }
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+    /**
+     * The render phase holds lambdas (frame-done fence, progress
+     * listener) that cannot round-trip; prep and vsync pacing can.
+     */
+    bool checkpointSafe() const override { return !_rendering; }
+
     /** @{ Statistics. */
     Scalar statFrames;
     Distribution statGpuFrameTicks;
@@ -90,6 +98,8 @@ class AppModel : public SimObject
 
     unsigned _framesDone = 0;
     unsigned _coresPending = 0;
+    /** True from beginRender() until renderDone(). */
+    bool _rendering = false;
     Tick _frameSlotStart = 0;
     double _fragEstimate = 0.0;
     std::uint64_t _progressReported = 0;

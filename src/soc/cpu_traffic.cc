@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize/packet_serialize.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/simulation.hh"
 
 namespace emerald::soc
@@ -21,6 +23,47 @@ CpuCoreModel::CpuCoreModel(Simulation &sim, const std::string &name,
       _rng(params.seed ^ (0x9e37 + params.coreId)),
       _issueEvent([this] { issueOne(); }, name + ".issue")
 {
+    registerCheckpointEvent(_issueEvent);
+    registerCheckpointClient(*this);
+    registerCheckpointRequestor(*this);
+}
+
+void
+CpuCoreModel::serialize(CheckpointOut &out) const
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    out.putU64("quota_remaining", _quotaRemaining);
+    out.putBool("has_quota_done", static_cast<bool>(_quotaDone));
+    out.putBool("background", _background);
+    out.putU64("outstanding", _outstanding);
+    out.putBool("has_retry_pkt", _retryPkt != nullptr);
+    if (_retryPkt) {
+        putPacket(out, "retry_pkt", *_retryPkt, reg);
+        out.putBool("retry_quota", _retryQuota);
+    }
+    out.putU64("cursor", _cursor);
+    auto rng = _rng.state();
+    out.putU64Vec("rng", {rng[0], rng[1], rng[2], rng[3]});
+}
+
+void
+CpuCoreModel::unserialize(CheckpointIn &in)
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    _quotaRemaining = in.getU64("quota_remaining");
+    // The callback itself is a lambda owned by the AppModel; it is
+    // re-installed by AppModel::unserialize (see rebindQuotaCallback).
+    _quotaDonePending = in.getBool("has_quota_done");
+    _background = in.getBool("background");
+    _outstanding = static_cast<unsigned>(in.getU64("outstanding"));
+    if (in.getBool("has_retry_pkt")) {
+        _retryPkt = getPacket(in, "retry_pkt", sim().packetPool(), reg);
+        _retryQuota = in.getBool("retry_quota");
+    }
+    _cursor = in.getU64("cursor");
+    auto rng = in.getU64Vec("rng");
+    fatal_if(rng.size() != 4, "%s: bad rng state", name().c_str());
+    _rng.setState({rng[0], rng[1], rng[2], rng[3]});
 }
 
 void

@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "sim/clocked.hh"
+#include "sim/logging.hh"
 #include "sim/packet.hh"
 #include "sim/random.hh"
 #include "sim/sim_object.hh"
@@ -67,6 +68,30 @@ class CpuCoreModel : public SimObject,
     void retryRequest() override;
     std::string requestorName() const override { return name(); }
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
+    /**
+     * True after a restore when the checkpoint was taken mid-quota:
+     * the quota-done callback (a lambda) cannot travel through a
+     * checkpoint, so the owner must re-install it.
+     */
+    bool
+    needsQuotaCallbackRebind() const
+    {
+        return _quotaDonePending;
+    }
+
+    /** Re-install the quota-done callback after a restore. */
+    void
+    rebindQuotaCallback(std::function<void()> cb)
+    {
+        panic_if(!_quotaDonePending,
+                 "%s: no quota callback to rebind", name().c_str());
+        _quotaDone = std::move(cb);
+        _quotaDonePending = false;
+    }
+
     /** @{ Statistics. */
     Scalar statRequests;
     Scalar statQuotas;
@@ -97,6 +122,8 @@ class CpuCoreModel : public SimObject,
     MemPacket *_retryPkt = nullptr;
     /** Whether _retryPkt counts against the active quota. */
     bool _retryQuota = false;
+    /** Restored with a quota callback outstanding (see rebind). */
+    bool _quotaDonePending = false;
     Addr _cursor;
     Random _rng;
     EventFunction _issueEvent;

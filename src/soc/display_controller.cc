@@ -1,6 +1,8 @@
 #include "soc/display_controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize/packet_serialize.hh"
+#include "sim/serialize/registry.hh"
 #include "sim/simulation.hh"
 
 namespace emerald::soc
@@ -29,6 +31,48 @@ DisplayController::DisplayController(Simulation &sim,
     registerProfileCounters();
     if (_dash) {
         _dashIp = _dash->registerIp(name, TrafficClass::Display, 0.8);
+    }
+    registerCheckpointEvent(_vsyncEvent);
+    registerCheckpointEvent(_scanEvent);
+    registerCheckpointClient(*this);
+    registerCheckpointRequestor(*this);
+}
+
+void
+DisplayController::serialize(CheckpointOut &out) const
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    out.putBool("running", _running);
+    out.putBool("frame_aborted", _frameAborted);
+    out.putU64("scan_line", _scanLine);
+    out.putU64("fetch_line", _fetchLine);
+    out.putU64("fetch_packet", _fetchPacket);
+    out.putU64("lines_done", _linesDone);
+    out.putU64("line_resp_remaining", _lineRespRemaining);
+    out.putU64("outstanding", _outstanding);
+    out.putU64("underruns_this_frame", _underrunsThisFrame);
+    out.putBool("has_retry_pkt", _retryPkt != nullptr);
+    if (_retryPkt)
+        putPacket(out, "retry_pkt", *_retryPkt, reg);
+}
+
+void
+DisplayController::unserialize(CheckpointIn &in)
+{
+    const CheckpointRegistry &reg = sim().checkpointRegistry();
+    _running = in.getBool("running");
+    _frameAborted = in.getBool("frame_aborted");
+    _scanLine = static_cast<unsigned>(in.getU64("scan_line"));
+    _fetchLine = static_cast<unsigned>(in.getU64("fetch_line"));
+    _fetchPacket = static_cast<unsigned>(in.getU64("fetch_packet"));
+    _linesDone = static_cast<unsigned>(in.getU64("lines_done"));
+    _lineRespRemaining =
+        static_cast<unsigned>(in.getU64("line_resp_remaining"));
+    _outstanding = static_cast<unsigned>(in.getU64("outstanding"));
+    _underrunsThisFrame =
+        static_cast<unsigned>(in.getU64("underruns_this_frame"));
+    if (in.getBool("has_retry_pkt")) {
+        _retryPkt = getPacket(in, "retry_pkt", sim().packetPool(), reg);
     }
 }
 

@@ -65,6 +65,9 @@ class DisplayController : public SimObject,
 
     void hangDiagnostics(std::ostream &os) const override;
 
+    void serialize(CheckpointOut &out) const override;
+    void unserialize(CheckpointIn &in) override;
+
     /** @{ Statistics. */
     Scalar statFramesCompleted;
     Scalar statFramesAborted;

@@ -28,11 +28,49 @@ struct SocTop::CpuNode
     std::unique_ptr<CpuCoreModel> core;
 };
 
+namespace
+{
+
+/**
+ * FNV-1a over every SocParams field that shapes simulated state. Two
+ * runs with equal fingerprints build identical topologies, so a
+ * checkpoint from one is valid in the other; anything else is refused
+ * at restore (unless --restore-force).
+ */
+std::uint64_t
+fingerprintOf(const SocParams &p)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x00000100000001b3ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(p.memConfig));
+    mix(p.highLoad);
+    mix(p.numCpuCores);
+    mix(static_cast<std::uint64_t>(p.cpuClockMHz * 1000.0));
+    mix(static_cast<std::uint64_t>(p.gpuClockMHz * 1000.0));
+    mix(p.fbWidth);
+    mix(p.fbHeight);
+    mix(static_cast<std::uint64_t>(p.model));
+    mix(p.frames);
+    mix(p.cpuPrepRequests);
+    mix(p.statsBucket);
+    mix(p.refreshPeriod);
+    mix(p.gpuFramePeriod);
+    return h;
+}
+
+} // namespace
+
 SocTop::SocTop(const SocParams &params,
                const SimulationBuilder &builder)
     : _params(params)
 {
     builder.applyTo(_sim);
+    _sim.setConfigFingerprint(fingerprintOf(params));
     _cpuClock = &_sim.createClockDomain(params.cpuClockMHz, "cpu_clk");
     _gpuClock = &_sim.createClockDomain(params.gpuClockMHz, "gpu_clk");
 
@@ -178,6 +216,16 @@ SocTop::SocTop(const SocParams &params,
                                       core_ptrs,
                                       _dashCoordinator.get(),
                                       [this] { _done = true; });
+
+    // The framebuffer is functional state (not a SimObject) that the
+    // display controller scans and golden-image tests hash; it rides
+    // along as an extra section.
+    _sim.registerSerializable("gfx.fb", _scene->framebuffer());
+
+    // Warm-start: with the whole topology (and its registries) built,
+    // pull the checkpoint state in before any event runs.
+    if (_sim.restorePending())
+        _sim.restoreCheckpoint();
 }
 
 SocTop::~SocTop() = default;
@@ -185,8 +233,13 @@ SocTop::~SocTop() = default;
 void
 SocTop::run(Tick limit)
 {
-    _display->start();
-    _app->start();
+    // A restored run resumes with the checkpoint's pending events
+    // (vsync, scan, prep, poll) already re-scheduled; starting the
+    // display or app again would double-schedule them.
+    if (!_sim.restored()) {
+        _display->start();
+        _app->start();
+    }
     while (!_done && _sim.curTick() < limit) {
         if (!_sim.eventQueue().runOne())
             break;

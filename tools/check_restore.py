@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Restore-determinism gate: compare event-stream hashes between a
+cold bench run and a warm (checkpoint-restored) rerun.
+
+Both inputs are --stats-json files written by a bench (BenchResults
+format: {"bench": ..., "results": {...}, "sim": {...}}). The cold run
+executed end to end while writing a mid-run checkpoint; the warm run
+restored that checkpoint and executed only the suffix. Because the
+restored determinism verifier resumes the cold run's hash stream
+(docs/checkpointing.md), every `<case>.event_hash` result must match
+bit for bit — any divergence means the restored state was not
+equivalent to the cold run's at the checkpoint boundary.
+
+Exit status: 0 when every hash matches, 1 otherwise.
+
+Usage: check_restore.py cold.json warm.json
+"""
+
+import argparse
+import json
+import sys
+
+HASH_SUFFIX = ".event_hash"
+WALL_SUFFIX = ".wall_ms"
+
+
+def load_results(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_restore: cannot read '{path}': {err}")
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        sys.exit(f"check_restore: '{path}' has no results object — "
+                 "was the bench run with --stats-json?")
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cold", help="stats-json of the cold run")
+    parser.add_argument("warm", help="stats-json of the warm run")
+    args = parser.parse_args(argv)
+
+    cold = load_results(args.cold)
+    warm = load_results(args.warm)
+
+    cold_hashes = {k: v for k, v in cold.items()
+                   if k.endswith(HASH_SUFFIX)}
+    warm_hashes = {k: v for k, v in warm.items()
+                   if k.endswith(HASH_SUFFIX)}
+
+    if not cold_hashes:
+        sys.exit("check_restore: no *.event_hash results in the cold "
+                 "run — pass --check-determinism to the bench")
+
+    failures = 0
+    for key in sorted(cold_hashes):
+        case = key[: -len(HASH_SUFFIX)]
+        if key not in warm_hashes:
+            print(f"FAIL {case}: missing from the warm run")
+            failures += 1
+            continue
+        ch, wh = cold_hashes[key], warm_hashes[key]
+        if ch == 0 or wh == 0:
+            print(f"FAIL {case}: hash is zero (determinism check "
+                  "was off in one of the runs)")
+            failures += 1
+        elif ch != wh:
+            print(f"FAIL {case}: cold hash {ch:.0f} != warm hash "
+                  f"{wh:.0f} — the restored run diverged")
+            failures += 1
+        else:
+            speed = ""
+            cw = cold.get(case + WALL_SUFFIX)
+            ww = warm.get(case + WALL_SUFFIX)
+            if cw and ww:
+                speed = (f" (wall {cw:.0f} ms cold -> {ww:.0f} ms "
+                         f"warm, {cw / ww:.2f}x)")
+            print(f"OK   {case}: hash {ch:.0f}{speed}")
+
+    extra = sorted(set(warm_hashes) - set(cold_hashes))
+    for key in extra:
+        print(f"FAIL {key[: -len(HASH_SUFFIX)]}: present only in the "
+              "warm run")
+        failures += 1
+
+    if failures:
+        print(f"check_restore: {failures} case(s) diverged",
+              file=sys.stderr)
+        return 1
+    print(f"check_restore: {len(cold_hashes)} case(s) reproduced the "
+          "cold event stream exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

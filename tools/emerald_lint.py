@@ -22,6 +22,11 @@ compiler nor clang-tidy knows about:
                   report; a raw abort()/exit() skips both. Only the
                   logging sink itself, the sim/check checkers, and the
                   watchdog report path may touch the process directly.
+  serializable-coverage
+                  Every SimObject subclass overrides
+                  serialize(CheckpointOut&) so checkpoints capture its
+                  state, unless allowlisted as stateless
+                  (docs/checkpointing.md).
 
 Run from anywhere: paths are resolved relative to the repo root
 (parent of this file's directory) unless --root is given. Exit status
@@ -231,6 +236,49 @@ def check_fatal_exit(rel, clean_lines, out):
                 "report prints"))
 
 
+# rule: serializable-coverage ------------------------------------------
+
+SIMOBJECT_CLASS_RE = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:[^;{]*\bpublic\s+SimObject\b")
+SERIALIZE_DECL_RE = re.compile(r"\bserialize\s*\(\s*CheckpointOut\b")
+CLASS_DECL_RE = re.compile(r"\bclass\s+\w+\s*(?:final\s*)?[:{]")
+
+# Stateless SimObjects: pure routers/aggregates whose children carry
+# every bit of live state, so the inherited no-op serialize() is
+# correct. Adding a class here asserts it holds no pending events,
+# queues, counters, or RNG state of its own.
+SERIALIZABLE_ALLOWLIST = {"MemorySystem", "Crossbar", "GpuTop"}
+
+
+def check_serializable_coverage(rel, clean_lines, out):
+    """Every SimObject subclass must override serialize(CheckpointOut&)
+    (checkpoints silently lose its state otherwise) or be allowlisted
+    as stateless."""
+    if not rel.endswith(".hh"):
+        return
+    lines = list(clean_lines)
+    text = "\n".join(line for _, line in lines)
+    for match in SIMOBJECT_CLASS_RE.finditer(text):
+        cls = match.group(1)
+        if cls in SERIALIZABLE_ALLOWLIST:
+            continue
+        # Scope the serialize() search to this class: from its
+        # declaration to the next class declaration (or EOF).
+        tail = text[match.end():]
+        nxt = CLASS_DECL_RE.search(tail)
+        body = tail[:nxt.start()] if nxt else tail
+        if SERIALIZE_DECL_RE.search(body):
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        lineno = lines[lineno - 1][0] if lineno <= len(lines) else 0
+        out.append(Violation(
+            "serializable-coverage", rel, lineno,
+            f"SimObject subclass {cls} does not override "
+            "serialize(CheckpointOut&) — its state silently vanishes "
+            "from checkpoints. Implement it (docs/checkpointing.md) "
+            "or allowlist the class as stateless in emerald_lint.py"))
+
+
 # driver ---------------------------------------------------------------
 
 def lint_file(path: Path, rel: str, out):
@@ -246,6 +294,7 @@ def lint_file(path: Path, rel: str, out):
     check_offer_checked(rel, clean, out)
     check_stat_dup(rel, clean, out)
     check_fatal_exit(rel, clean, out)
+    check_serializable_coverage(rel, clean, out)
 
 
 def main(argv=None):
