@@ -29,6 +29,16 @@ main(int argc, char **argv)
         models = {scenes::WorkloadId::M2_Cube};
     auto configs = allMemConfigs();
 
+    // Replay fast path (docs/scheduling.md): --capture-trace=<dir>
+    // records each model's GPU traffic once, during its BAS run, into
+    // <dir>/<model>; --replay-trace=<dir> re-drives all four memory
+    // configs from that recording without executing shaders.
+    // tools/check_replay.py gates the replayed shape against the
+    // execution-driven one.
+    std::string capture_root =
+        harness.cfg.getString("capture-trace", "");
+    std::string replay_root = harness.cfg.getString("replay-trace", "");
+
     std::printf("%-14s | %-35s | %-35s\n", "",
                 "total frame time", "GPU rendering time");
     std::printf("%-14s | %8s %8s %8s %8s | %8s %8s %8s %8s\n",
@@ -41,9 +51,19 @@ main(int argc, char **argv)
         for (soc::MemConfig config : configs) {
             // Per-config checkpoint scope: a --checkpoint-at run
             // produces <dir>/<config> and --restore reads it back.
+            SimulationBuilder builder =
+                harness.builderFor(soc::memConfigName(config));
+            std::string model_dir = "/" + std::string(
+                scenes::workloadName(model));
+            if (!capture_root.empty()) {
+                builder.captureTrace(config == soc::MemConfig::BAS
+                                         ? capture_root + model_dir
+                                         : "");
+            }
+            if (!replay_root.empty())
+                builder.replayTrace(replay_root + model_dir);
             soc::SocTop soc(caseStudy1Params(model, config, true),
-                            harness.builderFor(
-                                soc::memConfigName(config)));
+                            builder);
             auto wall_start = std::chrono::steady_clock::now();
             soc.run();
             double wall_ms =

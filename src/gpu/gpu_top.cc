@@ -1,5 +1,6 @@
 #include "gpu/gpu_top.hh"
 
+#include "mem/traffic_trace.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -68,6 +69,15 @@ GpuTop::allCoresIdle() const
             return false;
     }
     return true;
+}
+
+void
+GpuTop::setTrafficCapture(mem::TrafficTraceWriter *writer)
+{
+    for (auto &core : _cores) {
+        unsigned client = writer ? writer->addClient(core->name()) : 0;
+        core->setTrafficCapture(writer, client);
+    }
 }
 
 std::uint64_t

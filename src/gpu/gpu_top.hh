@@ -66,6 +66,13 @@ class GpuTop : public SimObject
     /** Aggregate L1 misses of one kind across all cores. */
     std::uint64_t l1Misses(AccessKind kind);
 
+    /**
+     * Attach @p writer as the traffic-capture sink of every core:
+     * registers one trace client per core, in core-index order (the
+     * replay driver relies on client i == core i). Null detaches.
+     */
+    void setTrafficCapture(mem::TrafficTraceWriter *writer);
+
   private:
     GpuTopParams _params;
     ClockDomain &_coreClock;

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "mem/traffic_trace.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -29,9 +30,20 @@ SimtCore::SimtCore(Simulation &sim, const std::string &name,
       statLsuStalls(*this, "lsu_stalls",
                     "LSU sends blocked pending an L1 retry"),
       _params(params), _downstream(downstream),
-      _warps(params.maxWarps), _scoreboard(params.maxWarps),
-      _issuePtr(params.schedulers, 0)
+      _warps(params.maxWarps), _scoreboard(params.maxWarps)
 {
+    // Each scheduler lane owns an interleaved subset of the warp
+    // slots; the policy object only ever ranks its own subset.
+    for (unsigned s = 0; s < params.schedulers; ++s) {
+        std::vector<unsigned> owned;
+        for (unsigned slot = s; slot < params.maxWarps;
+             slot += params.schedulers) {
+            owned.push_back(slot);
+        }
+        _warpScheds.push_back(
+            createWarpScheduler(params.warpSched, std::move(owned), s));
+    }
+
     auto make_cache = [&](const char *cache_name,
                           cache::CacheParams cp) {
         cp.trafficClass = TrafficClass::Gpu;
@@ -60,8 +72,14 @@ SimtCore::serialize(CheckpointOut &out) const
     // empty; only the allocation cursors that steer future decisions
     // need to survive.
     panic_if(!idle(), "%s: serialize while busy", name().c_str());
-    std::vector<std::uint64_t> ptrs(_issuePtr.begin(), _issuePtr.end());
-    out.putU64Vec("issue_ptr", ptrs);
+    std::vector<std::uint64_t> cursors;
+    for (const auto &sched : _warpScheds)
+        cursors.push_back(sched->cursorState());
+    out.putU64Vec("sched_cursor", cursors);
+    out.putStr("warp_sched", _warpScheds.empty()
+                                 ? ""
+                                 : _warpScheds[0]->policyName());
+    out.putU64("launch_seq", _launchSeq);
     std::vector<std::uint64_t> free_list(_memInstrFreeList.begin(),
                                          _memInstrFreeList.end());
     out.putU64Vec("mem_instr_free_list", free_list);
@@ -72,13 +90,21 @@ void
 SimtCore::unserialize(CheckpointIn &in)
 {
     panic_if(!idle(), "%s: unserialize while busy", name().c_str());
-    auto ptrs = in.getU64Vec("issue_ptr");
-    fatal_if(ptrs.size() != _issuePtr.size(),
+    auto cursors = in.getU64Vec("sched_cursor");
+    fatal_if(cursors.size() != _warpScheds.size(),
              "%s: checkpoint holds %zu schedulers but this "
              "configuration has %zu",
-             name().c_str(), ptrs.size(), _issuePtr.size());
-    for (std::size_t s = 0; s < ptrs.size(); ++s)
-        _issuePtr[s] = static_cast<unsigned>(ptrs[s]);
+             name().c_str(), cursors.size(), _warpScheds.size());
+    std::string policy = in.getStr("warp_sched");
+    fatal_if(!_warpScheds.empty() &&
+                 policy != _warpScheds[0]->policyName(),
+             "%s: checkpoint was taken under warp scheduler '%s' but "
+             "this run uses '%s'",
+             name().c_str(), policy.c_str(),
+             _warpScheds[0]->policyName());
+    for (std::size_t s = 0; s < cursors.size(); ++s)
+        _warpScheds[s]->setCursorState(cursors[s]);
+    _launchSeq = in.getU64("launch_seq");
     _memInstrs.clear();
     _memInstrs.resize(in.getU64("num_mem_instrs"));
     _memInstrFreeList.clear();
@@ -182,6 +208,7 @@ SimtCore::launchQueuedTasks()
         warp.draining = false;
         warp.lastFetchLine = -1;
         warp.warpInstrsExecuted = 0;
+        warp.launchSeq = _launchSeq++;
         _scoreboard.resetWarp(static_cast<unsigned>(free_slot));
         _regsInUse += regs_needed;
         _threadsInUse += isa::warpSize;
@@ -353,11 +380,12 @@ SimtCore::barrierArrive(unsigned slot)
 bool
 SimtCore::issueFrom(unsigned scheduler)
 {
-    const unsigned n = static_cast<unsigned>(_warps.size());
-    for (unsigned step = 1; step <= n; ++step) {
-        unsigned slot = (_issuePtr[scheduler] + step) % n;
-        if (slot % _params.schedulers != scheduler)
-            continue;
+    // The policy ranks only the slots this lane owns — O(warps /
+    // schedulers) per lane instead of the old O(warps) scan over the
+    // whole array with a modulo ownership filter.
+    WarpScheduler &sched = *_warpScheds[scheduler];
+    sched.order(_warps, _orderBuf);
+    for (unsigned slot : _orderBuf) {
         Warp &warp = _warps[slot];
         if (!warp.valid || warp.draining || warp.atBarrier ||
             warp.pendingInitFetch > 0 ||
@@ -377,7 +405,7 @@ SimtCore::issueFrom(unsigned scheduler)
         if (!_scoreboard.ready(slot, instr))
             continue;
         executeWarp(slot);
-        _issuePtr[scheduler] = slot;
+        sched.issued(slot);
         return true;
     }
     return false;
@@ -403,6 +431,10 @@ SimtCore::drainLsu()
             ++statLsuStalls;
             return;
         }
+        if (_traceWriter) {
+            _traceWriter->record(_traceClient, curTick(), txn.lineAddr,
+                                 txn.kind, txn.write);
+        }
         _lsuQueue.pop_front();
     }
 }
@@ -416,9 +448,14 @@ SimtCore::retryRequest()
         return; // Spurious wake; nothing pending.
     }
     _lsuRetryPkt = nullptr;
-    if (!l1ForKind(_lsuQueue.front().kind).offer(pkt, *this)) {
+    const LsuTxn &txn = _lsuQueue.front();
+    if (!l1ForKind(txn.kind).offer(pkt, *this)) {
         _lsuRetryPkt = pkt;
         return;
+    }
+    if (_traceWriter) {
+        _traceWriter->record(_traceClient, curTick(), txn.lineAddr,
+                             txn.kind, txn.write);
     }
     _lsuQueue.pop_front();
     activate();

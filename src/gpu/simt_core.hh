@@ -22,8 +22,14 @@
 #include "gpu/coalescer.hh"
 #include "gpu/scoreboard.hh"
 #include "gpu/warp.hh"
+#include "gpu/warp_sched.hh"
 #include "sim/clocked.hh"
 #include "sim/sim_object.hh"
+
+namespace emerald::mem
+{
+class TrafficTraceWriter;
+} // namespace emerald::mem
 
 namespace emerald::gpu
 {
@@ -48,6 +54,12 @@ struct SimtCoreParams
     unsigned maxPendingMemInstrsPerWarp = 6;
     /** Instructions per I-cache line (synthetic 8 B encoding). */
     unsigned instrsPerFetchLine = 16;
+
+    /**
+     * Warp scheduling policy (--warp-sched), resolved through the
+     * warp_sched.hh registry; "" selects the default (lrr).
+     */
+    std::string warpSched;
 
     cache::CacheParams l1i;
     cache::CacheParams l1d;
@@ -99,6 +111,18 @@ class SimtCore : public SimObject,
     void memResponse(MemPacket *pkt) override;
     void retryRequest() override;
     std::string requestorName() const override { return name(); }
+
+    /**
+     * Mirror every transaction the LSU successfully hands to an L1
+     * into @p writer as client @p client (--capture-trace). Null
+     * detaches. The writer must outlive the core or be detached.
+     */
+    void
+    setTrafficCapture(mem::TrafficTraceWriter *writer, unsigned client)
+    {
+        _traceWriter = writer;
+        _traceClient = client;
+    }
 
     void serialize(CheckpointOut &out) const override;
     void unserialize(CheckpointIn &in) override;
@@ -187,8 +211,16 @@ class SimtCore : public SimObject,
     /** Barrier bookkeeping: ctaKey -> arrived count. */
     std::map<int, unsigned> _barrierArrived;
 
-    /** Round-robin issue pointers, one per scheduler. */
-    std::vector<unsigned> _issuePtr;
+    /** One scheduling policy per scheduler lane (warp_sched.hh). */
+    std::vector<std::unique_ptr<WarpScheduler>> _warpScheds;
+    /** Ranking scratch buffer, reused each cycle to avoid churn. */
+    std::vector<unsigned> _orderBuf;
+    /** Monotonic warp-launch counter feeding Warp::launchSeq. */
+    std::uint64_t _launchSeq = 0;
+
+    /** Traffic-trace capture sink, or null (setTrafficCapture). */
+    mem::TrafficTraceWriter *_traceWriter = nullptr;
+    unsigned _traceClient = 0;
 
     isa::StepEffects _effects; // Reused each issue to avoid churn.
 };

@@ -76,6 +76,13 @@ struct Warp
 
     std::uint64_t warpInstrsExecuted = 0;
 
+    /**
+     * Core-wide launch order (monotonic per SimtCore); the GTO warp
+     * scheduler's age tie-breaker. Only comparisons between
+     * concurrently resident warps matter.
+     */
+    std::uint64_t launchSeq = 0;
+
     std::uint32_t
     aliveMask() const
     {

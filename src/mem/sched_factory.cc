@@ -1,0 +1,89 @@
+#include "mem/sched_factory.hh"
+
+#include <map>
+
+#include "mem/frfcfs_scheduler.hh"
+#include "sim/logging.hh"
+#include "sim/nearest.hh"
+
+namespace emerald::mem
+{
+
+namespace
+{
+
+using Registry = std::map<std::string, MemSchedulerFactory>;
+
+/** Function-local registry, populated on first use (see header). */
+Registry &
+registry()
+{
+    static Registry reg = [] {
+        Registry builtins;
+        builtins["frfcfs"] = [](const MemSchedContext &) {
+            MemSchedBundle bundle;
+            bundle.scheduler = std::make_unique<FrfcfsScheduler>();
+            return bundle;
+        };
+        builtins["dash"] = [](const MemSchedContext &ctx) {
+            MemSchedBundle bundle;
+            bundle.coordinator = std::make_unique<DashCoordinator>(
+                ctx.sim, ctx.coordinatorName, ctx.dashParams);
+            bundle.scheduler =
+                std::make_unique<DashScheduler>(*bundle.coordinator);
+            return bundle;
+        };
+        return builtins;
+    }();
+    return reg;
+}
+
+} // namespace
+
+void
+registerMemScheduler(const std::string &policy,
+                     MemSchedulerFactory factory)
+{
+    auto [it, inserted] = registry().emplace(policy, std::move(factory));
+    (void)it;
+    fatal_if(!inserted, "memory scheduler policy '%s' registered twice",
+             policy.c_str());
+}
+
+MemSchedBundle
+createMemScheduler(const std::string &policy, const MemSchedContext &ctx)
+{
+    const std::string &name =
+        policy.empty() ? defaultMemSchedPolicy : policy;
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+        std::string suggestion =
+            nearestMatch(name, memSchedulerPolicies());
+        std::string known;
+        for (const std::string &p : memSchedulerPolicies())
+            known += (known.empty() ? "" : ", ") + p;
+        if (!suggestion.empty()) {
+            fatal("unknown memory scheduler policy '%s' — did you "
+                  "mean '%s'? (known: %s)",
+                  name.c_str(), suggestion.c_str(), known.c_str());
+        }
+        fatal("unknown memory scheduler policy '%s' (known: %s)",
+              name.c_str(), known.c_str());
+    }
+    MemSchedBundle bundle = it->second(ctx);
+    fatal_if(!bundle.scheduler,
+             "memory scheduler policy '%s' built no scheduler",
+             name.c_str());
+    return bundle;
+}
+
+std::vector<std::string>
+memSchedulerPolicies()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace emerald::mem

@@ -1,0 +1,180 @@
+#include "mem/traffic_trace.hh"
+
+#include "sim/logging.hh"
+#include "sim/serialize/serialize.hh"
+
+namespace emerald::mem
+{
+
+namespace
+{
+
+std::string
+clientSectionName(unsigned c)
+{
+    return strprintf("client%u", c);
+}
+
+} // namespace
+
+TrafficTraceWriter::TrafficTraceWriter(std::string dir,
+                                       std::string label, Addr fb_base)
+    : _dir(std::move(dir)), _label(std::move(label)), _fbBase(fb_base)
+{
+    fatal_if(_dir.empty(), "traffic trace: empty capture directory");
+}
+
+TrafficTraceWriter::~TrafficTraceWriter()
+{
+    finalize();
+}
+
+unsigned
+TrafficTraceWriter::addClient(const std::string &name)
+{
+    panic_if(_finalized, "traffic trace: addClient after finalize");
+    _clients.push_back({name, {}, {}, {}});
+    return static_cast<unsigned>(_clients.size() - 1);
+}
+
+void
+TrafficTraceWriter::beginFrame(Tick now)
+{
+    panic_if(_finalized, "traffic trace: beginFrame after finalize");
+    _frameStart.push_back(now);
+    _lastTick = now;
+}
+
+void
+TrafficTraceWriter::endFrame(Tick now, double work)
+{
+    panic_if(_frameEnd.size() >= _frameStart.size(),
+             "traffic trace: endFrame without beginFrame");
+    _frameEnd.push_back(now);
+    _frameWork.push_back(work);
+    _lastTick = now;
+}
+
+void
+TrafficTraceWriter::record(unsigned client, Tick now, Addr addr,
+                           AccessKind kind, bool write)
+{
+    panic_if(client >= _clients.size(),
+             "traffic trace: record for unregistered client %u",
+             client);
+    if (_frameStart.empty()) {
+        ++_dropped; // Traffic before the first frame opened.
+        return;
+    }
+    std::uint32_t frame =
+        static_cast<std::uint32_t>(_frameStart.size() - 1);
+    Tick start = _frameStart[frame];
+    ClientStream &stream = _clients[client];
+    stream.offsets.push_back(now >= start ? now - start : 0);
+    stream.addrs.push_back(addr);
+    stream.meta.push_back((static_cast<std::uint64_t>(frame) << 32) |
+                          (static_cast<std::uint64_t>(kind) << 8) |
+                          (write ? 1 : 0));
+    ++_numRecords;
+    if (now > _lastTick)
+        _lastTick = now;
+}
+
+void
+TrafficTraceWriter::finalize()
+{
+    if (_finalized)
+        return;
+    _finalized = true;
+    fatal_if(_frameEnd.size() != _frameStart.size(),
+             "traffic trace: %zu frame(s) never ended — capture "
+             "stopped mid-frame?",
+             _frameStart.size() - _frameEnd.size());
+
+    // The trace rides the checkpoint container with fingerprint 0:
+    // a trace is meant to replay under configurations (scheduler
+    // policies) whose fingerprints differ from the capture run's.
+    CheckpointWriter writer(_dir, 0, _lastTick, _numRecords);
+    CheckpointOut &meta = writer.section("meta");
+    meta.putU64("trace_version", trafficTraceFormatVersion);
+    meta.putStr("label", _label);
+    meta.putU64("fb_base", _fbBase);
+    meta.putU64Vec("frame_start", _frameStart);
+    meta.putU64Vec("frame_end", _frameEnd);
+    meta.putF64Vec("frame_work", _frameWork);
+    meta.putU64("num_clients", _clients.size());
+    meta.putU64("dropped", _dropped);
+
+    for (unsigned c = 0; c < _clients.size(); ++c) {
+        const ClientStream &stream = _clients[c];
+        CheckpointOut &sec = writer.section(clientSectionName(c));
+        sec.putStr("name", stream.name);
+        sec.putU64Vec("offsets", stream.offsets);
+        sec.putU64Vec("addrs", stream.addrs);
+        sec.putU64Vec("meta", stream.meta);
+    }
+    writer.finalize();
+}
+
+TrafficTraceReader::TrafficTraceReader(const std::string &dir)
+    : _dir(dir)
+{
+    CheckpointReader reader(dir);
+    CheckpointIn meta = reader.section("meta");
+    std::uint64_t version = meta.getU64("trace_version");
+    fatal_if(version != trafficTraceFormatVersion,
+             "traffic trace '%s': format version %llu, this build "
+             "reads %llu",
+             dir.c_str(), (unsigned long long)version,
+             (unsigned long long)trafficTraceFormatVersion);
+    _label = meta.getStr("label");
+    _fbBase = meta.getU64("fb_base");
+    _frameStart = meta.getU64Vec("frame_start");
+    _frameEnd = meta.getU64Vec("frame_end");
+    _frameWork = meta.getF64Vec("frame_work");
+    fatal_if(_frameStart.size() != _frameWork.size() ||
+                 _frameEnd.size() != _frameWork.size(),
+             "traffic trace '%s': inconsistent frame table",
+             dir.c_str());
+
+    std::uint64_t num_clients = meta.getU64("num_clients");
+    for (unsigned c = 0; c < num_clients; ++c) {
+        CheckpointIn sec = reader.section(clientSectionName(c));
+        ClientData data;
+        data.name = sec.getStr("name");
+        auto offsets = sec.getU64Vec("offsets");
+        auto addrs = sec.getU64Vec("addrs");
+        auto packed = sec.getU64Vec("meta");
+        fatal_if(offsets.size() != addrs.size() ||
+                     packed.size() != addrs.size(),
+                 "traffic trace '%s': client %u record vectors "
+                 "disagree",
+                 dir.c_str(), c);
+        data.txns.reserve(offsets.size());
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            TraceTxn txn;
+            txn.frame = static_cast<std::uint32_t>(packed[i] >> 32);
+            txn.offset = offsets[i];
+            txn.addr = addrs[i];
+            txn.kind = static_cast<AccessKind>((packed[i] >> 8) & 0xff);
+            txn.write = (packed[i] & 1) != 0;
+            fatal_if(txn.frame >= _frameWork.size(),
+                     "traffic trace '%s': client %u record %zu names "
+                     "frame %u of %zu",
+                     dir.c_str(), c, i, txn.frame, _frameWork.size());
+            data.txns.push_back(txn);
+        }
+        _clients.push_back(std::move(data));
+    }
+}
+
+std::uint64_t
+TrafficTraceReader::numRecords() const
+{
+    std::uint64_t n = 0;
+    for (const ClientData &client : _clients)
+        n += client.txns.size();
+    return n;
+}
+
+} // namespace emerald::mem

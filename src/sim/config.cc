@@ -1,10 +1,12 @@
 #include "sim/config.hh"
 
-#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/nearest.hh"
 
 namespace emerald
 {
@@ -20,9 +22,11 @@ namespace
  */
 const char *const knownKeys[] = {
     // Simulation kernel (SimulationBuilder::observability).
-    "check-determinism", "checkpoint-at", "checkpoint-dir",
-    "fault-plan", "fault-seed", "profile", "restore", "restore-force",
-    "sim-stats-json", "trace-file", "watchdog-mode", "watchdog-ticks",
+    "capture-trace", "check-determinism", "checkpoint-at",
+    "checkpoint-dir", "fault-plan", "fault-seed", "mem-sched",
+    "profile", "replay-trace", "restore", "restore-force",
+    "sim-stats-json", "trace-file", "warp-sched", "watchdog-mode",
+    "watchdog-ticks",
     // Parser control.
     "allow-unknown-args",
     // Benches and examples.
@@ -40,46 +44,12 @@ isKnownKey(const std::string &key)
     return false;
 }
 
-/** Classic Levenshtein distance (keys are short; O(n*m) is fine). */
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            std::size_t prev = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = prev;
-        }
-    }
-    return row[b.size()];
-}
-
-/** Closest known key within an edit distance worth suggesting. */
-std::string
-nearestKnownKey(const std::string &key)
-{
-    std::string best;
-    std::size_t best_dist = std::max<std::size_t>(2, key.size() / 3);
-    for (const char *known : knownKeys) {
-        std::size_t d = editDistance(key, known);
-        if (d <= best_dist) {
-            best_dist = d - 1; // Strictly better from now on.
-            best = known;
-        }
-    }
-    return best;
-}
-
 void
 rejectUnknownKey(const std::string &key)
 {
-    std::string suggestion = nearestKnownKey(key);
+    std::vector<std::string> known(std::begin(knownKeys),
+                                   std::end(knownKeys));
+    std::string suggestion = nearestMatch(key, known);
     if (!suggestion.empty()) {
         fatal("unknown option '--%s' — did you mean '--%s'? (pass "
               "--allow-unknown-args to skip this check)",
@@ -150,7 +120,17 @@ Config::getInt(const std::string &key, std::int64_t dflt) const
     auto it = _values.find(key);
     if (it == _values.end())
         return dflt;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    const char *text = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    std::int64_t value = std::strtoll(text, &end, 0);
+    fatal_if(it->second.empty() || end == text || *end != '\0',
+             "config key '%s': '%s' is not an integer",
+             key.c_str(), text);
+    fatal_if(errno == ERANGE,
+             "config key '%s': '%s' overflows a 64-bit integer",
+             key.c_str(), text);
+    return value;
 }
 
 std::uint64_t
@@ -164,9 +144,13 @@ Config::getU64(const std::string &key, std::uint64_t dflt) const
     fatal_if(it->second.empty() || text[0] == '-',
              "config key '%s': '%s' is not a non-negative integer",
              key.c_str(), text);
+    errno = 0;
     std::uint64_t value = std::strtoull(text, &end, 0);
     fatal_if(end == text || *end != '\0',
              "config key '%s': '%s' is not a non-negative integer",
+             key.c_str(), text);
+    fatal_if(errno == ERANGE,
+             "config key '%s': '%s' overflows a 64-bit integer",
              key.c_str(), text);
     return value;
 }
@@ -177,7 +161,19 @@ Config::getDouble(const std::string &key, double dflt) const
     auto it = _values.find(key);
     if (it == _values.end())
         return dflt;
-    return std::strtod(it->second.c_str(), nullptr);
+    const char *text = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double value = std::strtod(text, &end);
+    fatal_if(it->second.empty() || end == text || *end != '\0',
+             "config key '%s': '%s' is not a number",
+             key.c_str(), text);
+    // Overflow to +/-HUGE_VAL is a malformed input; denormal
+    // underflow (errno set, tiny value returned) is accepted.
+    fatal_if(errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL),
+             "config key '%s': '%s' overflows a double",
+             key.c_str(), text);
+    return value;
 }
 
 bool

@@ -280,6 +280,58 @@ class Simulation
     /** True once restoreCheckpoint has run (warm start). */
     bool restored() const { return _restored; }
 
+    /**
+     * @{ Scheduler-policy selection (--warp-sched / --mem-sched).
+     * The kernel only carries the names; rigs resolve them through
+     * the gpu/mem policy registries at construction. "" means "use
+     * the rig's default".
+     */
+    void
+    setWarpSchedPolicy(const std::string &policy)
+    {
+        _warpSchedPolicy = policy;
+    }
+
+    const std::string &warpSchedPolicy() const
+    {
+        return _warpSchedPolicy;
+    }
+
+    void
+    setMemSchedPolicy(const std::string &policy)
+    {
+        _memSchedPolicy = policy;
+    }
+
+    const std::string &memSchedPolicy() const { return _memSchedPolicy; }
+    /** @} */
+
+    /**
+     * @{ Memory-trace capture/replay directories (--capture-trace /
+     * --replay-trace). As with the policies, the kernel only carries
+     * the paths; the SoC rig materializes the writer/replayer. ""
+     * disables the mode.
+     */
+    void
+    setCaptureTraceDir(const std::string &dir)
+    {
+        _captureTraceDir = dir;
+    }
+
+    const std::string &captureTraceDir() const
+    {
+        return _captureTraceDir;
+    }
+
+    void
+    setReplayTraceDir(const std::string &dir)
+    {
+        _replayTraceDir = dir;
+    }
+
+    const std::string &replayTraceDir() const { return _replayTraceDir; }
+    /** @} */
+
     /** True when every object can serialize right now. */
     bool checkpointSafeNow() const;
 
@@ -329,6 +381,10 @@ class Simulation
     std::string _restoreDir;
     bool _restoreForce = false;
     bool _restored = false;
+    std::string _warpSchedPolicy;
+    std::string _memSchedPolicy;
+    std::string _captureTraceDir;
+    std::string _replayTraceDir;
 };
 
 } // namespace emerald

@@ -2,6 +2,7 @@
 
 #include "sim/config.hh"
 #include "sim/fault/fault_plan.hh"
+#include "sim/logging.hh"
 #include "sim/fault/watchdog.hh"
 #include "sim/simulation.hh"
 
@@ -86,6 +87,34 @@ SimulationBuilder::subdir(const std::string &label)
 }
 
 SimulationBuilder &
+SimulationBuilder::warpScheduler(const std::string &policy)
+{
+    _warpSched = policy;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::memScheduler(const std::string &policy)
+{
+    _memSched = policy;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::captureTrace(const std::string &dir)
+{
+    _captureTraceDir = dir;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::replayTrace(const std::string &dir)
+{
+    _replayTraceDir = dir;
+    return *this;
+}
+
+SimulationBuilder &
 SimulationBuilder::observability(const Config &cfg)
 {
     traceFile(cfg.getString("trace-file", _traceFile));
@@ -109,6 +138,10 @@ SimulationBuilder::observability(const Config &cfg)
         restoreFrom(cfg.getString("restore", ""),
                     cfg.getBool("restore-force", false));
     }
+    warpScheduler(cfg.getString("warp-sched", _warpSched));
+    memScheduler(cfg.getString("mem-sched", _memSched));
+    captureTrace(cfg.getString("capture-trace", _captureTraceDir));
+    replayTrace(cfg.getString("replay-trace", _replayTraceDir));
     return *this;
 }
 
@@ -145,6 +178,17 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.enableWatchdog(_watchdogTicks,
                            fault::watchdogModeFromString(_watchdogMode));
     }
+    sim.setWarpSchedPolicy(_warpSched);
+    sim.setMemSchedPolicy(_memSched);
+    sim.setCaptureTraceDir(_captureTraceDir);
+    sim.setReplayTraceDir(_replayTraceDir);
+    // Capture *during* replay is legal (round-trip verification),
+    // but neither mode can mix with checkpoint/restore: the trace
+    // writer and replay driver carry no checkpointable state.
+    fatal_if((!_captureTraceDir.empty() || !_replayTraceDir.empty()) &&
+                 (!_restoreDir.empty() || !_checkpointDir.empty()),
+             "--capture-trace/--replay-trace cannot combine with "
+             "checkpoint/restore");
 }
 
 } // namespace emerald

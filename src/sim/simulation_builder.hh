@@ -97,6 +97,31 @@ class SimulationBuilder
     SimulationBuilder &subdir(const std::string &label);
 
     /**
+     * Select the SIMT warp-scheduling policy by registry name
+     * (--warp-sched: lrr, gto, wasp). "" keeps the default.
+     */
+    SimulationBuilder &warpScheduler(const std::string &policy);
+
+    /**
+     * Select the DRAM scheduling policy by registry name
+     * (--mem-sched: frfcfs, dash). "" keeps the rig's per-config
+     * default (SocTop: dash for DCB/DTB, frfcfs otherwise).
+     */
+    SimulationBuilder &memScheduler(const std::string &policy);
+
+    /**
+     * Record per-client memory traffic into directory @p dir
+     * (--capture-trace); see docs/scheduling.md. "" disables.
+     */
+    SimulationBuilder &captureTrace(const std::string &dir);
+
+    /**
+     * Replay a captured memory trace from directory @p dir
+     * (--replay-trace) instead of executing shaders. "" disables.
+     */
+    SimulationBuilder &replayTrace(const std::string &dir);
+
+    /**
      * Read the observability keys from @p cfg: "trace-file" (path),
      * "profile" (bool), "sim-stats-json" (path, dumped at exit),
      * "check-determinism" (bool, --check-determinism on the CLI),
@@ -105,7 +130,9 @@ class SimulationBuilder
      * "250us", or raw ticks) and "watchdog-mode" (abort|degrade),
      * plus the checkpoint keys "checkpoint-at" (duration),
      * "checkpoint-dir" (path, default "ckpt"), "restore" (path) and
-     * "restore-force" (bool).
+     * "restore-force" (bool), the scheduler-policy keys "warp-sched"
+     * and "mem-sched", and the trace keys "capture-trace" and
+     * "replay-trace" (directories).
      */
     SimulationBuilder &observability(const Config &cfg);
 
@@ -135,6 +162,10 @@ class SimulationBuilder
     std::string _checkpointDir;
     std::string _restoreDir;
     bool _restoreForce = false;
+    std::string _warpSched;
+    std::string _memSched;
+    std::string _captureTraceDir;
+    std::string _replayTraceDir;
 };
 
 } // namespace emerald

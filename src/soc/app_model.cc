@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/traffic_trace.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -156,6 +157,9 @@ AppModel::beginRender()
     _current.renderStart = curTick();
     _progressReported = 0;
 
+    if (_traceWriter)
+        _traceWriter->beginFrame(curTick());
+
     // App threads keep light background activity while blocked on
     // the GPU fence.
     for (CpuCoreModel *core : _cores)
@@ -207,6 +211,11 @@ AppModel::renderDone(const core::FrameStats &stats)
     _rendering = false;
     _current.renderEnd = curTick();
     _current.gpu = stats;
+
+    if (_traceWriter) {
+        _traceWriter->endFrame(curTick(),
+                               static_cast<double>(stats.fragments));
+    }
     _records.push_back(_current);
     ++_framesDone;
     ++statFrames;

@@ -28,6 +28,11 @@
 #include "scenes/workloads.hh"
 #include "soc/cpu_traffic.hh"
 
+namespace emerald::mem
+{
+class TrafficTraceWriter;
+} // namespace emerald::mem
+
 namespace emerald::soc
 {
 
@@ -68,6 +73,17 @@ class AppModel : public SimObject
     bool done() const { return _framesDone >= _params.frames; }
     const std::vector<FrameRecord> &frames() const { return _records; }
 
+    /**
+     * Bracket every frame's render phase in @p writer
+     * (beginFrame/endFrame with the shaded-fragment work total), so
+     * captured traffic carries the frame structure replay needs.
+     * Null detaches.
+     */
+    void setTraceCapture(mem::TrafficTraceWriter *writer)
+    {
+        _traceWriter = writer;
+    }
+
     void serialize(CheckpointOut &out) const override;
     void unserialize(CheckpointIn &in) override;
     /**
@@ -93,6 +109,7 @@ class AppModel : public SimObject
     scenes::SceneRenderer &_scene;
     std::vector<CpuCoreModel *> _cores;
     mem::DashCoordinator *_dash;
+    mem::TrafficTraceWriter *_traceWriter = nullptr;
     int _dashIp = -1;
     std::function<void()> _onDone;
 

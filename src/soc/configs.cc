@@ -1,5 +1,6 @@
 #include "soc/configs.hh"
 
+#include "mem/sched_factory.hh"
 #include "sim/logging.hh"
 
 namespace emerald::soc
@@ -49,12 +50,26 @@ StandaloneGpu::StandaloneGpu(unsigned fb_width, unsigned fb_height,
                              const SimulationBuilder &builder)
 {
     builder.applyTo(_sim);
+    fatal_if(!_sim.captureTraceDir().empty() ||
+                 !_sim.replayTraceDir().empty(),
+             "--capture-trace/--replay-trace need the full-SoC frame "
+             "loop; the standalone GPU rig does not support them");
     _gpuClock = &_sim.createClockDomain(1000.0, "gpu_clk");
+
+    mem::MemSchedContext sctx{_sim};
+    mem::MemSchedBundle sched =
+        mem::createMemScheduler(_sim.memSchedPolicy(), sctx);
+    _dashCoordinator = std::move(sched.coordinator);
+    _scheduler = std::move(sched.scheduler);
+
     _memory = std::make_unique<mem::MemorySystem>(_sim, "dram",
                                                   mem_params,
-                                                  _scheduler);
+                                                  *_scheduler);
+    gpu::GpuTopParams gp = gpu_params;
+    if (!_sim.warpSchedPolicy().empty())
+        gp.core.warpSched = _sim.warpSchedPolicy();
     _gpu = std::make_unique<gpu::GpuTop>(_sim, "gpu", *_gpuClock,
-                                         gpu_params, *_memory);
+                                         gp, *_memory);
     core::GfxParams gfx;
     _pipeline = std::make_unique<core::GraphicsPipeline>(
         _sim, "gfx", *_gpu, fb_width, fb_height, gfx);

@@ -12,7 +12,7 @@
 #include "core/graphics_pipeline.hh"
 #include "gpu/gpu_top.hh"
 #include "gpu/kernel.hh"
-#include "mem/frfcfs_scheduler.hh"
+#include "mem/dash_scheduler.hh"
 #include "mem/memory_system.hh"
 #include "sim/simulation.hh"
 #include "sim/simulation_builder.hh"
@@ -60,7 +60,9 @@ class StandaloneGpu
   private:
     Simulation _sim;
     ClockDomain *_gpuClock = nullptr;
-    mem::FrfcfsScheduler _scheduler;
+    /** --mem-sched bundle (mem/sched_factory.hh); FR-FCFS default. */
+    std::unique_ptr<mem::DashCoordinator> _dashCoordinator;
+    std::unique_ptr<mem::DramScheduler> _scheduler;
     std::unique_ptr<mem::MemorySystem> _memory;
     std::unique_ptr<gpu::GpuTop> _gpu;
     std::unique_ptr<core::GraphicsPipeline> _pipeline;

@@ -1,0 +1,394 @@
+#include "soc/replay.hh"
+
+#include <algorithm>
+
+#include "gpu/simt_core.hh"
+#include "mem/traffic_trace.hh"
+#include "sim/logging.hh"
+#include "sim/packet_pool.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::soc
+{
+
+/**
+ * One replay injection point: feeds one trace client's transactions
+ * into the matching SIMT core's L1s, strictly in recorded order, each
+ * no earlier than renderStart + its captured offset. Reads come back
+ * through memResponse() (the frame cannot close while any is in
+ * flight); writes are posted, as the LSU issues them. A rejected offer
+ * parks the port on the L1's retry list — no polling, like every other
+ * requestor in the system.
+ */
+class ReplayPort : public SimObject,
+                   public MemClient,
+                   public MemRequestor
+{
+  public:
+    ReplayPort(Simulation &sim, const std::string &name,
+               TraceReplayDriver &driver, gpu::SimtCore &core,
+               const std::vector<mem::TraceTxn> &txns,
+               unsigned num_frames)
+        : SimObject(sim, name), _driver(driver), _core(core),
+          _txns(txns),
+          _issueEvent([this] { issueReady(); }, name + ".issue")
+    {
+        // Per-frame [begin, end) ranges. Records are chronological
+        // within a client and frames begin in order, so frame ids are
+        // non-decreasing; anything else is a corrupt trace.
+        _ranges.assign(num_frames, {0, 0});
+        std::size_t i = 0;
+        for (unsigned f = 0; f < num_frames; ++f) {
+            std::size_t begin = i;
+            while (i < _txns.size() && _txns[i].frame == f)
+                ++i;
+            _ranges[f] = {begin, i};
+        }
+        fatal_if(i != _txns.size(),
+                 "%s: trace records out of frame order",
+                 name.c_str());
+    }
+
+    /** Start injecting frame @p frame; its offsets are relative to
+     * @p render_start. Completion is reported via the driver. */
+    void
+    beginFrame(unsigned frame, Tick render_start)
+    {
+        _frameBegin = _ranges.at(frame).first;
+        _frameEnd = _ranges.at(frame).second;
+        _next = _frameBegin;
+        _renderStart = render_start;
+        _frameActive = true;
+        // Enter through the event queue so the driver's begin-render
+        // loop never re-enters frame completion mid-iteration.
+        schedule(_issueEvent, nextIssueTick());
+    }
+
+    /** Transactions of the current frame already handed to an L1. */
+    std::uint64_t frameIssued() const { return _next - _frameBegin; }
+    std::uint64_t frameTotal() const { return _frameEnd - _frameBegin; }
+
+    void
+    setCapture(mem::TrafficTraceWriter *writer, unsigned client)
+    {
+        _writer = writer;
+        _client = client;
+    }
+
+    void
+    memResponse(MemPacket *pkt) override
+    {
+        panic_if(_outstanding == 0, "%s: unexpected response %s",
+                 name().c_str(), pkt->toString().c_str());
+        freePacket(pkt);
+        --_outstanding;
+        maybeFrameDone();
+    }
+
+    void
+    retryRequest() override
+    {
+        if (!_retryPkt)
+            return; // Spurious wakeup.
+        MemPacket *pkt = _retryPkt;
+        _retryPkt = nullptr;
+        const mem::TraceTxn &txn = _txns[_next];
+        if (!_core.l1ForKind(txn.kind).offer(pkt, *this)) {
+            _retryPkt = pkt;
+            return;
+        }
+        accepted(txn);
+        issueReady();
+    }
+
+    std::string requestorName() const override { return name(); }
+
+    /** See TraceReplayDriver::serialize(). */
+    void
+    serialize(CheckpointOut &out) const override
+    {
+        (void)out;
+        panic("%s: replay ports cannot be checkpointed",
+              name().c_str());
+    }
+
+    void
+    hangDiagnostics(std::ostream &os) const override
+    {
+        if (!_frameActive)
+            return;
+        os << name() << ": txn " << frameIssued() << "/"
+           << frameTotal() << " of frame, " << _outstanding
+           << " reads in flight"
+           << (_retryPkt ? ", head blocked on L1" : "") << "\n";
+    }
+
+  private:
+    /** Injection loop: issue every due transaction, then either park
+     * (blocked/ahead of time) or close out the frame. */
+    void
+    issueReady()
+    {
+        while (_next < _frameEnd) {
+            const mem::TraceTxn &txn = _txns[_next];
+            Tick when = _renderStart + txn.offset;
+            if (when > curTick()) {
+                schedule(_issueEvent, when);
+                return;
+            }
+            auto *pkt = sim().packetPool().alloc(
+                txn.addr, _core.params().l1d.lineSize, txn.write,
+                TrafficClass::Gpu, txn.kind, gpu::gpuRequestorId,
+                txn.write ? nullptr : this, 0);
+            if (!_core.l1ForKind(txn.kind).offer(pkt, *this)) {
+                _retryPkt = pkt;
+                return;
+            }
+            accepted(txn);
+        }
+        maybeFrameDone();
+    }
+
+    Tick
+    nextIssueTick() const
+    {
+        if (_next >= _frameEnd)
+            return curTick();
+        return std::max(curTick(), _renderStart + _txns[_next].offset);
+    }
+
+    void
+    accepted(const mem::TraceTxn &txn)
+    {
+        if (_writer) {
+            _writer->record(_client, curTick(), txn.addr, txn.kind,
+                            txn.write);
+        }
+        if (!txn.write)
+            ++_outstanding;
+        ++_next;
+        ++_driver.statReplayedTxns;
+    }
+
+    void
+    maybeFrameDone()
+    {
+        if (_frameActive && _next == _frameEnd && _outstanding == 0) {
+            _frameActive = false;
+            _driver.portFrameDone();
+        }
+    }
+
+    TraceReplayDriver &_driver;
+    gpu::SimtCore &_core;
+    const std::vector<mem::TraceTxn> &_txns;
+    /** Per-frame [begin, end) index ranges into _txns. */
+    std::vector<std::pair<std::size_t, std::size_t>> _ranges;
+
+    std::size_t _frameBegin = 0;
+    std::size_t _frameEnd = 0;
+    std::size_t _next = 0;
+    Tick _renderStart = 0;
+    bool _frameActive = false;
+    /** Reads handed to an L1 whose responses are still in flight. */
+    unsigned _outstanding = 0;
+    /** Head transaction's packet, held across an L1 rejection. */
+    MemPacket *_retryPkt = nullptr;
+
+    mem::TrafficTraceWriter *_writer = nullptr;
+    unsigned _client = 0;
+
+    EventFunction _issueEvent;
+};
+
+TraceReplayDriver::TraceReplayDriver(
+    Simulation &sim, const std::string &name,
+    const ReplayParams &params, const mem::TrafficTraceReader &trace,
+    gpu::GpuTop &gpu, std::vector<CpuCoreModel *> cores,
+    mem::DashCoordinator *dash,
+    std::function<void()> on_all_frames_done)
+    : SimObject(sim, name),
+      statFrames(*this, "frames", "trace frames replayed"),
+      statReplayedTxns(*this, "txns", "trace transactions injected"),
+      statGpuFrameTicks(*this, "gpu_frame_ticks",
+                        "replayed render time per frame (ticks)"),
+      statTotalFrameTicks(*this, "total_frame_ticks",
+                          "prep+render time per frame (ticks)"),
+      _params(params), _trace(trace), _cores(std::move(cores)),
+      _dash(dash), _onDone(std::move(on_all_frames_done)),
+      _startPrepEvent([this] { beginPrep(); }, name + ".prep"),
+      _pollEvent([this] { pollProgress(); }, name + ".poll")
+{
+    registerProfileCounters();
+    fatal_if(trace.numClients() != gpu.numCores(),
+             "replay trace '%s' has %u clients but the GPU has %u "
+             "cores",
+             trace.dir().c_str(), trace.numClients(), gpu.numCores());
+    fatal_if(trace.numFrames() < params.frames,
+             "replay trace '%s' holds %u frames but the run wants %u",
+             trace.dir().c_str(), trace.numFrames(), params.frames);
+    if (_dash) {
+        _dashIp = _dash->registerIp(name + ".gpu", TrafficClass::Gpu,
+                                    0.9);
+    }
+    for (unsigned i = 0; i < gpu.numCores(); ++i) {
+        _ports.push_back(std::make_unique<ReplayPort>(
+            sim, name + ".p" + std::to_string(i), *this, gpu.core(i),
+            trace.clientTxns(i), trace.numFrames()));
+    }
+}
+
+TraceReplayDriver::~TraceReplayDriver() = default;
+
+void
+TraceReplayDriver::serialize(CheckpointOut &out) const
+{
+    (void)out;
+    panic("%s: replay runs cannot be checkpointed (the builder "
+          "rejects --replay-trace with --checkpoint-at/--restore)",
+          name().c_str());
+}
+
+void
+TraceReplayDriver::start()
+{
+    scheduleIn(_startPrepEvent, 0);
+}
+
+void
+TraceReplayDriver::setTraceCapture(mem::TrafficTraceWriter *writer)
+{
+    _writer = writer;
+    for (auto &port : _ports) {
+        unsigned client = writer ? writer->addClient(port->name()) : 0;
+        port->setCapture(writer, client);
+    }
+}
+
+void
+TraceReplayDriver::beginPrep()
+{
+    _frameSlotStart = curTick();
+    _current = FrameRecord{};
+    _current.prepStart = curTick();
+
+    // Same CPU-side phase as the execution-driven AppModel: every
+    // core burns through its prep quota, latency-bound.
+    _coresPending = static_cast<unsigned>(_cores.size());
+    if (_coresPending == 0) {
+        beginRender();
+        return;
+    }
+    for (CpuCoreModel *core : _cores) {
+        core->setBackground(false);
+        core->runQuota(_params.cpuPrepRequests,
+                       [this] { corePrepDone(); });
+    }
+}
+
+void
+TraceReplayDriver::corePrepDone()
+{
+    panic_if(_coresPending == 0, "prep over-completion");
+    if (--_coresPending == 0)
+        beginRender();
+}
+
+void
+TraceReplayDriver::beginRender()
+{
+    _rendering = true;
+    _current.renderStart = curTick();
+    _progressReported = 0.0;
+    unsigned frame = _framesDone;
+
+    if (_writer)
+        _writer->beginFrame(curTick());
+
+    for (CpuCoreModel *core : _cores)
+        core->setBackground(true);
+
+    if (_dash && _dashIp >= 0) {
+        // DASH sees the same estimate the execution-driven run gave
+        // it: the previous frame's work total (here, from the trace).
+        double estimate = frame > 0 ? _trace.frameWork(frame - 1)
+                                    : 1e9;
+        if (estimate <= 0.0)
+            estimate = 1e9;
+        _dash->beginIpPeriod(_dashIp, _params.gpuFramePeriod,
+                             estimate);
+        scheduleIn(_pollEvent, _params.progressPollPeriod);
+    }
+
+    _portsPending = static_cast<unsigned>(_ports.size());
+    for (auto &port : _ports)
+        port->beginFrame(frame, curTick());
+}
+
+void
+TraceReplayDriver::portFrameDone()
+{
+    panic_if(_portsPending == 0, "frame over-completion");
+    if (--_portsPending == 0)
+        renderDone();
+}
+
+void
+TraceReplayDriver::pollProgress()
+{
+    if (!_dash || _dashIp < 0 || !_rendering)
+        return;
+    // Injection progress is the only observable the replay has; scale
+    // the frame's recorded work by it.
+    std::uint64_t issued = 0, total = 0;
+    for (const auto &port : _ports) {
+        issued += port->frameIssued();
+        total += port->frameTotal();
+    }
+    double work = _trace.frameWork(_framesDone);
+    double progress =
+        total > 0 ? work * (static_cast<double>(issued) /
+                            static_cast<double>(total))
+                  : work;
+    if (progress > _progressReported) {
+        _dash->addIpProgress(_dashIp, progress - _progressReported);
+        _progressReported = progress;
+    }
+    scheduleIn(_pollEvent, _params.progressPollPeriod);
+}
+
+void
+TraceReplayDriver::renderDone()
+{
+    _rendering = false;
+    _current.renderEnd = curTick();
+
+    if (_writer) {
+        _writer->endFrame(curTick(), _trace.frameWork(_framesDone));
+    }
+
+    _records.push_back(_current);
+    ++_framesDone;
+    ++statFrames;
+    statGpuFrameTicks.sample(static_cast<double>(_current.gpuTime()));
+    statTotalFrameTicks.sample(
+        static_cast<double>(_current.totalTime()));
+
+    descheduleIfPending(_pollEvent);
+    if (_dash && _dashIp >= 0)
+        _dash->endIpPeriod(_dashIp);
+
+    for (CpuCoreModel *core : _cores)
+        core->setBackground(false);
+
+    if (_framesDone >= _params.frames) {
+        if (_onDone)
+            _onDone();
+        return;
+    }
+
+    Tick next = _frameSlotStart + _params.gpuFramePeriod;
+    schedule(_startPrepEvent, std::max(curTick(), next));
+}
+
+} // namespace emerald::soc

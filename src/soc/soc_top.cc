@@ -1,8 +1,12 @@
 #include "soc/soc_top.hh"
 
 #include "cache/cache.hh"
+#include "gpu/warp_sched.hh"
+#include "mem/sched_factory.hh"
+#include "mem/traffic_trace.hh"
 #include "sim/logging.hh"
 #include "soc/configs.hh"
+#include "soc/replay.hh"
 
 namespace emerald::soc
 {
@@ -38,7 +42,8 @@ namespace
  * at restore (unless --restore-force).
  */
 std::uint64_t
-fingerprintOf(const SocParams &p)
+fingerprintOf(const SocParams &p, const std::string &warp_policy,
+              const std::string &mem_policy)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](std::uint64_t v) {
@@ -47,6 +52,12 @@ fingerprintOf(const SocParams &p)
             h *= 0x00000100000001b3ULL;
         }
     };
+    // Scheduling policies shape simulated state just like topology
+    // parameters do; a checkpoint is only valid under the same pair.
+    for (char c : warp_policy)
+        mix(static_cast<unsigned char>(c));
+    for (char c : mem_policy)
+        mix(static_cast<unsigned char>(c));
     mix(static_cast<std::uint64_t>(p.memConfig));
     mix(p.highLoad);
     mix(p.numCpuCores);
@@ -70,7 +81,24 @@ SocTop::SocTop(const SocParams &params,
     : _params(params)
 {
     builder.applyTo(_sim);
-    _sim.setConfigFingerprint(fingerprintOf(params));
+
+    // Resolve the scheduling policies up front: an explicit
+    // --warp-sched/--mem-sched wins, else the MemConfig's native pair
+    // (Table 6: DCB/DTB run DASH, BAS/HMC run FR-FCFS).
+    const bool replay_mode = !_sim.replayTraceDir().empty();
+    std::string warp_policy = _sim.warpSchedPolicy();
+    if (warp_policy.empty())
+        warp_policy = gpu::defaultWarpSchedPolicy;
+    std::string mem_policy = _sim.memSchedPolicy();
+    if (mem_policy.empty()) {
+        mem_policy = (params.memConfig == MemConfig::DCB ||
+                      params.memConfig == MemConfig::DTB)
+                         ? "dash"
+                         : mem::defaultMemSchedPolicy;
+    }
+
+    _sim.setConfigFingerprint(
+        fingerprintOf(params, warp_policy, mem_policy));
     _cpuClock = &_sim.createClockDomain(params.cpuClockMHz, "cpu_clk");
     _gpuClock = &_sim.createClockDomain(params.gpuClockMHz, "gpu_clk");
 
@@ -103,37 +131,44 @@ SocTop::SocTop(const SocParams &params,
         mp.unifiedScheme = mem::AddrMapScheme::RoRaBaCoCh;
     }
 
-    if (params.memConfig == MemConfig::DCB ||
-        params.memConfig == MemConfig::DTB) {
-        mem::DashParams dp; // Table 3 values at 2 GHz CPU clock.
-        dp.switchingUnit = _cpuClock->cyclesToTicks(500);
-        dp.quantum = _cpuClock->cyclesToTicks(1000000);
-        dp.clusterThresh = 0.15;
-        dp.useTotalBandwidth = params.memConfig == MemConfig::DTB;
-        dp.numCpuCores = params.numCpuCores;
-        _dashCoordinator = std::make_unique<mem::DashCoordinator>(
-            _sim, "dash", dp);
-        _scheduler = std::make_unique<mem::DashScheduler>(
-            *_dashCoordinator);
-    } else {
-        _scheduler = std::make_unique<mem::FrfcfsScheduler>();
-    }
+    mem::MemSchedContext sctx{_sim};
+    sctx.coordinatorName = "dash";
+    // Table 3 values at 2 GHz CPU clock; policies that need no
+    // coordinator ignore these.
+    sctx.dashParams.switchingUnit = _cpuClock->cyclesToTicks(500);
+    sctx.dashParams.quantum = _cpuClock->cyclesToTicks(1000000);
+    sctx.dashParams.clusterThresh = 0.15;
+    sctx.dashParams.useTotalBandwidth =
+        params.memConfig == MemConfig::DTB;
+    sctx.dashParams.numCpuCores = params.numCpuCores;
+    mem::MemSchedBundle sched = mem::createMemScheduler(mem_policy,
+                                                        sctx);
+    _dashCoordinator = std::move(sched.coordinator);
+    _scheduler = std::move(sched.scheduler);
 
     _memory = std::make_unique<mem::MemorySystem>(_sim, "dram", mp,
                                                   *_scheduler);
 
     // GPU (paper Table 5: 4 SIMT cores @ 950 MHz, shared 128 KB L2).
     gpu::GpuTopParams gp = caseStudy1GpuParams();
+    gp.core.warpSched = warp_policy;
     _gpu = std::make_unique<gpu::GpuTop>(_sim, "gpu", *_gpuClock, gp,
                                          *_memory);
 
-    core::GfxParams gfx;
-    _pipeline = std::make_unique<core::GraphicsPipeline>(
-        _sim, "gfx", *_gpu, params.fbWidth, params.fbHeight, gfx);
+    if (replay_mode) {
+        // Trace replay: the GPU's traffic comes from the recorded
+        // stream, so no pipeline, scene, or app model is built.
+        _replayTrace = std::make_unique<mem::TrafficTraceReader>(
+            _sim.replayTraceDir());
+    } else {
+        core::GfxParams gfx;
+        _pipeline = std::make_unique<core::GraphicsPipeline>(
+            _sim, "gfx", *_gpu, params.fbWidth, params.fbHeight, gfx);
 
-    _scene = std::make_unique<scenes::SceneRenderer>(
-        *_pipeline, scenes::makeWorkload(params.model),
-        _functionalMem);
+        _scene = std::make_unique<scenes::SceneRenderer>(
+            *_pipeline, scenes::makeWorkload(params.model),
+            _functionalMem);
+    }
 
     // CPU cores with private L1 (32 KB) and L2 (1 MB).
     std::vector<CpuCoreModel *> core_ptrs;
@@ -201,26 +236,56 @@ SocTop::SocTop(const SocParams &params,
     _displayLink->setTarget(*_memory);
 
     DisplayParams dp;
-    dp.fbBase = _scene->framebuffer().colorBase();
+    dp.fbBase = replay_mode ? _replayTrace->fbBase()
+                            : _scene->framebuffer().colorBase();
     dp.width = params.fbWidth;
     dp.height = params.fbHeight;
     dp.refreshPeriod = params.refreshPeriod;
     _display = std::make_unique<DisplayController>(
         _sim, "display", dp, *_displayLink, _dashCoordinator.get());
 
-    AppParams ap;
-    ap.gpuFramePeriod = params.gpuFramePeriod;
-    ap.cpuPrepRequests = params.cpuPrepRequests;
-    ap.frames = params.frames;
-    _app = std::make_unique<AppModel>(_sim, "app", ap, *_scene,
-                                      core_ptrs,
-                                      _dashCoordinator.get(),
-                                      [this] { _done = true; });
+    if (replay_mode) {
+        ReplayParams rp;
+        rp.gpuFramePeriod = params.gpuFramePeriod;
+        rp.cpuPrepRequests = params.cpuPrepRequests;
+        rp.frames = params.frames;
+        _replay = std::make_unique<TraceReplayDriver>(
+            _sim, "replay", rp, *_replayTrace, *_gpu, core_ptrs,
+            _dashCoordinator.get(), [this] { _done = true; });
+    } else {
+        AppParams ap;
+        ap.gpuFramePeriod = params.gpuFramePeriod;
+        ap.cpuPrepRequests = params.cpuPrepRequests;
+        ap.frames = params.frames;
+        _app = std::make_unique<AppModel>(_sim, "app", ap, *_scene,
+                                          core_ptrs,
+                                          _dashCoordinator.get(),
+                                          [this] { _done = true; });
 
-    // The framebuffer is functional state (not a SimObject) that the
-    // display controller scans and golden-image tests hash; it rides
-    // along as an extra section.
-    _sim.registerSerializable("gfx.fb", _scene->framebuffer());
+        // The framebuffer is functional state (not a SimObject) that
+        // the display controller scans and golden-image tests hash;
+        // it rides along as an extra section.
+        _sim.registerSerializable("gfx.fb", _scene->framebuffer());
+    }
+
+    if (!_sim.captureTraceDir().empty()) {
+        std::string label = replay_mode
+                                ? _replayTrace->label()
+                                : scenes::workloadName(params.model);
+        Addr fb_base = replay_mode
+                           ? _replayTrace->fbBase()
+                           : _scene->framebuffer().colorBase();
+        _traceWriter = std::make_unique<mem::TrafficTraceWriter>(
+            _sim.captureTraceDir(), label, fb_base);
+        if (replay_mode) {
+            // Round-trip verification: re-capture the replayed
+            // stream through the same writer path.
+            _replay->setTraceCapture(_traceWriter.get());
+        } else {
+            _gpu->setTrafficCapture(_traceWriter.get());
+            _app->setTraceCapture(_traceWriter.get());
+        }
+    }
 
     // Warm-start: with the whole topology (and its registries) built,
     // pull the checkpoint state in before any event runs.
@@ -238,7 +303,10 @@ SocTop::run(Tick limit)
     // display or app again would double-schedule them.
     if (!_sim.restored()) {
         _display->start();
-        _app->start();
+        if (_replay)
+            _replay->start();
+        else
+            _app->start();
     }
     while (!_done && _sim.curTick() < limit) {
         if (!_sim.eventQueue().runOne())
@@ -247,32 +315,52 @@ SocTop::run(Tick limit)
     fatal_if(!_done, "SoC simulation hit the safety limit at %.1f ms",
              msFromTicks(_sim.curTick()));
     _display->stop();
+    if (_traceWriter)
+        _traceWriter->finalize();
     if (_dashCoordinator)
         _dashCoordinator->shutdown();
 }
 
-double
-SocTop::meanGpuFrameMs() const
+namespace
 {
-    const auto &frames = _app->frames();
+
+/** Mean of @p time over the profiled (non-warm-up) frames. */
+template <typename Records, typename TimeOf>
+double
+meanFrameMs(const Records &frames, TimeOf time)
+{
     if (frames.size() <= 1)
         return 0.0;
     double sum = 0.0;
     for (std::size_t i = 1; i < frames.size(); ++i)
-        sum += msFromTicks(frames[i].gpuTime());
+        sum += msFromTicks(time(frames[i]));
     return sum / static_cast<double>(frames.size() - 1);
+}
+
+} // namespace
+
+double
+SocTop::meanGpuFrameMs() const
+{
+    if (_replay) {
+        return meanFrameMs(_replay->frames(), [](const auto &f) {
+            return f.gpuTime();
+        });
+    }
+    return meanFrameMs(_app->frames(),
+                       [](const auto &f) { return f.gpuTime(); });
 }
 
 double
 SocTop::meanTotalFrameMs() const
 {
-    const auto &frames = _app->frames();
-    if (frames.size() <= 1)
-        return 0.0;
-    double sum = 0.0;
-    for (std::size_t i = 1; i < frames.size(); ++i)
-        sum += msFromTicks(frames[i].totalTime());
-    return sum / static_cast<double>(frames.size() - 1);
+    if (_replay) {
+        return meanFrameMs(_replay->frames(), [](const auto &f) {
+            return f.totalTime();
+        });
+    }
+    return meanFrameMs(_app->frames(),
+                       [](const auto &f) { return f.totalTime(); });
 }
 
 } // namespace emerald::soc

@@ -17,7 +17,6 @@
 
 #include "core/graphics_pipeline.hh"
 #include "mem/dash_scheduler.hh"
-#include "mem/frfcfs_scheduler.hh"
 #include "mem/memory_system.hh"
 #include "noc/link.hh"
 #include "scenes/workloads.hh"
@@ -27,8 +26,16 @@
 #include "soc/cpu_traffic.hh"
 #include "soc/display_controller.hh"
 
+namespace emerald::mem
+{
+class TrafficTraceReader;
+class TrafficTraceWriter;
+} // namespace emerald::mem
+
 namespace emerald::soc
 {
+
+class TraceReplayDriver;
 
 /** Case study I memory configurations (paper Table 6). */
 enum class MemConfig { BAS, DCB, DTB, HMC };
@@ -78,11 +85,20 @@ class SocTop
 
     Simulation &sim() { return _sim; }
     mem::MemorySystem &memory() { return *_memory; }
+    /** Execution-driven runs only (null under --replay-trace). */
     AppModel &app() { return *_app; }
     DisplayController &display() { return *_display; }
+    /** Execution-driven runs only (null under --replay-trace). */
     core::GraphicsPipeline &pipeline() { return *_pipeline; }
     gpu::GpuTop &gpu() { return *_gpu; }
     const SocParams &params() const { return _params; }
+
+    /** True when this run replays a trace instead of rendering. */
+    bool replayMode() const { return _replay != nullptr; }
+    /** The replay driver, or null in execution-driven runs. */
+    TraceReplayDriver *replayDriver() { return _replay.get(); }
+    /** The capture writer, or null without --capture-trace. */
+    mem::TrafficTraceWriter *traceWriter() { return _traceWriter.get(); }
 
     /** Mean GPU render time over profiled (non-warm-up) frames. */
     double meanGpuFrameMs() const;
@@ -111,6 +127,11 @@ class SocTop
     std::unique_ptr<noc::Link> _displayLink;
     std::unique_ptr<DisplayController> _display;
     std::unique_ptr<AppModel> _app;
+
+    /** --capture-trace / --replay-trace state (null when unused). */
+    std::unique_ptr<mem::TrafficTraceWriter> _traceWriter;
+    std::unique_ptr<mem::TrafficTraceReader> _replayTrace;
+    std::unique_ptr<TraceReplayDriver> _replay;
 
     bool _done = false;
 };

@@ -621,3 +621,61 @@ TEST(ConfigParse, SupportsEqualsSpaceAndBareFlagForms)
     EXPECT_TRUE(cfg.getBool("profile", false));
     EXPECT_EQ(cfg.getInt("frames", 0), 3);
 }
+
+TEST(ConfigParse, AcceptsFullNumericRange)
+{
+    Config cfg;
+    cfg.set("n", "-42");
+    EXPECT_EQ(cfg.getInt("n", 0), -42);
+    cfg.set("n", "0x20");
+    EXPECT_EQ(cfg.getInt("n", 0), 0x20);
+    cfg.set("n", "9223372036854775807");
+    EXPECT_EQ(cfg.getInt("n", 0), INT64_MAX);
+    cfg.set("n", "18446744073709551615");
+    EXPECT_EQ(cfg.getU64("n", 0), UINT64_MAX);
+    cfg.set("alpha", "2.5e-3");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("alpha", 0.0), 2.5e-3);
+    // Denormal underflow is tiny-but-valid, not an error.
+    cfg.set("alpha", "1e-320");
+    EXPECT_GT(cfg.getDouble("alpha", 0.0), 0.0);
+}
+
+TEST(ConfigParse, TrailingGarbageOnIntIsFatal)
+{
+    Config cfg;
+    cfg.set("n", "12x");
+    EXPECT_DEATH(cfg.getInt("n", 0), "is not an integer");
+    cfg.set("n", "3 4");
+    EXPECT_DEATH(cfg.getInt("n", 0), "is not an integer");
+    cfg.set("n", "");
+    EXPECT_DEATH(cfg.getInt("n", 0), "is not an integer");
+}
+
+TEST(ConfigParse, IntOverflowIsFatal)
+{
+    Config cfg;
+    cfg.set("n", "9223372036854775808"); // INT64_MAX + 1.
+    EXPECT_DEATH(cfg.getInt("n", 0), "overflows a 64-bit integer");
+    cfg.set("n", "18446744073709551616"); // UINT64_MAX + 1.
+    EXPECT_DEATH(cfg.getU64("n", 0), "overflows a 64-bit integer");
+}
+
+TEST(ConfigParse, NegativeOrMalformedU64IsFatal)
+{
+    Config cfg;
+    cfg.set("n", "-3");
+    EXPECT_DEATH(cfg.getU64("n", 0), "not a non-negative integer");
+    cfg.set("n", "7q");
+    EXPECT_DEATH(cfg.getU64("n", 0), "not a non-negative integer");
+}
+
+TEST(ConfigParse, MalformedOrOverflowingDoubleIsFatal)
+{
+    Config cfg;
+    cfg.set("alpha", "1.5pt");
+    EXPECT_DEATH(cfg.getDouble("alpha", 0.0), "is not a number");
+    cfg.set("alpha", "");
+    EXPECT_DEATH(cfg.getDouble("alpha", 0.0), "is not a number");
+    cfg.set("alpha", "1e999");
+    EXPECT_DEATH(cfg.getDouble("alpha", 0.0), "overflows a double");
+}

@@ -22,6 +22,11 @@ compiler nor clang-tidy knows about:
                   report; a raw abort()/exit() skips both. Only the
                   logging sink itself, the sim/check checkers, and the
                   watchdog report path may touch the process directly.
+  sched-factory   Scheduling policies are constructed through their
+                  registries (docs/scheduling.md) so --warp-sched /
+                  --mem-sched can select every policy; a direct `new`
+                  or `make_unique` of a concrete scheduler class
+                  outside the factory files bypasses the registry.
   serializable-coverage
                   Every SimObject subclass overrides
                   serialize(CheckpointOut&) so checkpoints capture its
@@ -236,6 +241,38 @@ def check_fatal_exit(rel, clean_lines, out):
                 "report prints"))
 
 
+# rule: sched-factory --------------------------------------------------
+
+# Concrete scheduling-policy classes. Holding a pointer/reference to
+# one is fine (rigs own the factory's bundle); *constructing* one —
+# new, make_unique, or a by-value member/local — outside the factory
+# files bypasses the registry that --warp-sched/--mem-sched select
+# from.
+SCHED_CLASSES = (r"(?:FrfcfsScheduler|DashScheduler|DashCoordinator|"
+                 r"LrrScheduler|GtoScheduler|WaspScheduler)")
+SCHED_CONSTRUCT_RE = re.compile(
+    r"(?:\bnew\s+|make_unique<\s*)(?:\w+::)*" + SCHED_CLASSES + r"\b")
+SCHED_VALUE_DECL_RE = re.compile(
+    r"\b(?:\w+::)*" + SCHED_CLASSES + r"\s+\w+\s*[;({=]")
+
+SCHED_FACTORY_ALLOWLIST = {"src/mem/sched_factory.cc",
+                           "src/gpu/warp_sched.cc"}
+
+
+def check_sched_factory(rel, clean_lines, out):
+    if rel in SCHED_FACTORY_ALLOWLIST:
+        return
+    for lineno, line in clean_lines:
+        if SCHED_CONSTRUCT_RE.search(line) or \
+                SCHED_VALUE_DECL_RE.search(line):
+            out.append(Violation(
+                "sched-factory", rel, lineno,
+                "direct construction of a scheduling policy — go "
+                "through createWarpScheduler()/createMemScheduler() "
+                "so --warp-sched/--mem-sched stay authoritative "
+                "(docs/scheduling.md)"))
+
+
 # rule: serializable-coverage ------------------------------------------
 
 SIMOBJECT_CLASS_RE = re.compile(
@@ -294,6 +331,7 @@ def lint_file(path: Path, rel: str, out):
     check_offer_checked(rel, clean, out)
     check_stat_dup(rel, clean, out)
     check_fatal_exit(rel, clean, out)
+    check_sched_factory(rel, clean, out)
     check_serializable_coverage(rel, clean, out)
 
 
