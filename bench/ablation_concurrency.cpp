@@ -8,6 +8,7 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 #include "scenes/shaders.hh"
 
 using namespace emerald;
@@ -76,8 +77,11 @@ run(bool with_frame, bool with_kernel, unsigned n)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "ablation_concurrency");
     const Config &cfg = harness.cfg;
@@ -114,3 +118,14 @@ main(int argc, char **argv)
                 "exposes and split simulators cannot\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "ablation_concurrency",
+    .desc = "Ablation: graphics + compute sharing the SIMT cores",
+    .axes = {"n"},
+    .expectedShape = "both directions slow down on shared cores/caches/DRAM",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

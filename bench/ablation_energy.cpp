@@ -10,6 +10,7 @@
 #include "core/dfsl.hh"
 #include "core/energy.hh"
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
@@ -62,8 +63,11 @@ measure(scenes::WorkloadId id, unsigned wt, unsigned frames,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "ablation_energy");
     const Config &cfg = harness.cfg;
@@ -103,3 +107,14 @@ main(int argc, char **argv)
                 "component; DFSL tracks the best static choice\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "ablation_energy",
+    .desc = "Ablation: per-frame GPU energy vs work distribution",
+    .axes = {"quick", "frames"},
+    .expectedShape = "shorter render windows cut static energy; DFSL tracks best static",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

@@ -14,6 +14,7 @@
 
 #include "core/shader_builder.hh"
 #include "harness.hh"
+#include "registry.hh"
 #include "scenes/shaders.hh"
 
 using namespace emerald;
@@ -107,8 +108,11 @@ runConfig(scenes::WorkloadId id, const core::GfxParams &gfx,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "ablation_pipeline");
     const Config &cfg = harness.cfg;
@@ -178,3 +182,14 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "ablation_pipeline",
+    .desc = "Ablation: Hi-Z, TC coalescing and early-Z pipeline choices",
+    .axes = {"frames"},
+    .expectedShape = "each mechanism saves cycles on its stressor scene",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

@@ -14,6 +14,7 @@
 
 #include "core/shader_builder.hh"
 #include "harness.hh"
+#include "registry.hh"
 #include "scenes/procedural.hh"
 #include "scenes/shaders.hh"
 
@@ -33,8 +34,11 @@ struct MicroBench
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "accuracy_study");
     BenchResults &results = *harness.results;
@@ -127,3 +131,14 @@ main(int argc, char **argv)
                 "K1 hardware\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "accuracy_study",
+    .desc = "Section 3.4 draw-time/fill-rate accuracy methodology vs analytical reference",
+    .axes = {},
+    .expectedShape = "draw-time correlation high, mean abs rel err tens of percent",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

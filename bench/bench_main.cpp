@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The shared bench front end: one emerald_bench binary hosting every
+ * registered scenario.
+ *
+ *   emerald_bench --list               name<TAB>kind<TAB>description
+ *   emerald_bench --run=<name> [...]   run one scenario; remaining
+ *                                      flags go to the scenario
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emerald::bench;
+
+    // Peel --list/--run here; the scenario re-parses the full argv
+    // (Config knows both keys), so nothing needs to be stripped.
+    bool list = false;
+    std::string run_name;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg.rfind("--run=", 0) == 0) {
+            run_name = arg.substr(6);
+        } else if (arg == "--run" && i + 1 < argc &&
+                   argv[i + 1][0] != '-') {
+            run_name = argv[++i];
+        }
+    }
+
+    const ScenarioRegistry &registry = ScenarioRegistry::instance();
+    if (list) {
+        for (const Scenario &s : registry.scenarios()) {
+            std::printf("%s\t%s\t%s\n", s.name.c_str(),
+                        s.kind == ScenarioKind::Figure ? "figure"
+                                                       : "aux",
+                        s.desc.c_str());
+        }
+        return 0;
+    }
+
+    if (run_name.empty()) {
+        std::fprintf(stderr,
+                     "usage: emerald_bench --run=<name> [--key=value "
+                     "...] | --list\nscenarios:\n");
+        for (const Scenario &s : registry.scenarios())
+            std::fprintf(stderr, "  %s\n", s.name.c_str());
+        return 2;
+    }
+
+    const Scenario *scenario = registry.find(run_name);
+    if (!scenario) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (emerald_bench --list)\n",
+                     run_name.c_str());
+        return 2;
+    }
+    return scenario->run(argc, argv);
+}

@@ -8,12 +8,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig09_memsched_regular");
     bool quick = harness.quick;
@@ -65,3 +69,14 @@ main(int argc, char **argv)
     std::printf("\n\npaper shape: DCB/DTB ~1.19-1.20x, HMC ~2x\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig09_memsched_regular",
+    .desc = "Fig. 9: GPU frame time under regular load, normalized to BAS",
+    .axes = {"quick"},
+    .expectedShape = "DCB/DTB ~1.19-1.20x, HMC ~2x",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

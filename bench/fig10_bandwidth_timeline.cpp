@@ -8,12 +8,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig10_bandwidth_timeline");
     const Config &cfg = harness.cfg;
@@ -72,3 +76,14 @@ main(int argc, char **argv)
                 "dominates during rendering\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig10_bandwidth_timeline",
+    .desc = "Fig. 10: M3-HMC DRAM bandwidth per source over time",
+    .axes = {"frames"},
+    .expectedShape = "CPU bursts between GPU frames; GPU dominates during rendering",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

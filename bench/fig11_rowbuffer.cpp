@@ -8,12 +8,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig11_rowbuffer");
     bool quick = harness.quick;
@@ -70,3 +74,14 @@ main(int argc, char **argv)
                 "under HMC\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig11_rowbuffer",
+    .desc = "Fig. 11: HMC row-buffer hit rate and bytes/activation vs BAS",
+    .axes = {"quick"},
+    .expectedShape = "hit rate ~0.85x, bytes/act ~0.4x under HMC",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

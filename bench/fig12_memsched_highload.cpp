@@ -10,12 +10,16 @@
 #include <chrono>
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig12_memsched_highload");
     bool quick = harness.quick;
@@ -119,3 +123,14 @@ main(int argc, char **argv)
                 "on the larger models\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig12_memsched_highload",
+    .desc = "Fig. 12: high-load total/GPU frame time normalized to BAS",
+    .axes = {"quick"},
+    .expectedShape = "HMC ~1.45x GPU time; DASH ~1.1-1.16x on the larger models",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

@@ -9,12 +9,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig13_display_service");
     bool quick = harness.quick;
@@ -61,3 +65,14 @@ main(int argc, char **argv)
                 "traffic on M1/M3; HMC > BAS on M2/M4\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig13_display_service",
+    .desc = "Fig. 13: display requests serviced relative to BAS, high load",
+    .axes = {"quick"},
+    .expectedShape = "DTB services far less display traffic on M1/M3; HMC > BAS on M2/M4",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

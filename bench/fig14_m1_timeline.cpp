@@ -8,6 +8,7 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
@@ -70,8 +71,11 @@ runAndPrint(soc::MemConfig config, BenchResults &results,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig14_m1_timeline");
     BenchResults &results = *harness.results;
@@ -83,3 +87,14 @@ main(int argc, char **argv)
                 "GPU bandwidth during frames; display starved\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig14_m1_timeline",
+    .desc = "Fig. 14: M1 bandwidth timeline, BAS vs DTB, high load",
+    .axes = {},
+    .expectedShape = "DTB boosts CPU share, squeezes GPU bandwidth; display starved",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

@@ -8,12 +8,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig17_wt_sweep");
     const Config &cfg = harness.cfg;
@@ -59,3 +63,14 @@ main(int argc, char **argv)
                 "optimum differs per workload\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig17_wt_sweep",
+    .desc = "Fig. 17: frame time vs WT size, normalized to WT=1",
+    .axes = {"quick", "frames", "width", "height"},
+    .expectedShape = "25-88% swing across WT sizes; optimum differs per workload",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

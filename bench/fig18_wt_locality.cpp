@@ -9,12 +9,16 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig18_wt_locality");
     const Config &cfg = harness.cfg;
@@ -89,3 +93,14 @@ main(int argc, char **argv)
                 "with L1 miss counts\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig18_wt_locality",
+    .desc = "Fig. 18: W1 execution time and L1 misses vs WT",
+    .axes = {"frames", "width", "height"},
+    .expectedShape = "execution time correlates ~0.78-0.82 with L1 miss counts",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

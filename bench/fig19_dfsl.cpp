@@ -10,6 +10,7 @@
 
 #include "core/dfsl.hh"
 #include "harness.hh"
+#include "registry.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
@@ -75,8 +76,11 @@ dfslRun(scenes::WorkloadId id, unsigned fbw, unsigned fbh,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "fig19_dfsl");
     const Config &cfg = harness.cfg;
@@ -157,3 +161,14 @@ main(int argc, char **argv)
                 "SOPT on average\n");
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "fig19_dfsl",
+    .desc = "Fig. 19: DFSL vs static work distributions (speedup over MLB)",
+    .axes = {"quick", "frames", "run_frames", "maxwt", "width", "height"},
+    .expectedShape = "DFSL ~1.19x over MLB, ~1.073x over SOPT on average",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

@@ -11,11 +11,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <numeric>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +22,7 @@
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/simulation_builder.hh"
+#include "sim/stats_sink.hh"
 #include "soc/configs.hh"
 #include "soc/soc_top.hh"
 
@@ -31,96 +30,68 @@ namespace emerald::bench
 {
 
 /**
- * Machine-readable bench output: when the bench was invoked with
- * --stats-json <path>, collects named scalar results (the numbers the
- * bench prints) plus optional full simulation stat trees, and writes
- * one JSON document at destruction. The bench suite diffs these files
- * across runs and populates BENCH_*.json from them.
+ * Machine-readable bench output: collects named scalar results (the
+ * numbers the bench prints) plus optional full simulation stat trees
+ * and hands them to the StatsSink named by --stats-out=<uri> (a plain
+ * path writes the legacy JSON document byte-for-byte, sqlite:<path>
+ * the sweep database, nothing/null discards). --stats-json=<path> is
+ * a deprecated alias for --stats-out=<path>.
  */
 class BenchResults
 {
   public:
     BenchResults(const Config &cfg, std::string bench)
-        : _path(cfg.getString("stats-json", "")), _bench(std::move(bench))
-    {}
+        : _bench(std::move(bench))
+    {
+        std::string uri = cfg.getString("stats-out", "");
+        if (cfg.has("stats-json")) {
+            warn("--stats-json is deprecated; use "
+                 "--stats-out=<path|sqlite:path|null>");
+            if (uri.empty())
+                uri = cfg.getString("stats-json", "");
+        }
+        _sink = makeStatsSink(uri);
+        RunInfo info;
+        info.bench = _bench;
+        info.gitSha = cfg.getString("git-sha", "");
+        info.fingerprint = sweepPointFingerprint(cfg);
+        info.params = sweepPointParams(cfg);
+        _sink->beginRun(info);
+    }
 
     BenchResults(const BenchResults &) = delete;
     BenchResults &operator=(const BenchResults &) = delete;
 
-    /** True when --stats-json was given. */
-    bool enabled() const { return !_path.empty(); }
+    ~BenchResults() { _sink->finishRun(); }
+
+    /** True when results are being kept (not the null sink). */
+    bool enabled() const { return _sink->live(); }
 
     /** Record one named scalar result. */
     void
     record(const std::string &key, double value)
     {
-        _results.emplace_back(key, value);
+        _sink->recordScalar(key, value);
     }
 
     /** Embed @p sim's full stats tree (captured now) under @p label. */
     void
     addSimStats(Simulation &sim, const std::string &label = "sim")
     {
-        if (!enabled())
-            return;
-        std::ostringstream os;
-        sim.dumpStatsJson(os);
-        std::string text = os.str();
-        while (!text.empty() && text.back() == '\n')
-            text.pop_back();
-        _simDumps.emplace_back(label, std::move(text));
-    }
-
-    ~BenchResults()
-    {
-        if (!enabled())
-            return;
-        std::ofstream os(_path);
-        if (!os.is_open()) {
-            warn("cannot open stats-json file '%s'", _path.c_str());
-            return;
-        }
-        os << "{\n  \"bench\": \"" << jsonEscape(_bench) << "\",\n";
-        os << "  \"results\": {";
-        for (std::size_t i = 0; i < _results.size(); ++i) {
-            os << (i ? ",\n" : "\n") << "    \""
-               << jsonEscape(_results[i].first)
-               << "\": " << number(_results[i].second);
-        }
-        os << (_results.empty() ? "" : "\n  ") << "},\n";
-        os << "  \"sim\": {";
-        for (std::size_t i = 0; i < _simDumps.size(); ++i) {
-            os << (i ? ",\n" : "\n") << "    \""
-               << jsonEscape(_simDumps[i].first)
-               << "\": " << _simDumps[i].second;
-        }
-        os << (_simDumps.empty() ? "" : "\n  ") << "}\n}\n";
-        std::printf("stats-json: wrote %s\n", _path.c_str());
+        if (enabled())
+            _sink->addStatsTree(label, sim.statsRoot());
     }
 
   private:
-    static std::string
-    number(double v)
-    {
-        if (!std::isfinite(v))
-            return "null";
-        std::ostringstream os;
-        os.precision(17);
-        os << v;
-        return os.str();
-    }
-
-    std::string _path;
     std::string _bench;
-    std::vector<std::pair<std::string, double>> _results;
-    std::vector<std::pair<std::string, std::string>> _simDumps;
+    std::unique_ptr<StatsSink> _sink;
 };
 
 /**
  * The common bench prologue, deduplicated: parses --key=value
- * arguments, interprets --quick, opens the --stats-json results file
+ * arguments, interprets --quick, opens the --stats-out results sink
  * and exposes a SimulationBuilder carrying the observability keys
- * (--trace-file / --profile / --sim-stats-json) so every simulation a
+ * (--trace-file / --profile / --sim-stats-out) so every simulation a
  * bench constructs gets them wired in.
  */
 class BenchHarness
@@ -143,13 +114,23 @@ class BenchHarness
     /**
      * Like builder(), but scoped for one of several simulations the
      * bench runs in a single process: checkpoint/restore directories
-     * get a per-run @p label subdirectory, so --checkpoint-at with a
+     * get a per-run subdirectory, so --checkpoint-at with a
      * multi-config bench produces one checkpoint per configuration.
+     *
+     * The subdirectory is @p label plus the checkpoint-scope
+     * fingerprint (ckptScopeFingerprintHex) when one exists: two
+     * sweep points that share a label but differ in grid params
+     * (say, the same MemConfig at two FPS values) must not collide
+     * on one checkpoint directory — unless the sweep declared the
+     * differing axes in --ckpt-share-keys, in which case the shared
+     * subdirectory is exactly the point (docs/sweeps.md).
      */
     SimulationBuilder
     builderFor(const std::string &label) const
     {
-        return builder().subdir(label);
+        std::string fp = ckptScopeFingerprintHex(cfg);
+        return builder().subdir(fp.empty() ? label
+                                           : label + "-" + fp);
     }
 
     Config cfg;

@@ -1,0 +1,46 @@
+#include "registry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emerald::bench
+{
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(Scenario s)
+{
+    fatal_if(s.name.empty() || !s.run,
+             "scenario registration needs a name and a run function");
+    auto pos = std::lower_bound(
+        _scenarios.begin(), _scenarios.end(), s,
+        [](const Scenario &a, const Scenario &b) {
+            return a.name < b.name;
+        });
+    fatal_if(pos != _scenarios.end() && pos->name == s.name,
+             "duplicate bench scenario '%s'", s.name.c_str());
+    _scenarios.insert(pos, std::move(s));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Scenario &s : _scenarios)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+RegisterScenario::RegisterScenario(Scenario s)
+{
+    ScenarioRegistry::instance().add(std::move(s));
+}
+
+} // namespace emerald::bench

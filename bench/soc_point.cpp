@@ -1,0 +1,128 @@
+/**
+ * @file
+ * soc_point: the sweep unit. Runs exactly one SocTop whose every
+ * parameter comes from the command line (one point of a sweep grid)
+ * and records absolute frame times, event counts, the event-stream
+ * hash and the full stats tree. emerald_sweep expands a grid spec
+ * into one soc_point invocation per point (docs/sweeps.md); it is
+ * not a paper figure, so run_benches.sh skips it (kind = Aux).
+ *
+ * Axes: --model, --config, --highload, --frames, --prep, --width,
+ * --height, --fps (GPU frame period), --channels (DRAM channels),
+ * plus the shared --warp-sched/--mem-sched/--fault-plan/... keys the
+ * SimulationBuilder reads.
+ */
+
+#include <chrono>
+
+#include "harness.hh"
+#include "registry.hh"
+
+using namespace emerald;
+using namespace emerald::bench;
+
+namespace
+{
+
+scenes::WorkloadId
+workloadFromName(const std::string &name)
+{
+    for (auto list : {caseStudy1Models(), caseStudy2Workloads()})
+        for (scenes::WorkloadId id : list)
+            if (name == scenes::workloadName(id))
+                return id;
+    fatal("soc_point: unknown --model '%s' (use a workloadName like "
+          "M2-cube)", name.c_str());
+}
+
+soc::MemConfig
+memConfigFromName(const std::string &name)
+{
+    for (soc::MemConfig config : allMemConfigs())
+        if (name == soc::memConfigName(config))
+            return config;
+    fatal("soc_point: unknown --config '%s' (BAS|DCB|DTB|HMC)",
+          name.c_str());
+}
+
+int
+runScenario(int argc, char **argv)
+{
+    BenchHarness harness(argc, argv, "soc_point");
+    const Config &cfg = harness.cfg;
+    BenchResults &results = *harness.results;
+
+    soc::SocParams p = caseStudy1Params(
+        workloadFromName(cfg.getString("model", "M2-cube")),
+        memConfigFromName(cfg.getString("config", "BAS")),
+        cfg.getBool("highload", true));
+    p.frames = static_cast<unsigned>(
+        cfg.getU64("frames", harness.quick ? 3 : p.frames));
+    p.cpuPrepRequests = cfg.getU64("prep", p.cpuPrepRequests);
+    p.fbWidth = static_cast<unsigned>(cfg.getU64("width", p.fbWidth));
+    p.fbHeight =
+        static_cast<unsigned>(cfg.getU64("height", p.fbHeight));
+    p.dramChannels = static_cast<unsigned>(
+        cfg.getU64("channels", p.dramChannels));
+    fatal_if(p.dramChannels < 1u ||
+                 (p.memConfig == soc::MemConfig::HMC &&
+                  p.dramChannels < 2u),
+             "soc_point: --channels=%u is too few for --config=%s",
+             p.dramChannels,
+             soc::memConfigName(p.memConfig));
+    double fps = cfg.getDouble("fps", 0.0);
+    if (fps > 0.0)
+        p.gpuFramePeriod = ticksFromMs(1000.0 / fps);
+
+    // One checkpoint/replay scope per point. The fingerprint-keyed
+    // subdir (builderFor) keeps same-label points apart; the replay
+    // root gets the per-model subdir fig12 capture runs produce.
+    SimulationBuilder builder =
+        harness.builderFor(soc::memConfigName(p.memConfig));
+    std::string model_dir =
+        "/" + std::string(scenes::workloadName(p.model));
+    std::string capture_root = cfg.getString("capture-trace", "");
+    if (!capture_root.empty())
+        builder.captureTrace(capture_root + model_dir);
+    std::string replay_root = cfg.getString("replay-trace", "");
+    if (!replay_root.empty())
+        builder.replayTrace(replay_root + model_dir);
+
+    soc::SocTop soc(p, builder);
+    auto wall_start = std::chrono::steady_clock::now();
+    soc.run();
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+
+    results.record("gpu_ms", soc.meanGpuFrameMs());
+    results.record("total_ms", soc.meanTotalFrameMs());
+    results.record("wall_ms", wall_ms);
+    results.record("events",
+                   static_cast<double>(
+                       soc.sim().eventQueue().numProcessed()));
+    results.record("event_hash",
+                   static_cast<double>(soc.sim().determinismHash() &
+                                       ((1ULL << 53) - 1)));
+    results.addSimStats(soc.sim());
+
+    std::printf("soc_point %s/%s: gpu %.3f ms, total %.3f ms "
+                "(%.0f ms wall)\n",
+                scenes::workloadName(p.model),
+                soc::memConfigName(p.memConfig), soc.meanGpuFrameMs(),
+                soc.meanTotalFrameMs(), wall_ms);
+    return 0;
+}
+
+const RegisterScenario reg{{
+    .name = "soc_point",
+    .desc = "one SocTop run, fully parameterized — the sweep unit",
+    .axes = {"model", "config", "highload", "frames", "prep", "width",
+             "height", "fps", "channels", "warp-sched", "mem-sched",
+             "quick"},
+    .expectedShape = "one fully-parameterized design point; no fixed shape",
+    .run = runScenario,
+    .kind = ScenarioKind::Aux,
+}};
+
+} // namespace

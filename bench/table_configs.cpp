@@ -6,13 +6,17 @@
  */
 
 #include "harness.hh"
+#include "registry.hh"
 #include "mem/dash_scheduler.hh"
 
 using namespace emerald;
 using namespace emerald::bench;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runScenario(int argc, char **argv)
 {
     BenchHarness harness(argc, argv, "table_configs");
     BenchResults &results = *harness.results;
@@ -106,3 +110,14 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+const RegisterScenario reg{{
+    .name = "table_configs",
+    .desc = "Paper Tables 1/3/4/5/7 and workload Tables 6/8 as realized",
+    .axes = {},
+    .expectedShape = "parameter tables match the paper's configuration",
+    .run = runScenario,
+    .kind = ScenarioKind::Figure,
+}};
+
+} // namespace

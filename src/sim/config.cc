@@ -25,14 +25,34 @@ const char *const knownKeys[] = {
     "capture-trace", "check-determinism", "checkpoint-at",
     "checkpoint-dir", "fault-plan", "fault-seed", "mem-sched",
     "profile", "replay-trace", "restore", "restore-force",
-    "sim-stats-json", "trace-file", "warp-sched", "watchdog-mode",
-    "watchdog-ticks",
+    "sim-stats-json", "sim-stats-out", "trace-file", "warp-sched",
+    "watchdog-mode", "watchdog-ticks",
     // Parser control.
     "allow-unknown-args",
     // Benches and examples.
-    "alpha", "beta", "config", "frames", "gamma", "height", "highload",
-    "maxwt", "model", "n", "name", "out", "outdir", "prep", "quick",
-    "run_frames", "stats", "stats-json", "width", "workload", "wt",
+    "alpha", "beta", "channels", "config", "fps", "frames", "gamma",
+    "height", "highload", "maxwt", "model", "n", "name", "out",
+    "outdir", "prep", "quick", "run_frames", "stats", "stats-json",
+    "stats-out", "width", "workload", "wt",
+    // Bench registry front end (bench_main) and sweep driver.
+    "bench-bin", "ckpt-share-keys", "db", "dry-run", "git-sha",
+    "jobs", "list", "run", "spec",
+};
+
+/**
+ * Keys that never contribute to a sweep point's fingerprint: they
+ * steer where results/logs go or how the host-side tooling behaves,
+ * not what machine or workload is simulated. Two runs differing only
+ * in these keys are the same design point.
+ */
+const char *const fingerprintExcludedKeys[] = {
+    "allow-unknown-args", "bench-bin", "capture-trace",
+    "check-determinism", "checkpoint-at", "checkpoint-dir",
+    "ckpt-share-keys", "db", "dry-run", "git-sha", "jobs", "list",
+    "name", "out", "outdir", "profile", "replay-trace", "restore",
+    "restore-force", "run", "sim-stats-json", "sim-stats-out", "spec",
+    "stats", "stats-json", "stats-out", "trace-file", "watchdog-mode",
+    "watchdog-ticks",
 };
 
 bool
@@ -184,6 +204,116 @@ Config::getBool(const std::string &key, bool dflt) const
         return dflt;
     const std::string &v = it->second;
     return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+namespace
+{
+
+bool
+fingerprintExcluded(const std::string &key,
+                    const std::vector<std::string> &shared)
+{
+    for (const char *excluded : fingerprintExcludedKeys)
+        if (key == excluded)
+            return true;
+    for (const std::string &s : shared)
+        if (key == s)
+            return true;
+    return false;
+}
+
+/** Split a comma-separated list, dropping empty fields. */
+std::vector<std::string>
+splitCommaList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        auto comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+namespace
+{
+
+std::vector<std::pair<std::string, std::string>>
+paramsExcluding(const Config &cfg, const std::vector<std::string> &shared)
+{
+    std::vector<std::pair<std::string, std::string>> params;
+    for (const auto &[key, value] : cfg.items()) {
+        if (!fingerprintExcluded(key, shared))
+            params.emplace_back(key, value);
+    }
+    return params;
+}
+
+std::uint64_t
+fingerprintParams(
+    const std::vector<std::pair<std::string, std::string>> &params)
+{
+    if (params.empty())
+        return 0;
+    // FNV-1a over "key=value\n" in sorted-key order.
+    std::uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](const std::string &text) {
+        for (unsigned char c : text) {
+            hash ^= c;
+            hash *= 1099511628211ull;
+        }
+    };
+    for (const auto &[key, value] : params) {
+        mix(key);
+        mix("=");
+        mix(value);
+        mix("\n");
+    }
+    // Reserve 0 for "no sweep-relevant keys".
+    return hash ? hash : 1;
+}
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    if (!fp)
+        return "";
+    return strprintf("%016llx", (unsigned long long)fp);
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, std::string>>
+sweepPointParams(const Config &cfg)
+{
+    return paramsExcluding(cfg, {});
+}
+
+std::uint64_t
+sweepPointFingerprint(const Config &cfg)
+{
+    return fingerprintParams(sweepPointParams(cfg));
+}
+
+std::string
+sweepPointFingerprintHex(const Config &cfg)
+{
+    return fingerprintHex(sweepPointFingerprint(cfg));
+}
+
+std::string
+ckptScopeFingerprintHex(const Config &cfg)
+{
+    std::vector<std::string> shared =
+        splitCommaList(cfg.getString("ckpt-share-keys", ""));
+    return fingerprintHex(
+        fingerprintParams(paramsExcluding(cfg, shared)));
 }
 
 } // namespace emerald

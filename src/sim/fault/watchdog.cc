@@ -100,7 +100,7 @@ ProgressWatchdog::beat()
         // abort skips destructors, so flush the JSON stats sink first;
         // panic() is the one sanctioned abort path and carries the
         // report to stderr.
-        _sim.flushStatsJson();
+        _sim.flushStatsSink();
         panic("%s", _lastReport.c_str());
     }
 

@@ -13,6 +13,7 @@
 #include "sim/serialize/serialize.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation_builder.hh"
+#include "sim/stats_sink.hh"
 
 namespace emerald
 {
@@ -83,20 +84,18 @@ Simulation::~Simulation()
     if (_checkContext)
         _checkContext->onTeardown(_eq.empty());
 
-    flushStatsJson();
+    flushStatsSink();
 }
 
 void
-Simulation::flushStatsJson()
+Simulation::flushStatsSink()
 {
-    if (_statsJsonOnExit.empty())
+    if (_statsOutOnExit.empty())
         return;
-    std::ofstream os(_statsJsonOnExit);
-    if (!os.is_open()) {
-        warn("cannot open stats file '%s'", _statsJsonOnExit.c_str());
-        return;
-    }
-    dumpStatsJson(os);
+    auto sink = makeTreeStatsSink(_statsOutOnExit);
+    sink->beginRun(RunInfo{});
+    sink->addStatsTree("sim", _statsRoot);
+    sink->finishRun();
 }
 
 void

@@ -87,6 +87,9 @@ class Simulation
     /** Dump all stats as "name value # desc" lines. */
     void dumpStats(std::ostream &os) { _statsRoot.dumpStats(os); }
 
+    /** Root of the stats tree (StatsSink capture, flattening). */
+    const StatGroup &statsRoot() const { return _statsRoot; }
+
     /** Dump all stats as one machine-readable JSON tree. */
     void dumpStatsJson(std::ostream &os)
     {
@@ -123,12 +126,14 @@ class Simulation
     void configureObservability(const Config &cfg);
 
     /**
-     * Stats sink: write the final stats tree as JSON to @p path when
-     * this Simulation is destroyed (empty path disables).
+     * Exit stats sink: write the final stats tree to the sink named
+     * by @p uri (makeTreeStatsSink — a plain path writes the raw JSON
+     * tree, "sqlite:<path>" the sweep database, "" disables) when
+     * this Simulation is destroyed.
      */
-    void writeStatsJsonAtExit(const std::string &path)
+    void writeStatsAtExit(const std::string &uri)
     {
-        _statsJsonOnExit = path;
+        _statsOutOnExit = uri;
     }
 
     /**
@@ -187,11 +192,11 @@ class Simulation
     fault::ProgressWatchdog *watchdog() { return _watchdog.get(); }
 
     /**
-     * Write the stats-JSON sink (writeStatsJsonAtExit) immediately.
-     * The watchdog's abort path calls this because abort() skips
+     * Write the exit stats sink (writeStatsAtExit) immediately. The
+     * watchdog's abort path calls this because abort() skips
      * destructors. No-op when no sink is configured.
      */
-    void flushStatsJson();
+    void flushStatsSink();
 
     /** Every live SimObject, in construction order. */
     const std::vector<SimObject *> &objects() const { return _objects; }
@@ -363,7 +368,7 @@ class Simulation
     InstrumentChain _instruments;
     bool _profiling = false;
     std::vector<std::unique_ptr<ClockDomain>> _domains;
-    std::string _statsJsonOnExit;
+    std::string _statsOutOnExit;
     /**
      * Null unless built with EMERALD_CHECKS. Pushed onto the check
      * subsystem's activation stack at construction, so nested scoped

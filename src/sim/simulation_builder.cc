@@ -31,9 +31,9 @@ SimulationBuilder::profiling(bool on)
 }
 
 SimulationBuilder &
-SimulationBuilder::statsJsonOnExit(const std::string &path)
+SimulationBuilder::statsOutOnExit(const std::string &uri)
 {
-    _statsJsonOnExit = path;
+    _statsOutOnExit = uri;
     return *this;
 }
 
@@ -119,7 +119,13 @@ SimulationBuilder::observability(const Config &cfg)
 {
     traceFile(cfg.getString("trace-file", _traceFile));
     profiling(cfg.getBool("profile", _profiling));
-    statsJsonOnExit(cfg.getString("sim-stats-json", _statsJsonOnExit));
+    statsOutOnExit(cfg.getString("sim-stats-out", _statsOutOnExit));
+    if (cfg.has("sim-stats-json")) {
+        warn("--sim-stats-json is deprecated; use "
+             "--sim-stats-out=<path|sqlite:path|null>");
+        if (!cfg.has("sim-stats-out"))
+            statsOutOnExit(cfg.getString("sim-stats-json", ""));
+    }
     checkDeterminism(cfg.getBool("check-determinism", _checkDeterminism));
     faultPlan(cfg.getString("fault-plan", _faultPlan),
               cfg.getU64("fault-seed", _faultSeed));
@@ -162,8 +168,8 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.enableTracing(_traceFile);
     if (_profiling)
         sim.enableProfiling();
-    if (!_statsJsonOnExit.empty())
-        sim.writeStatsJsonAtExit(_statsJsonOnExit);
+    if (!_statsOutOnExit.empty())
+        sim.writeStatsAtExit(_statsOutOnExit);
     if (_checkDeterminism)
         sim.enableDeterminismCheck();
     // The checkpoint trigger attaches after the determinism verifier

@@ -46,8 +46,12 @@ class SimulationBuilder
     /** Enable the sim.profile.* event counters. */
     SimulationBuilder &profiling(bool on = true);
 
-    /** Write the final stats tree as JSON to @p path at destruction. */
-    SimulationBuilder &statsJsonOnExit(const std::string &path);
+    /**
+     * Write the final stats tree to the sink named by @p uri at
+     * destruction (--sim-stats-out: plain path = raw JSON tree,
+     * sqlite:<path> = sweep database, "" disables).
+     */
+    SimulationBuilder &statsOutOnExit(const std::string &uri);
 
     /**
      * Hash the processed event stream into sim.check.event_hash for
@@ -123,7 +127,8 @@ class SimulationBuilder
 
     /**
      * Read the observability keys from @p cfg: "trace-file" (path),
-     * "profile" (bool), "sim-stats-json" (path, dumped at exit),
+     * "profile" (bool), "sim-stats-out" (sink URI, dumped at exit;
+     * "sim-stats-json" is a deprecated alias),
      * "check-determinism" (bool, --check-determinism on the CLI),
      * the robustness keys "fault-plan" (campaign string),
      * "fault-seed" (integer), "watchdog-ticks" (duration: "1ms",
@@ -151,7 +156,7 @@ class SimulationBuilder
 
     std::vector<DomainSpec> _domains;
     std::string _traceFile;
-    std::string _statsJsonOnExit;
+    std::string _statsOutOnExit;
     bool _profiling = false;
     bool _checkDeterminism = false;
     std::string _faultPlan;

@@ -54,6 +54,12 @@ Scalar::dumpJson(std::ostream &os) const
 }
 
 void
+Scalar::flatten(const StatValueVisitor &emit) const
+{
+    emit("", _value);
+}
+
+void
 Scalar::serialize(CheckpointOut &out, const std::string &key) const
 {
     out.putF64(key, _value);
@@ -112,6 +118,16 @@ Distribution::dumpJson(std::ostream &os) const
        << ",\"min\":" << jsonNumber(min())
        << ",\"max\":" << jsonNumber(max())
        << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+void
+Distribution::flatten(const StatValueVisitor &emit) const
+{
+    emit(".count", static_cast<double>(_count));
+    emit(".mean", mean());
+    emit(".min", min());
+    emit(".max", max());
+    emit(".total", total());
 }
 
 void
@@ -177,6 +193,16 @@ TimeSeries::dumpJson(std::ostream &os) const
         os << jsonNumber(_buckets[i]);
     }
     os << "],\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+void
+TimeSeries::flatten(const StatValueVisitor &emit) const
+{
+    double total = 0.0;
+    for (double v : _buckets)
+        total += v;
+    emit(".nbuckets", static_cast<double>(_buckets.size()));
+    emit(".total", total);
 }
 
 void
@@ -270,6 +296,22 @@ StatGroup::dumpJson(std::ostream &os, int indent) const
     if (!_children.empty())
         os << "\n" << pad(indent + 1);
     os << "}\n" << pad(indent) << "}";
+}
+
+void
+StatGroup::flattenStats(const StatValueVisitor &emit) const
+{
+    std::string prefix = fullStatName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const Stat *stat : _stats) {
+        const std::string base = prefix + stat->name();
+        stat->flatten([&](const std::string &suffix, double value) {
+            emit(base + suffix, value);
+        });
+    }
+    for (const StatGroup *child : _children)
+        child->flattenStats(emit);
 }
 
 void

@@ -12,6 +12,7 @@
 #define EMERALD_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -25,6 +26,14 @@ namespace emerald
 class CheckpointIn;
 class CheckpointOut;
 class StatGroup;
+
+/**
+ * Receiver for flattened stat values: one call per (name, value)
+ * row. Tabular sinks (SQLite) consume stats this way where the JSON
+ * sinks consume dumpJson().
+ */
+using StatValueVisitor =
+    std::function<void(const std::string &name, double value)>;
 
 /** Base class of all statistics. */
 class Stat
@@ -48,6 +57,14 @@ class Stat
      * {"type":"scalar","value":3,"desc":"..."}.
      */
     virtual void dumpJson(std::ostream &os) const = 0;
+
+    /**
+     * Emit this stat as (suffix, value) rows for tabular sinks:
+     * scalars emit one row with an empty suffix, compound stats one
+     * row per component (".mean", ".count", ...). TimeSeries emits
+     * its aggregate only — per-bucket rows belong in the JSON dump.
+     */
+    virtual void flatten(const StatValueVisitor &emit) const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -80,6 +97,7 @@ class Scalar : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    void flatten(const StatValueVisitor &emit) const override;
     void reset() override { _value = 0.0; }
     void serialize(CheckpointOut &out,
                    const std::string &key) const override;
@@ -110,6 +128,7 @@ class Distribution : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    void flatten(const StatValueVisitor &emit) const override;
     void reset() override;
     void serialize(CheckpointOut &out,
                    const std::string &key) const override;
@@ -151,6 +170,7 @@ class TimeSeries : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    void flatten(const StatValueVisitor &emit) const override;
     void reset() override { _buckets.clear(); _clampedSamples = 0; }
     void serialize(CheckpointOut &out,
                    const std::string &key) const override;
@@ -196,6 +216,13 @@ class StatGroup
      * where dumpStats() is human-readable.
      */
     void dumpJson(std::ostream &os) const { dumpJson(os, 0); }
+
+    /**
+     * Flatten this subtree into (dotted name, value) rows: every
+     * stat's full path relative to this group, expanded through
+     * Stat::flatten. The row order matches dumpStats().
+     */
+    void flattenStats(const StatValueVisitor &emit) const;
 
     /** Reset this group's stats and all children. */
     void resetStats();

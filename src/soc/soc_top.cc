@@ -61,6 +61,7 @@ fingerprintOf(const SocParams &p, const std::string &warp_policy,
     mix(static_cast<std::uint64_t>(p.memConfig));
     mix(p.highLoad);
     mix(p.numCpuCores);
+    mix(p.dramChannels);
     mix(static_cast<std::uint64_t>(p.cpuClockMHz * 1000.0));
     mix(static_cast<std::uint64_t>(p.gpuClockMHz * 1000.0));
     mix(p.fbWidth);
@@ -113,7 +114,7 @@ SocTop::SocTop(const SocParams &params,
 
     // Memory system (paper Tables 4 and 5): 2-channel 32-bit LPDDR3.
     mem::MemorySystemParams mp;
-    mp.geom.channels = 2;
+    mp.geom.channels = params.dramChannels;
     mp.geom.banks = 8;
     mp.geom.rowBytes = 4096;
     mp.geom.lineSize = 128;

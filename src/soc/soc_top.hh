@@ -52,6 +52,9 @@ struct SocParams
     double cpuClockMHz = 2000.0;
     double gpuClockMHz = 950.0;
 
+    /** DRAM channel count (HMC reserves one CPU channel of these). */
+    unsigned dramChannels = 2;
+
     unsigned fbWidth = 256;
     unsigned fbHeight = 192;
 

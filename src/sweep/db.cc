@@ -1,0 +1,152 @@
+#include "sweep/db.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats_sink.hh"
+
+#ifdef EMERALD_HAS_SQLITE
+#include <sqlite3.h>
+#endif
+
+namespace emerald
+{
+namespace sweep
+{
+
+bool
+sweepDbAvailable()
+{
+#ifdef EMERALD_HAS_SQLITE
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef EMERALD_HAS_SQLITE
+
+SweepDb::SweepDb(const std::string &path)
+{
+    int rc = sqlite3_open(path.c_str(), &_db);
+    fatal_if(rc != SQLITE_OK, "cannot open sweep db '%s': %s",
+             path.c_str(),
+             _db ? sqlite3_errmsg(_db) : "out of memory");
+    sqlite3_busy_timeout(_db, 120000);
+    // Best-effort pragmas; children set the same ones.
+    sqlite3_exec(_db, "PRAGMA journal_mode=WAL", nullptr, nullptr,
+                 nullptr);
+    sqlite3_exec(_db, "PRAGMA synchronous=NORMAL", nullptr, nullptr,
+                 nullptr);
+
+    char *err = nullptr;
+    auto exec = [&](const char *sql) {
+        int erc = sqlite3_exec(_db, sql, nullptr, nullptr, &err);
+        fatal_if(erc != SQLITE_OK, "sweep db '%s': %s (%s)",
+                 path.c_str(), err ? err : "error", sql);
+    };
+    exec("BEGIN IMMEDIATE");
+    for (const std::string &ddl : sweepSchemaStatements())
+        exec(ddl.c_str());
+    exec("COMMIT");
+}
+
+SweepDb::~SweepDb()
+{
+    if (_db)
+        sqlite3_close(_db);
+}
+
+std::vector<std::string>
+SweepDb::doneFingerprints(const std::string &bench,
+                          const std::string &gitSha) const
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "SELECT fingerprint FROM runs "
+        "WHERE bench = ? AND git_sha = ? AND status = 'done'",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db query failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, bench.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, gitSha.c_str(), -1, SQLITE_TRANSIENT);
+    std::vector<std::string> done;
+    while (sqlite3_step(stmt) == SQLITE_ROW) {
+        const unsigned char *text = sqlite3_column_text(stmt, 0);
+        if (text)
+            done.emplace_back(reinterpret_cast<const char *>(text));
+    }
+    sqlite3_finalize(stmt);
+    return done;
+}
+
+std::string
+SweepDb::getMeta(const std::string &key) const
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db, "SELECT value FROM sweep_meta WHERE key = ?", -1, &stmt,
+        nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db query failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, key.c_str(), -1, SQLITE_TRANSIENT);
+    std::string value;
+    if (sqlite3_step(stmt) == SQLITE_ROW) {
+        const unsigned char *text = sqlite3_column_text(stmt, 0);
+        if (text)
+            value = reinterpret_cast<const char *>(text);
+    }
+    sqlite3_finalize(stmt);
+    return value;
+}
+
+void
+SweepDb::setMeta(const std::string &key, const std::string &value)
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "INSERT INTO sweep_meta(key, value) VALUES(?, ?) "
+        "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, key.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, value.c_str(), -1, SQLITE_TRANSIENT);
+    rc = sqlite3_step(stmt);
+    sqlite3_finalize(stmt);
+    fatal_if(rc != SQLITE_DONE, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+}
+
+#else // !EMERALD_HAS_SQLITE
+
+SweepDb::SweepDb(const std::string &path)
+{
+    fatal("sweep db '%s': this build has no SQLite support "
+          "(install sqlite3 headers and reconfigure)", path.c_str());
+}
+
+SweepDb::~SweepDb() = default;
+
+std::vector<std::string>
+SweepDb::doneFingerprints(const std::string &, const std::string &)
+    const
+{
+    return {};
+}
+
+std::string
+SweepDb::getMeta(const std::string &) const
+{
+    return "";
+}
+
+void
+SweepDb::setMeta(const std::string &, const std::string &)
+{
+}
+
+#endif // EMERALD_HAS_SQLITE
+
+} // namespace sweep
+} // namespace emerald

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Orchestrator-side view of the sweep results store. The children
+ * (emerald_bench --stats-out=sqlite:...) write runs; the orchestrator
+ * only reads completion state and records sweep-level metadata. Both
+ * sides create the schema from the shared sweepSchemaStatements(), so
+ * whichever process touches the DB first wins and the other finds the
+ * tables already in place.
+ */
+
+#ifndef EMERALD_SWEEP_DB_HH
+#define EMERALD_SWEEP_DB_HH
+
+#include <string>
+#include <vector>
+
+struct sqlite3;
+
+namespace emerald
+{
+namespace sweep
+{
+
+/** True when SQLite support was compiled in. */
+bool sweepDbAvailable();
+
+class SweepDb
+{
+  public:
+    /** Open (creating if absent) @p path; fatal without SQLite. */
+    explicit SweepDb(const std::string &path);
+    ~SweepDb();
+
+    SweepDb(const SweepDb &) = delete;
+    SweepDb &operator=(const SweepDb &) = delete;
+
+    /**
+     * Fingerprints of runs already committed for @p bench at
+     * @p gitSha — the resume journal: points whose fingerprint is
+     * listed here are skipped on relaunch.
+     */
+    std::vector<std::string> doneFingerprints(
+        const std::string &bench, const std::string &gitSha) const;
+
+    /** Read a sweep_meta value ("" when unset). */
+    std::string getMeta(const std::string &key) const;
+
+    /** Insert or overwrite a sweep_meta value. */
+    void setMeta(const std::string &key, const std::string &value);
+
+  private:
+    sqlite3 *_db = nullptr;
+};
+
+} // namespace sweep
+} // namespace emerald
+
+#endif // EMERALD_SWEEP_DB_HH

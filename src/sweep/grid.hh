@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Declarative sweep grids: a line-oriented spec names one scenario,
+ * fixes some keys and sweeps others, and expandGrid() turns it into
+ * the cartesian product of points the orchestrator runs.
+ *
+ * Grammar (one directive per line, '#' starts a comment):
+ *
+ *   scenario = soc_point          # bench::ScenarioRegistry name
+ *   fixed.frames = 3              # same value at every point
+ *   axis.config = BAS,DCB,DTB,HMC # one point per listed value
+ *   axis.fps = 30,60
+ *   skip = config=HMC,channels=1  # drop points matching ALL pairs
+ *   restore = ckpt/warm           # fork every point from this
+ *                                 # checkpoint (--restore)
+ *   replay = traces/fig12         # drive every point from this
+ *                                 # trace root (--replay-trace)
+ *
+ * A point's fingerprint is computed by the same sweepPointFingerprint
+ * the child bench uses, so the orchestrator and the results store
+ * always agree on identity (docs/sweeps.md).
+ */
+
+#ifndef EMERALD_SWEEP_GRID_HH
+#define EMERALD_SWEEP_GRID_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emerald
+{
+namespace sweep
+{
+
+/** Parsed grid spec. */
+struct SweepSpec
+{
+    /** Scenario to run at every point (bench --run=<name>). */
+    std::string scenario = "soc_point";
+    /** Keys fixed to one value across the whole grid. */
+    std::vector<std::pair<std::string, std::string>> fixed;
+    /** Swept keys, in declaration order, each with its values. */
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    /** Each entry drops points matching ALL of its key=value pairs. */
+    std::vector<std::vector<std::pair<std::string, std::string>>> skips;
+    /** Warm checkpoint every point restores from ("" = cold). */
+    std::string restoreDir;
+    /** Trace root every point replays from ("" = execution-driven). */
+    std::string replayDir;
+};
+
+/** One expanded grid point. */
+struct SweepPoint
+{
+    /** The point's key=value pairs (fixed + axis), sorted by key. */
+    std::vector<std::pair<std::string, std::string>> params;
+    /** sweepPointFingerprintHex() of those params. */
+    std::string fingerprintHex;
+};
+
+/** Parse spec text; fatal on malformed or unknown directives. */
+SweepSpec parseSweepSpec(const std::string &text);
+
+/** Read and parse a spec file; fatal if unreadable. */
+SweepSpec loadSweepSpec(const std::string &path);
+
+/**
+ * The cartesian product of @p spec's axes over its fixed keys, minus
+ * skipped points, fingerprinted. Point order follows axis declaration
+ * order (last axis varies fastest). Fatal on duplicate keys between
+ * fixed and axes, or on an empty axis.
+ */
+std::vector<SweepPoint> expandGrid(const SweepSpec &spec);
+
+/**
+ * Stable hash of the grid definition (scenario, fixed, axes, skips —
+ * not the drive-mode restore/replay directories), used by the
+ * orchestrator's resume guard: resuming into an existing results DB
+ * with a different grid is fatal.
+ */
+std::string specHash(const SweepSpec &spec);
+
+} // namespace sweep
+} // namespace emerald
+
+#endif // EMERALD_SWEEP_GRID_HH

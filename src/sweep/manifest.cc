@@ -1,0 +1,58 @@
+#include "sweep/manifest.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+namespace sweep
+{
+
+void
+writeManifest(const std::string &path, const ManifestInfo &info)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot write sweep manifest '%s'", path.c_str());
+    os << "{\n";
+    os << "  \"scenario\": \"" << jsonEscape(info.scenario) << "\",\n";
+    os << "  \"spec_hash\": \"" << jsonEscape(info.specHash)
+       << "\",\n";
+    os << "  \"git_sha\": \"" << jsonEscape(info.gitSha) << "\",\n";
+    os << "  \"restore\": \"" << jsonEscape(info.restoreDir)
+       << "\",\n";
+    os << "  \"replay\": \"" << jsonEscape(info.replayDir) << "\",\n";
+    os << "  \"points\": [\n";
+    for (std::size_t i = 0; i < info.points.size(); ++i) {
+        const SweepPoint &point = info.points[i];
+        os << "    {\"fingerprint\": \""
+           << jsonEscape(point.fingerprintHex) << "\", \"params\": {";
+        for (std::size_t j = 0; j < point.params.size(); ++j) {
+            if (j)
+                os << ", ";
+            os << "\"" << jsonEscape(point.params[j].first) << "\": \""
+               << jsonEscape(point.params[j].second) << "\"";
+        }
+        os << "}}" << (i + 1 < info.points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    fatal_if(!os, "error writing sweep manifest '%s'", path.c_str());
+}
+
+std::vector<SweepPoint>
+pendingPoints(const std::vector<SweepPoint> &all,
+              const std::vector<std::string> &done)
+{
+    std::vector<SweepPoint> pending;
+    for (const SweepPoint &point : all) {
+        if (std::find(done.begin(), done.end(), point.fingerprintHex) ==
+            done.end())
+            pending.push_back(point);
+    }
+    return pending;
+}
+
+} // namespace sweep
+} // namespace emerald

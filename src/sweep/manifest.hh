@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The run manifest: a JSON snapshot of the expanded grid written into
+ * the sweep output directory before any point launches. Tools (and
+ * humans) read it to see what the sweep intends to run; the resume
+ * journal itself is the set of committed runs in the results DB, and
+ * the spec-change guard lives in sweep_meta — the manifest is purely
+ * descriptive and is rewritten on every launch.
+ */
+
+#ifndef EMERALD_SWEEP_MANIFEST_HH
+#define EMERALD_SWEEP_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "sweep/grid.hh"
+
+namespace emerald
+{
+namespace sweep
+{
+
+/** Everything the manifest records about one launch. */
+struct ManifestInfo
+{
+    std::string scenario;
+    std::string specHash;
+    std::string gitSha;
+    std::string restoreDir;
+    std::string replayDir;
+    std::vector<SweepPoint> points;
+};
+
+/** Write @p info as JSON to @p path; fatal if unwritable. */
+void writeManifest(const std::string &path, const ManifestInfo &info);
+
+/**
+ * The points of @p all whose fingerprint is not in @p done — what a
+ * (re)launched sweep still has to run.
+ */
+std::vector<SweepPoint> pendingPoints(
+    const std::vector<SweepPoint> &all,
+    const std::vector<std::string> &done);
+
+} // namespace sweep
+} // namespace emerald
+
+#endif // EMERALD_SWEEP_MANIFEST_HH

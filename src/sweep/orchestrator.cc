@@ -1,0 +1,171 @@
+#include "sweep/orchestrator.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace emerald
+{
+namespace sweep
+{
+
+void
+makeDirs(const std::string &path)
+{
+    std::string::size_type pos = 0;
+    while (pos != std::string::npos) {
+        pos = path.find('/', pos + 1);
+        std::string prefix = path.substr(0, pos);
+        if (prefix.empty())
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            fatal("cannot create directory '%s': %s", prefix.c_str(),
+                  std::strerror(errno));
+    }
+}
+
+namespace
+{
+
+/** Fork one child for @p point; returns its pid. */
+pid_t
+launchPoint(const std::vector<std::string> &command,
+            const std::string &logPath)
+{
+    pid_t pid = ::fork();
+    fatal_if(pid < 0, "fork failed: %s", std::strerror(errno));
+    if (pid > 0)
+        return pid;
+
+    // Child: stdout+stderr to the per-point log, then exec. Only
+    // async-signal-safe calls from here on.
+    int fd = ::open(logPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO)
+            ::close(fd);
+    }
+    std::vector<char *> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string &arg : command)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    // exec failed; the parent sees exit 127 like a shell would.
+    _exit(127);
+}
+
+} // namespace
+
+std::vector<std::string>
+pointCommand(const SweepSpec &spec, const SweepPoint &point,
+             const OrchestratorOptions &opts)
+{
+    std::vector<std::string> command;
+    command.push_back(opts.benchBin);
+    command.push_back("--run=" + spec.scenario);
+    for (const auto &[key, value] : point.params)
+        command.push_back("--" + key + "=" + value);
+    command.push_back("--stats-out=sqlite:" + opts.dbPath);
+    if (!opts.gitSha.empty())
+        command.push_back("--git-sha=" + opts.gitSha);
+    if (!spec.restoreDir.empty())
+        command.push_back("--restore=" + spec.restoreDir);
+    if (!spec.replayDir.empty())
+        command.push_back("--replay-trace=" + spec.replayDir);
+    return command;
+}
+
+SweepReport
+runSweep(const SweepSpec &spec,
+         const std::vector<SweepPoint> &pending,
+         const OrchestratorOptions &opts)
+{
+    SweepReport report;
+    report.total = pending.size();
+
+    if (opts.dryRun) {
+        for (const SweepPoint &point : pending) {
+            std::string line;
+            for (const std::string &arg :
+                 pointCommand(spec, point, opts))
+                line += (line.empty() ? "" : " ") + arg;
+            inform("dry-run: %s", line.c_str());
+        }
+        return report;
+    }
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+
+    std::string logDir = opts.outDir + "/logs";
+    makeDirs(logDir);
+
+    // Dispatch loop: keep up to `jobs` children in flight; whenever
+    // one exits, harvest it and launch the next pending point.
+    std::map<pid_t, const SweepPoint *> running;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    while (done < pending.size()) {
+        while (next < pending.size() && running.size() < jobs) {
+            const SweepPoint &point = pending[next++];
+            std::string logPath =
+                logDir + "/" + point.fingerprintHex + ".log";
+            pid_t pid = launchPoint(pointCommand(spec, point, opts),
+                                    logPath);
+            running[pid] = &point;
+        }
+
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            fatal_if(errno != EINTR, "waitpid failed: %s",
+                     std::strerror(errno));
+            continue;
+        }
+        auto it = running.find(pid);
+        if (it == running.end())
+            continue;
+        const SweepPoint &point = *it->second;
+        running.erase(it);
+        ++done;
+
+        bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (ok) {
+            ++report.succeeded;
+        } else {
+            ++report.failed;
+            if (WIFSIGNALED(status)) {
+                warn("sweep point %s killed by signal %d (log: "
+                     "%s/%s.log)",
+                     point.fingerprintHex.c_str(), WTERMSIG(status),
+                     logDir.c_str(), point.fingerprintHex.c_str());
+            } else {
+                warn("sweep point %s exited with %d (log: %s/%s.log)",
+                     point.fingerprintHex.c_str(),
+                     WEXITSTATUS(status), logDir.c_str(),
+                     point.fingerprintHex.c_str());
+            }
+        }
+        inform("sweep: [%zu/%zu] %s %s", done, pending.size(),
+               point.fingerprintHex.c_str(), ok ? "done" : "FAILED");
+    }
+    return report;
+}
+
+} // namespace sweep
+} // namespace emerald

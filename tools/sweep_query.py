@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Query helper for the sweep results store (docs/sweeps.md).
+
+The store is one SQLite file holding every run of a sweep: a `runs`
+row per (bench, config fingerprint, git sha), its swept parameters in
+`run_params`, and every recorded scalar — bench results and the full
+simulator stats tree — in `stats`, named like `results.gpu_ms` or
+`sim.gpu.warpsched.issued.count`.
+
+Subcommands:
+
+  list <db>
+      One line per run: fingerprint, git sha, status, wall-clock and
+      the swept parameters.
+
+  value <db> --stat NAME [--where k=v ...] [--git-sha SHA]
+      Print NAME for every matching run.
+
+  shape <db> --stat NAME --axis KEY [--norm-to VALUE]
+            [--where k=v ...] [--git-sha SHA]
+      One line per axis value, optionally normalized to the run at
+      --norm-to (the SQL analogue of a paper figure's
+      bars-normalized-to-BAS shape).
+
+  regress <db> --stat NAME --base-sha A --new-sha B
+              [--rel-tolerance 0.05] [--where k=v ...]
+      Compare NAME between two commits at every common design point;
+      exit 1 when any relative delta exceeds the tolerance. This is
+      the regression query CI runs against a nightly sweep DB.
+
+Exit status: 0 on success, 1 on failed regress check, 2 on usage or
+missing-data errors.
+"""
+
+import argparse
+import sqlite3
+import sys
+
+
+def connect(path):
+    try:
+        con = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        con.execute("SELECT 1 FROM runs LIMIT 1")
+    except sqlite3.Error as err:
+        sys.exit(f"sweep_query: cannot read '{path}': {err}")
+    return con
+
+
+def parse_where(pairs):
+    where = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            sys.exit(f"sweep_query: bad --where '{pair}' "
+                     "(expected key=value)")
+        where[key] = value
+    return where
+
+
+def load_runs(con, where=None, git_sha=None):
+    """All done runs (with params dict), filtered by params/sha."""
+    runs = {}
+    for run_id, bench, fp, sha, status, wall in con.execute(
+            "SELECT run_id, bench, fingerprint, git_sha, status, "
+            "wall_ms FROM runs"):
+        runs[run_id] = {"run_id": run_id, "bench": bench,
+                        "fingerprint": fp, "git_sha": sha,
+                        "status": status, "wall_ms": wall,
+                        "params": {}}
+    for run_id, key, value in con.execute(
+            "SELECT run_id, key, value FROM run_params"):
+        if run_id in runs:
+            runs[run_id]["params"][key] = value
+    out = []
+    for run in runs.values():
+        if git_sha is not None and run["git_sha"] != git_sha:
+            continue
+        if where and any(run["params"].get(k) != v
+                         for k, v in where.items()):
+            continue
+        out.append(run)
+    return sorted(out, key=lambda r: (r["bench"], r["fingerprint"],
+                                      r["git_sha"]))
+
+
+def stat_value(con, run_id, name):
+    row = con.execute(
+        "SELECT value FROM stats WHERE run_id = ? AND name = ?",
+        (run_id, name)).fetchone()
+    return row[0] if row else None
+
+
+def params_str(params):
+    return " ".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def cmd_list(args):
+    con = connect(args.db)
+    for run in load_runs(con):
+        wall = "?" if run["wall_ms"] is None else \
+            f"{run['wall_ms']:.0f}ms"
+        print(f"{run['bench']} {run['fingerprint']} "
+              f"sha={run['git_sha'] or '-'} {run['status']} {wall}  "
+              f"{params_str(run['params'])}")
+    return 0
+
+
+def cmd_value(args):
+    con = connect(args.db)
+    runs = load_runs(con, parse_where(args.where), args.git_sha)
+    if not runs:
+        sys.exit("sweep_query: no matching runs")
+    for run in runs:
+        value = stat_value(con, run["run_id"], args.stat)
+        shown = "null" if value is None else repr(value)
+        print(f"{run['fingerprint']} {params_str(run['params'])} "
+              f"{args.stat}={shown}")
+    return 0
+
+
+def shape_of(con, runs, stat, axis):
+    """axis value -> stat, fatal on missing/ambiguous points."""
+    shape = {}
+    for run in runs:
+        key = run["params"].get(axis)
+        if key is None:
+            continue
+        if key in shape:
+            sys.exit(f"sweep_query: several runs share {axis}={key} "
+                     "— narrow the selection with --where")
+        value = stat_value(con, run["run_id"], stat)
+        if value is None:
+            sys.exit(f"sweep_query: run {run['fingerprint']} has no "
+                     f"stat '{stat}'")
+        shape[key] = value
+    if not shape:
+        sys.exit(f"sweep_query: no runs carry axis '{axis}'")
+    return shape
+
+
+def cmd_shape(args):
+    con = connect(args.db)
+    runs = load_runs(con, parse_where(args.where), args.git_sha)
+    shape = shape_of(con, runs, args.stat, args.axis)
+    base = 1.0
+    if args.norm_to is not None:
+        if args.norm_to not in shape:
+            sys.exit(f"sweep_query: no run at {args.axis}="
+                     f"{args.norm_to} to normalize to")
+        base = shape[args.norm_to]
+        if base == 0:
+            sys.exit("sweep_query: normalization base is zero")
+    for key in sorted(shape):
+        print(f"{args.axis}={key} {shape[key] / base:.6g}")
+    return 0
+
+
+def cmd_regress(args):
+    con = connect(args.db)
+    where = parse_where(args.where)
+    base = {r["fingerprint"]: r
+            for r in load_runs(con, where, args.base_sha)}
+    new = {r["fingerprint"]: r
+           for r in load_runs(con, where, args.new_sha)}
+    common = sorted(set(base) & set(new))
+    if not common:
+        sys.exit(f"sweep_query: no design points common to "
+                 f"{args.base_sha} and {args.new_sha}")
+    failures = 0
+    for fp in common:
+        old = stat_value(con, base[fp]["run_id"], args.stat)
+        cur = stat_value(con, new[fp]["run_id"], args.stat)
+        if old is None or cur is None:
+            print(f"FAIL {fp}: stat '{args.stat}' missing")
+            failures += 1
+            continue
+        rel = abs(cur - old) / abs(old) if old else abs(cur)
+        verdict = "FAIL" if rel > args.rel_tolerance else "OK  "
+        if verdict == "FAIL":
+            failures += 1
+        print(f"{verdict} {fp} {params_str(base[fp]['params'])}: "
+              f"{old:.6g} -> {cur:.6g} (rel {rel:.3f})")
+    only = sorted(set(base) ^ set(new))
+    if only:
+        print(f"note: {len(only)} point(s) present in only one sha",
+              file=sys.stderr)
+    if failures:
+        print(f"sweep_query: {failures} regression(s) beyond "
+              f"{args.rel_tolerance:g}", file=sys.stderr)
+        return 1
+    print(f"sweep_query: {len(common)} point(s) within "
+          f"{args.rel_tolerance:g}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("list", help="list all runs")
+    p.add_argument("db")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("value", help="print one stat per run")
+    p.add_argument("db")
+    p.add_argument("--stat", required=True)
+    p.add_argument("--where", action="append", metavar="k=v")
+    p.add_argument("--git-sha")
+    p.set_defaults(fn=cmd_value)
+
+    p = sub.add_parser("shape",
+                       help="stat along one axis, optionally "
+                            "normalized")
+    p.add_argument("db")
+    p.add_argument("--stat", required=True)
+    p.add_argument("--axis", required=True)
+    p.add_argument("--norm-to", metavar="VALUE")
+    p.add_argument("--where", action="append", metavar="k=v")
+    p.add_argument("--git-sha")
+    p.set_defaults(fn=cmd_shape)
+
+    p = sub.add_parser("regress",
+                       help="compare a stat between two shas")
+    p.add_argument("db")
+    p.add_argument("--stat", required=True)
+    p.add_argument("--base-sha", required=True)
+    p.add_argument("--new-sha", required=True)
+    p.add_argument("--rel-tolerance", type=float, default=0.05)
+    p.add_argument("--where", action="append", metavar="k=v")
+    p.set_defaults(fn=cmd_regress)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
