@@ -12,7 +12,7 @@ namespace emerald::cache
 
 Cache::Cache(Simulation &sim, const std::string &name,
              ClockDomain &domain, const CacheParams &params)
-    : SimObject(sim, name),
+    : SimObject(sim, name), MemSink(sim),
       statHits(*this, "hits", "demand hits"),
       statMisses(*this, "misses", "demand misses"),
       statMshrMerges(*this, "mshr_merges",

@@ -596,6 +596,7 @@ GraphicsPipeline::tickClusterRaster(unsigned cluster_idx,
                 }
             }
             if (!_hiz->test(tx, ty, min_z)) {
+                _hiz->noteRejected();
                 ++statHizRejects;
                 ++_frame.hizRejects;
                 --covered_budget;

@@ -44,7 +44,7 @@ class HiZBuffer
 
     /** Tiles rejected so far (stats). */
     std::uint64_t rejected() const { return _rejected; }
-    void noteRejected() const { ++_rejected; }
+    void noteRejected() { ++_rejected; }
 
   private:
     std::size_t
@@ -57,7 +57,7 @@ class HiZBuffer
     unsigned _tilesX;
     unsigned _tilesY;
     std::vector<float> _maxZ;
-    mutable std::uint64_t _rejected = 0;
+    std::uint64_t _rejected = 0;
 };
 
 } // namespace emerald::core

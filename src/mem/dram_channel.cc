@@ -44,6 +44,7 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
       _geom(geom), _timing(timing), _scheduler(scheduler),
       _queueCapacity(queue_capacity),
       _banks(geom.banksPerChannel()),
+      _retries(&sim.faultDomain()),
       _issueEvent([this] { tryIssue(); }, name + ".issue"),
       _completeEvent([this] { completeHead(); }, name + ".complete")
 {
@@ -60,7 +61,7 @@ DramChannel::enqueue(MemPacket *pkt, const DecodedAddr &coord,
     // This path bypasses MemSink::offer(), so it carries its own
     // offer-burst fault seam (only meaningful with a requestor to
     // park — probes passing req == nullptr just see the real queue).
-    auto *inj = fault::FaultInjector::active();
+    auto *inj = _retries.injector();
     bool force_reject =
         !full() && inj && req && inj->injectOfferReject(_retries, *req);
     if (full() || force_reject) {
@@ -176,7 +177,7 @@ DramChannel::tryIssue()
 
     // Fault seam: a dram-stall window freezes the issue path (refresh
     // storm / thermal throttle); re-arm at the window's end.
-    if (auto *inj = fault::FaultInjector::active()) {
+    if (auto *inj = sim().faultInjector()) {
         Tick until = inj->issueStallEnd(name(), now);
         if (until > now) {
             scheduleIssue(until);

@@ -9,7 +9,7 @@ namespace emerald::mem
 MemorySystem::MemorySystem(Simulation &sim, const std::string &name,
                            const MemorySystemParams &params,
                            DramScheduler &scheduler)
-    : SimObject(sim, name), _params(params)
+    : SimObject(sim, name), MemSink(sim), _params(params)
 {
     setSinkName(name);
     registerProfileCounters();

@@ -34,7 +34,7 @@ struct MemSchedContext
     /** SimObject name for any coordinator the policy creates. */
     std::string coordinatorName = "dash";
     /** Tunables for the DASH family; ignored by simpler policies. */
-    DashParams dashParams;
+    DashParams dashParams = {};
 };
 
 /** One constructed policy: the scheduler plus its shared state. */

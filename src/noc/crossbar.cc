@@ -8,7 +8,7 @@ namespace emerald::noc
 
 Crossbar::Crossbar(Simulation &sim, const std::string &name,
                    const LinkParams &link_params, RouteFn route)
-    : SimObject(sim, name), _linkParams(link_params),
+    : SimObject(sim, name), MemSink(sim), _linkParams(link_params),
       _route(std::move(route))
 {
     setSinkName(name);

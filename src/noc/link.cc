@@ -12,7 +12,7 @@ namespace emerald::noc
 
 Link::Link(Simulation &sim, const std::string &name,
            const LinkParams &params)
-    : SimObject(sim, name),
+    : SimObject(sim, name), MemSink(sim),
       statPackets(*this, "packets", "packets forwarded"),
       statBytes(*this, "bytes", "bytes forwarded"),
       statRetries(*this, "retries", "deliveries retried (target busy)"),
@@ -43,7 +43,7 @@ Link::tryAccept(MemPacket *pkt)
     // Fault seam: link-delay sites add latency to this traversal
     // (congested hop / marginal lane model). Delivery order within
     // the link is preserved — the queue drains head-first regardless.
-    if (auto *inj = fault::FaultInjector::active())
+    if (auto *inj = sim().faultInjector())
         ready += inj->extraLinkDelay(name());
 
     _queue.push_back({pkt, ready});

@@ -1,9 +1,8 @@
 #include "sim/check/context.hh"
 
-#include <vector>
-
 #include "sim/check/hooks.hh"
-#include "sim/logging.hh"
+#include "sim/packet.hh"
+#include "sim/packet_pool.hh"
 
 namespace emerald::check
 {
@@ -11,40 +10,21 @@ namespace emerald::check
 namespace
 {
 
-/**
- * Activation stack rather than a single slot: tests routinely build a
- * scoped Simulation inside a fixture that owns another one, and hooks
- * fired while the inner one is alive belong to the inner one.
- */
-std::vector<CheckContext *> &
-activeStack()
+/** Context owning @p pkt, via its pool; null for heap packets. */
+CheckContext *
+contextOf(const MemPacket *pkt)
 {
-    static std::vector<CheckContext *> stack;
-    return stack;
+    return pkt->pool ? pkt->pool->checkContext() : nullptr;
 }
 
 } // namespace
 
-CheckContext::CheckContext(EventQueue &eq)
-    : _lifecycle(eq), _retry(eq)
+CheckContext::CheckContext(EventQueue &eq, fault::FaultDomain *domain)
+    : _lifecycle(eq), _retry(eq, domain)
 {
-    activeStack().push_back(this);
 }
 
-CheckContext::~CheckContext()
-{
-    auto &stack = activeStack();
-    panic_if(stack.empty() || stack.back() != this,
-             "check context destroyed out of activation order");
-    stack.pop_back();
-}
-
-CheckContext *
-CheckContext::active()
-{
-    auto &stack = activeStack();
-    return stack.empty() ? nullptr : stack.back();
-}
+CheckContext::~CheckContext() = default;
 
 void
 CheckContext::onTeardown(bool queue_drained)
@@ -58,35 +38,35 @@ CheckContext::onTeardown(bool queue_drained)
 void
 packetAlloc(PacketPool *pool, MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = pool->checkContext())
         ctx->lifecycle().onAlloc(pool, pkt);
 }
 
 void
 packetFreeing(MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = contextOf(pkt))
         ctx->lifecycle().onFreeing(pkt);
 }
 
 void
 packetPoolFree(PacketPool *pool, MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = pool->checkContext())
         ctx->lifecycle().onPoolFree(pool, pkt);
 }
 
 void
 packetCompleting(MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = contextOf(pkt))
         ctx->lifecycle().onCompleting(pkt);
 }
 
 void
 offerStarted(RetryList *list, MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active()) {
+    if (auto *ctx = list->checkContext()) {
         ctx->lifecycle().onOfferStarted(pkt);
         ctx->retry().onOfferStarted(list);
     }
@@ -95,7 +75,7 @@ offerStarted(RetryList *list, MemPacket *pkt)
 void
 offerAccepted(RetryList *list, const MemPacket *pkt)
 {
-    if (auto *ctx = CheckContext::active()) {
+    if (auto *ctx = list->checkContext()) {
         ctx->lifecycle().onOfferAccepted(pkt);
         ctx->retry().onOfferAccepted(list);
     }
@@ -105,21 +85,21 @@ void
 offerRejected(RetryList *list, const MemPacket *pkt, MemRequestor *req)
 {
     (void)pkt;
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = list->checkContext())
         ctx->retry().onOfferRejected(list, req);
 }
 
 void
 retryRegistered(RetryList *list, MemRequestor *req, bool deduped)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = list->checkContext())
         ctx->retry().onRegistered(list, req, deduped);
 }
 
 void
 retryWoken(RetryList *list, MemRequestor *req)
 {
-    if (auto *ctx = CheckContext::active())
+    if (auto *ctx = list->checkContext())
         ctx->retry().onWoken(list, req);
 }
 

@@ -1,17 +1,16 @@
 /**
  * @file
- * Per-Simulation container for the correctness checkers, plus the
- * active-context registry the kernel hooks dispatch through.
+ * Per-Simulation container for the correctness checkers.
  *
- * PacketPool and RetryList are plain value members of deeper objects
- * and carry no pointer back to their Simulation, so the hook functions
- * in hooks.hh cannot reach a context through their arguments. Instead,
- * each Simulation (when built with EMERALD_CHECKS) pushes its
- * CheckContext onto a small activation stack at construction and pops
- * it at destruction; the hooks forward to the innermost active
- * context. The simulator is single-threaded per Simulation, and tests
- * that nest a scoped Simulation inside another get the innermost one —
- * matching which pool/list the hook actually fired from.
+ * The kernel hooks in hooks.hh have no ambient state to dispatch
+ * through: each hook resolves its CheckContext from its arguments —
+ * a PacketPool carries the pointer directly (set at construction by
+ * the Simulation), a RetryList resolves it through the
+ * fault::FaultDomain it registered with, and a MemPacket reaches it
+ * via its owning pool. Pools and lists constructed outside a
+ * Simulation (bare tests) resolve null and the hooks no-op, so two
+ * Simulations can coexist — even on different threads — without
+ * their checkers observing each other's traffic.
  */
 
 #ifndef EMERALD_SIM_CHECK_CONTEXT_HH
@@ -25,6 +24,11 @@ namespace emerald
 
 class EventQueue;
 
+namespace fault
+{
+class FaultDomain;
+} // namespace fault
+
 namespace check
 {
 
@@ -32,7 +36,14 @@ namespace check
 class CheckContext
 {
   public:
-    explicit CheckContext(EventQueue &eq);
+    /**
+     * @param domain the owning Simulation's fault domain; the retry
+     *        checker consults its injector so deliberate faults are
+     *        not reported as protocol bugs. Null for bare test
+     *        contexts with no fault injection.
+     */
+    explicit CheckContext(EventQueue &eq,
+                          fault::FaultDomain *domain = nullptr);
     ~CheckContext();
 
     CheckContext(const CheckContext &) = delete;
@@ -48,9 +59,6 @@ class CheckContext
      * with traffic still in flight, so @p queue_drained gates them.
      */
     void onTeardown(bool queue_drained);
-
-    /** Innermost active context, or nullptr when checks are idle. */
-    static CheckContext *active();
 
   private:
     PacketLifecycleChecker _lifecycle;

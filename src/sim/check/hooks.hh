@@ -5,9 +5,11 @@
  * The simulator kernel (packet pool, offer/retry protocol) calls these
  * hooks through EMERALD_CHECK_HOOK at every ownership- or
  * protocol-relevant transition. With EMERALD_CHECKS defined (the Debug
- * default) each hook forwards to the active check::CheckContext; in
- * Release builds the macro expands to nothing, so every hot path
- * carries zero checking cost. See docs/static_analysis.md.
+ * default) each hook resolves its check::CheckContext from its own
+ * arguments (the pool's pointer, or the RetryList's fault domain) and
+ * forwards to it; in Release builds the macro expands to nothing, so
+ * every hot path carries zero checking cost. See
+ * docs/static_analysis.md.
  */
 
 #ifndef EMERALD_SIM_CHECK_HOOKS_HH
@@ -45,9 +47,10 @@ poisoned(std::uint64_t gen)
 /**
  * @{
  * Hook entry points, implemented in src/sim/check/context.cc. Each
- * forwards to the active CheckContext and is a no-op when none is
- * active. Call sites must route through EMERALD_CHECK_HOOK so the
- * calls vanish entirely when EMERALD_CHECKS is undefined.
+ * resolves the owning Simulation's CheckContext from its arguments
+ * and is a no-op when none resolves (bare pools/lists, Release
+ * Simulations). Call sites must route through EMERALD_CHECK_HOOK so
+ * the calls vanish entirely when EMERALD_CHECKS is undefined.
  *
  * offerAccepted deliberately takes a const pointer used only as a map
  * key: a sink may legally consume (even free) an accepted packet

@@ -1,12 +1,19 @@
 #include "sim/check/retry_protocol.hh"
 
 #include "sim/event_queue.hh"
+#include "sim/fault/domain.hh"
 #include "sim/fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "sim/packet.hh"
 
 namespace emerald::check
 {
+
+fault::FaultInjector *
+RetryProtocolChecker::injector() const
+{
+    return _domain ? _domain->injector() : nullptr;
+}
 
 void
 RetryProtocolChecker::checkStaleRejects(Tick now) const
@@ -37,7 +44,7 @@ RetryProtocolChecker::onOfferAccepted(RetryList *list)
     // rejection bursts), so the timing-based lost-wakeup heuristic
     // would report the injector's own faults; the ProgressWatchdog
     // owns hang detection under injection.
-    if (fault::FaultInjector::active())
+    if (injector())
         return;
     for (const auto &[req, info] : _waiting) {
         if (info.list != list)
@@ -131,7 +138,7 @@ RetryProtocolChecker::verifyQuiescent() const
               "tick %llu was never registered for a retry",
               static_cast<void *>(req), (unsigned long long)tick);
     }
-    auto *inj = fault::FaultInjector::active();
+    auto *inj = injector();
     for (const auto &[req, info] : _waiting) {
         // Victims of deliberate faults (wake-suppress, injected
         // rejections) are expected to be parked at teardown.

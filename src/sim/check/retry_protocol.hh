@@ -35,6 +35,12 @@ class EventQueue;
 class MemRequestor;
 class RetryList;
 
+namespace fault
+{
+class FaultDomain;
+class FaultInjector;
+} // namespace fault
+
 namespace check
 {
 
@@ -52,7 +58,16 @@ class RetryProtocolChecker
     /** Wakes of one requestor within a single tick before aborting. */
     static constexpr unsigned wakeLoopLimit = 1024;
 
-    explicit RetryProtocolChecker(EventQueue &eq) : _eq(eq) {}
+    /**
+     * @param domain the owning Simulation's fault domain, consulted
+     *        for the active injector so deliberate faults (starved
+     *        waiters, suppressed wakes) are not reported as protocol
+     *        bugs. Null for bare test checkers.
+     */
+    explicit RetryProtocolChecker(EventQueue &eq,
+                                  fault::FaultDomain *domain = nullptr)
+        : _eq(eq), _domain(domain)
+    {}
 
     /** A sink is starting to evaluate an offer. */
     void onOfferStarted(RetryList *list);
@@ -98,6 +113,9 @@ class RetryProtocolChecker
     /** Abort if an older rejection was never followed by an add. */
     void checkStaleRejects(Tick now) const;
 
+    /** The domain's active injector, or nullptr. */
+    fault::FaultInjector *injector() const;
+
     /**
      * Latest registration per requestor. A stale entry superseded by
      * a registration with another sink is dropped: the protocol owes
@@ -115,6 +133,7 @@ class RetryProtocolChecker
 
     Tick _lostWakeTicks = defaultLostWakeTicks;
     EventQueue &_eq;
+    fault::FaultDomain *_domain;
 };
 
 } // namespace check

@@ -2,36 +2,8 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
-
 namespace emerald::fault
 {
-
-namespace
-{
-
-/** Innermost-last stack of live domains (nested Simulations). */
-std::vector<FaultDomain *> s_stack;
-
-} // namespace
-
-FaultDomain::FaultDomain()
-{
-    s_stack.push_back(this);
-}
-
-FaultDomain::~FaultDomain()
-{
-    panic_if(s_stack.empty() || s_stack.back() != this,
-             "FaultDomain destroyed out of stack order");
-    s_stack.pop_back();
-}
-
-FaultDomain *
-FaultDomain::current()
-{
-    return s_stack.empty() ? nullptr : s_stack.back();
-}
 
 void
 FaultDomain::registerList(RetryList *list)

@@ -1,20 +1,22 @@
 /**
  * @file
- * Per-simulation registry of live RetryLists.
+ * Per-simulation context carrier for the protocol seams.
  *
  * The watchdog and the fault injector both need a global view of
  * "who is parked waiting for a retry" — information that otherwise
  * only exists scattered across every MemSink. RetryList registers
- * itself with the innermost FaultDomain at construction (see
+ * itself with the FaultDomain it is constructed against (see
  * sim/packet.cc), and the Simulation owns one domain, so walking
  * Simulation::faultDomain().lists() enumerates every retry list in
  * the model with zero per-offer cost.
  *
- * The domain uses the same activation-stack pattern as
- * check::CheckContext: MemSink has no back-pointer to its Simulation,
- * so registration goes through the innermost active domain instead.
- * Lists constructed outside any Simulation (bare tests) simply stay
- * unregistered.
+ * The domain also carries the per-Simulation pointers the protocol
+ * seams consult on the hot path: the active FaultInjector and (in
+ * EMERALD_CHECKS builds) the CheckContext. MemSink has no back-pointer
+ * to its Simulation, so its RetryList resolves both through the domain
+ * it registered with — there is no process-global state anywhere on
+ * this path. Lists constructed without a domain (bare tests) stay
+ * unregistered and see neither injection nor checking.
  */
 
 #ifndef EMERALD_SIM_FAULT_DOMAIN_HH
@@ -27,22 +29,27 @@ namespace emerald
 
 class RetryList;
 
+namespace check
+{
+class CheckContext;
+} // namespace check
+
 namespace fault
 {
 
-/** Registry of the RetryLists constructed while this domain is
- *  innermost. Owned by Simulation; see file comment. */
+class FaultInjector;
+
+/** Registry of the RetryLists constructed against this domain, plus
+ *  the per-Simulation seam context. Owned by Simulation; see file
+ *  comment. */
 class FaultDomain
 {
   public:
-    FaultDomain();
-    ~FaultDomain();
+    FaultDomain() = default;
+    ~FaultDomain() = default;
 
     FaultDomain(const FaultDomain &) = delete;
     FaultDomain &operator=(const FaultDomain &) = delete;
-
-    /** Innermost active domain, or nullptr outside any Simulation. */
-    static FaultDomain *current();
 
     void registerList(RetryList *list);
     void unregisterList(RetryList *list);
@@ -50,8 +57,20 @@ class FaultDomain
     /** Live lists in construction order (deterministic reports). */
     const std::vector<RetryList *> &lists() const { return _lists; }
 
+    /** @{ Seam context, set by the owning Simulation. */
+    void setInjector(FaultInjector *inj) { _injector = inj; }
+    FaultInjector *injector() const { return _injector; }
+
+    void setCheckContext(check::CheckContext *ctx) { _checkContext = ctx; }
+    check::CheckContext *checkContext() const { return _checkContext; }
+    /** @} */
+
   private:
     std::vector<RetryList *> _lists;
+    /** Active injector, or nullptr when faults are off. */
+    FaultInjector *_injector = nullptr;
+    /** This Simulation's checkers; null outside EMERALD_CHECKS. */
+    check::CheckContext *_checkContext = nullptr;
 };
 
 } // namespace fault

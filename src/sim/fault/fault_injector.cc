@@ -31,16 +31,11 @@ FaultInjector::FaultInjector(EventQueue &eq, StatGroup &parent,
       statDupWakes(_group, "dup_wakes",
                    "spurious duplicate retry wakeups injected"),
       _eq(eq), _plan(std::move(plan)), _rng(seed),
-      _flushEvent([this] { flushPending(); }, "fault-flush"),
-      _prev(s_active)
+      _flushEvent([this] { flushPending(); }, "fault-flush")
 {
-    s_active = this;
 }
 
-FaultInjector::~FaultInjector()
-{
-    s_active = _prev;
-}
+FaultInjector::~FaultInjector() = default;
 
 FaultSite *
 FaultInjector::pickSite(FaultKind kind, const std::string &name, Tick now)

@@ -3,13 +3,14 @@
  * Seeded fault injector attached at the memory-protocol seams.
  *
  * One FaultInjector executes one FaultPlan (see fault_plan.hh). It is
- * created by Simulation::configureFaults() and exposes itself through
- * the activation-stack accessor active(): the protocol seams
+ * created by Simulation::configureFaults(), which publishes it on the
+ * Simulation's fault::FaultDomain: the protocol seams
  * (MemSink::offer(), RetryList::wakeOne(), DramChannel, noc::Link)
- * test `FaultInjector::active()` — a single inline null check — so a
- * run with no plan pays one predictable branch per seam and its event
- * stream (sim.check.event_hash) is bit-identical to a build without
- * the subsystem.
+ * resolve it through the domain they registered with — a pointer load
+ * and a null check — so a run with no plan pays one predictable branch
+ * per seam and its event stream (sim.check.event_hash) is bit-identical
+ * to a build without the subsystem. There is no process-global
+ * injector; every pointer hangs off one Simulation.
  *
  * Injected offer-rejections follow the real rejection protocol (the
  * requestor parks on the sink's RetryList), and the injector schedules
@@ -55,9 +56,6 @@ class FaultInjector
 
     FaultInjector(const FaultInjector &) = delete;
     FaultInjector &operator=(const FaultInjector &) = delete;
-
-    /** Innermost active injector; nullptr when injection is off. */
-    static FaultInjector *active() { return s_active; }
 
     /**
      * offer-burst seam: should the sink owning @p list force-reject
@@ -138,11 +136,6 @@ class FaultInjector
     std::unordered_set<const MemRequestor *> _faulted;
 
     EventFunction _flushEvent;
-
-    /** Enclosing injector restored by the destructor (nesting). */
-    FaultInjector *_prev;
-
-    inline static FaultInjector *s_active = nullptr;
 };
 
 } // namespace fault

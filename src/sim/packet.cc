@@ -2,20 +2,22 @@
 
 #include <algorithm>
 
-#include "sim/fault/domain.hh"
 #include "sim/logging.hh"
 #include "sim/packet_pool.hh"
 #include "sim/serialize/registry.hh"
 #include "sim/serialize/serialize.hh"
+#include "sim/simulation.hh"
 
 namespace emerald
 {
 
-RetryList::RetryList() : _domain(fault::FaultDomain::current())
+RetryList::RetryList(fault::FaultDomain *domain) : _domain(domain)
 {
     if (_domain)
         _domain->registerList(this);
 }
+
+MemSink::MemSink(Simulation &sim) : _retries(&sim.faultDomain()) {}
 
 RetryList::~RetryList()
 {
@@ -40,7 +42,7 @@ RetryList::wakeOne(bool force)
         return false;
     MemRequestor *req = _waiters.front();
 
-    auto *inj = fault::FaultInjector::active();
+    auto *inj = injector();
     if (!force && inj && inj->suppressWake(*this, req)) {
         // Lost wakeup: the victim stays parked and (deliberately)
         // loses its FIFO slot — exactly the bug class the watchdog

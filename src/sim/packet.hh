@@ -26,6 +26,7 @@
 #include <string>
 
 #include "sim/check/hooks.hh"
+#include "sim/fault/domain.hh"
 #include "sim/fault/fault_injector.hh"
 #include "sim/types.hh"
 
@@ -64,11 +65,7 @@ class CheckpointOut;
 class CheckpointRegistry;
 class MemPacket;
 class PacketPool;
-
-namespace fault
-{
-class FaultDomain;
-} // namespace fault
+class Simulation;
 
 /** Receives responses for packets it sent downstream. */
 class MemClient
@@ -118,12 +115,13 @@ class RetryList
 {
   public:
     /**
-     * Registers with the innermost fault::FaultDomain (the one the
-     * enclosing Simulation owns) so the watchdog can enumerate parked
-     * waiters; lists constructed outside a Simulation stay
-     * unregistered.
+     * Registers with @p domain (the enclosing Simulation's — see
+     * Simulation::faultDomain()) so the watchdog can enumerate parked
+     * waiters and the protocol seams can resolve the injector and the
+     * check context. Lists constructed without a domain (bare tests)
+     * stay unregistered and see neither injection nor checking.
      */
-    RetryList();
+    explicit RetryList(fault::FaultDomain *domain = nullptr);
     ~RetryList();
 
     RetryList(const RetryList &) = delete;
@@ -158,6 +156,21 @@ class RetryList
     void setOwner(const std::string &name) { _owner = name; }
     const std::string &owner() const { return _owner; }
 
+    /** @{ Per-Simulation seam context, resolved through the domain
+     *  this list registered with; nullptr for unregistered lists. */
+    fault::FaultInjector *
+    injector() const
+    {
+        return _domain ? _domain->injector() : nullptr;
+    }
+
+    check::CheckContext *
+    checkContext() const
+    {
+        return _domain ? _domain->checkContext() : nullptr;
+    }
+    /** @} */
+
     /**
      * Checkpoint the parked waiters under "<prefix>." keys as
      * registry names (fatal for an unregistered waiter: a parked
@@ -181,6 +194,17 @@ class RetryList
 class MemSink
 {
   public:
+    /**
+     * Binds this sink's retry list to @p sim's fault domain so the
+     * watchdog, the fault injector and the checkers see it. Every
+     * production sink must use this constructor.
+     */
+    explicit MemSink(Simulation &sim);
+
+    /** An unbound sink: no registration, no injection, no checking.
+     *  For tests and probes constructed outside a Simulation. */
+    MemSink() = default;
+
     virtual ~MemSink() = default;
 
     /**
@@ -207,7 +231,7 @@ class MemSink
         EMERALD_CHECK_HOOK(offerStarted(&_retries, pkt));
         // Fault seam: an active injector may force-reject this offer
         // (offer-burst sites). Cost when injection is off: one branch.
-        if (auto *inj = fault::FaultInjector::active();
+        if (auto *inj = _retries.injector();
             inj && inj->injectOfferReject(_retries, req)) {
             EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, &req));
             _retries.add(req);

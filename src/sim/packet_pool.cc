@@ -3,14 +3,15 @@
 namespace emerald
 {
 
-PacketPool::PacketPool(StatGroup &parent)
+PacketPool::PacketPool(StatGroup &parent, check::CheckContext *ctx)
     : _group(parent, "pool"),
       statAllocs(_group, "allocs", "packets allocated"),
       statHeapAllocs(_group, "heap_allocs",
                      "allocations that hit the heap (pool cold)"),
       statFrees(_group, "frees", "packets returned to the pool"),
       statLiveHighWater(_group, "live_high_water",
-                        "peak packets live at once")
+                        "peak packets live at once"),
+      _ctx(ctx)
 {
 }
 

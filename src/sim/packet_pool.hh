@@ -33,7 +33,14 @@ namespace emerald
 class PacketPool
 {
   public:
-    explicit PacketPool(StatGroup &parent);
+    /**
+     * @param ctx the owning Simulation's check context, or nullptr
+     *            when checks are off. The lifecycle hooks fired from
+     *            alloc()/free() dispatch to it, so a pool constructed
+     *            without one is unchecked (bare tests).
+     */
+    explicit PacketPool(StatGroup &parent,
+                        check::CheckContext *ctx = nullptr);
     ~PacketPool();
 
     PacketPool(const PacketPool &) = delete;
@@ -74,11 +81,17 @@ class PacketPool
         // recycled by placement-new without running a destructor.
         static_assert(std::is_trivially_destructible_v<MemPacket>);
         EMERALD_CHECK_HOOK(packetPoolFree(this, pkt));
-        pkt->pool = nullptr;
+        // pkt->pool stays set: freed state is marked by the poison
+        // bit in checkGen, and hooks fired on a stale pointer need
+        // the pool to resolve their check context. The next alloc()
+        // placement-new resets the slot.
         _free.push_back(pkt);
         ++statFrees;
         --_live;
     }
+
+    /** The owning Simulation's checkers, or nullptr (see ctor). */
+    check::CheckContext *checkContext() const { return _ctx; }
 
     /** Packets allocated and not yet freed. */
     std::uint64_t live() const { return _live; }
@@ -125,6 +138,8 @@ class PacketPool
     std::vector<void *> _free;
     std::uint64_t _live = 0;
     std::uint64_t _liveHighWater = 0;
+    /** Checkers the lifecycle hooks dispatch to (may be null). */
+    check::CheckContext *_ctx = nullptr;
 };
 
 } // namespace emerald

@@ -67,13 +67,18 @@ Simulation::Simulation()
       _checkGroup(_simGroup, "check"),
       _statEventHash(_checkGroup, "event_hash",
                      "FNV hash of the processed event stream "
-                     "(53-bit fold; 0 = check disabled)"),
-      _packetPool(std::make_unique<PacketPool>(_simGroup)),
-      _profiler(std::make_unique<EventProfiler>(_simGroup))
+                     "(53-bit fold; 0 = check disabled)")
 {
 #ifdef EMERALD_CHECKS
-    _checkContext = std::make_unique<check::CheckContext>(_eq);
+    _checkContext = std::make_unique<check::CheckContext>(
+        _eq, &_faultDomain);
+    _faultDomain.setCheckContext(_checkContext.get());
 #endif
+    // Constructed here, not in the init list, so the pool can carry
+    // the check context created just above.
+    _packetPool =
+        std::make_unique<PacketPool>(_simGroup, _checkContext.get());
+    _profiler = std::make_unique<EventProfiler>(_simGroup);
 }
 
 Simulation::~Simulation()
@@ -83,6 +88,11 @@ Simulation::~Simulation()
     // that distinguishes leaks from traffic legally still in flight.
     if (_checkContext)
         _checkContext->onTeardown(_eq.empty());
+
+    // The injector and the checkers die with this object; clear the
+    // domain's pointers so nothing resolves them mid-teardown.
+    _faultDomain.setInjector(nullptr);
+    _faultDomain.setCheckContext(nullptr);
 
     flushStatsSink();
 }
@@ -117,6 +127,9 @@ Simulation::configureFaults(const std::string &plan_text,
              "configureFaults called twice on one Simulation");
     _faultInjector = std::make_unique<fault::FaultInjector>(
         _eq, _simGroup, std::move(plan), seed);
+    // Publish on the domain: this is how the protocol seams
+    // (offer/wake/stall/link-delay) find the injector.
+    _faultDomain.setInjector(_faultInjector.get());
 }
 
 void

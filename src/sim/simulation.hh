@@ -168,9 +168,10 @@ class Simulation
     /**
      * Parse @p plan_text (--fault-plan grammar, see
      * docs/fault_injection.md) and activate a seeded FaultInjector for
-     * this simulation's lifetime. An empty plan creates nothing, so
-     * runs without faults keep FaultInjector::active() == nullptr and
-     * pay a single branch per protocol seam.
+     * this simulation's lifetime, published on faultDomain() for the
+     * protocol seams. An empty plan creates nothing, so runs without
+     * faults keep faultDomain().injector() == nullptr and pay a
+     * single branch per protocol seam.
      */
     void configureFaults(const std::string &plan_text,
                          std::uint64_t seed);
@@ -361,6 +362,12 @@ class Simulation
     /** Parent of correctness-tooling stats: sim.check.*. */
     StatGroup _checkGroup;
     Scalar _statEventHash;
+    /**
+     * Null unless built with EMERALD_CHECKS. Declared before the
+     * packet pool, which holds a pointer to it, and published on
+     * _faultDomain so RetryLists can resolve it.
+     */
+    std::unique_ptr<check::CheckContext> _checkContext;
     std::unique_ptr<PacketPool> _packetPool;
     std::unique_ptr<EventProfiler> _profiler;
     std::unique_ptr<EventTracer> _tracer;
@@ -369,13 +376,6 @@ class Simulation
     bool _profiling = false;
     std::vector<std::unique_ptr<ClockDomain>> _domains;
     std::string _statsOutOnExit;
-    /**
-     * Null unless built with EMERALD_CHECKS. Pushed onto the check
-     * subsystem's activation stack at construction, so nested scoped
-     * Simulations must tear down innermost-first (they do: the stack
-     * mirrors C++ object lifetime).
-     */
-    std::unique_ptr<check::CheckContext> _checkContext;
     std::unique_ptr<fault::FaultInjector> _faultInjector;
     std::unique_ptr<fault::ProgressWatchdog> _watchdog;
     CheckpointRegistry _ckptRegistry;

@@ -133,7 +133,6 @@ SocTop::SocTop(const SocParams &params,
     }
 
     mem::MemSchedContext sctx{_sim};
-    sctx.coordinatorName = "dash";
     // Table 3 values at 2 GHz CPU clock; policies that need no
     // coordinator ignore these.
     sctx.dashParams.switchingUnit = _cpuClock->cyclesToTicks(500);

@@ -25,23 +25,58 @@ trim(const std::string &text)
     return text.substr(begin, end - begin + 1);
 }
 
-/** Split on @p sep, trimming each field; empty fields are fatal. */
+/**
+ * Split on @p sep, trimming each field; empty fields are fatal.
+ *
+ * Separators nested inside (), [] or {} do not split, and a
+ * backslash escapes the next character, so structured values — a
+ * fault plan's `offer-reject(match=l2,prob=0.5)`, say — sweep as
+ * single axis values instead of being sheared at their commas.
+ */
 std::vector<std::string>
 splitList(const std::string &text, char sep, int line,
           const char *what)
 {
     std::vector<std::string> out;
-    std::string::size_type start = 0;
-    while (start <= text.size()) {
-        auto pos = text.find(sep, start);
-        if (pos == std::string::npos)
-            pos = text.size();
-        std::string field = trim(text.substr(start, pos - start));
-        fatal_if(field.empty(), "sweep spec line %d: empty %s in '%s'",
+    std::string field;
+    auto flush = [&] {
+        std::string trimmed = trim(field);
+        fatal_if(trimmed.empty(), "sweep spec line %d: empty %s in '%s'",
                  line, what, text.c_str());
-        out.push_back(field);
-        start = pos + 1;
+        out.push_back(std::move(trimmed));
+        field.clear();
+    };
+    int depth = 0;
+    bool escaped = false;
+    for (char c : text) {
+        if (escaped) {
+            field.push_back(c);
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+            continue;
+        }
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            --depth;
+            fatal_if(depth < 0,
+                     "sweep spec line %d: unbalanced brackets in '%s'",
+                     line, text.c_str());
+        } else if (c == sep && depth == 0) {
+            flush();
+            continue;
+        }
+        field.push_back(c);
     }
+    fatal_if(escaped, "sweep spec line %d: dangling backslash in '%s'",
+             line, text.c_str());
+    fatal_if(depth != 0,
+             "sweep spec line %d: unbalanced brackets in '%s'", line,
+             text.c_str());
+    flush();
     return out;
 }
 

@@ -1,0 +1,34 @@
+// Fixture for tools/emerald_analyze.py: event-capture-escape.
+//
+// Stand-ins for the event kernel's sink signatures: schedule() and
+// the EventFunction constructor. A by-reference lambda handed to
+// either outlives the enclosing frame.
+
+struct EventFunction {
+    template <typename F>
+    EventFunction(F f, const char *name)
+    {
+        (void)f;
+        (void)name;
+    }
+};
+
+struct EventQueue {
+    template <typename F>
+    void
+    schedule(F f, long when)
+    {
+        (void)f;
+        (void)when;
+    }
+};
+
+void
+leak(EventQueue &eq)
+{
+    int local = 0;
+    eq.schedule([&local] { ++local; }, 100); // EXPECT: event-capture-escape
+    eq.schedule([local] { (void)local; }, 200); // by value: clean
+    EventFunction ev([&] { ++local; }, "ev"); // EXPECT: event-capture-escape
+    (void)ev;
+}

@@ -1,0 +1,53 @@
+// Fixture for tools/emerald_analyze.py: the shard-safe idioms the
+// analyzer must NOT flag. Any finding in this file is a false
+// positive and fails the fixture gate.
+
+class SimObject
+{
+  public:
+    virtual ~SimObject() = default;
+};
+
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+};
+
+class EventQueue
+{
+  public:
+    template <typename F>
+    void
+    schedule(F f, long when)
+    {
+        (void)f;
+        (void)when;
+    }
+};
+
+class Dram : public SimObject
+{
+  public:
+    explicit Dram(EventQueue &eq) : _eq(eq) {}
+
+    void
+    tick()
+    {
+        ++_ticks; // non-const method: explicit mutation
+        _eq.schedule([this] { onFire(); }, 10); // `this` capture
+    }
+
+    void onFire() {}
+
+    MemSink *port() const { return _port; } // const read
+    void setPort(MemSink *port) { _port = port; }
+
+  private:
+    EventQueue &_eq; // kernel interface: legal seam
+    MemSink *_port = nullptr; // port interface: legal seam
+    unsigned long _ticks = 0; // per-instance, owned state
+};
+
+const int k_tableSize = 64;
+static constexpr double k_scale = 1.5;

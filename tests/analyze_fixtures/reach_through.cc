@@ -1,0 +1,33 @@
+// Fixture for tools/emerald_analyze.py:
+// cross-component-reach-through.
+//
+// Self-contained stand-ins for the simulator's class names: the rule
+// keys on a SimObject-derived class holding a raw pointer/reference
+// to another SimObject-derived type, with interface types (MemSink,
+// EventQueue, ...) exempt.
+
+class SimObject
+{
+  public:
+    virtual ~SimObject() = default;
+};
+
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+};
+
+class Cache : public SimObject
+{
+  public:
+    int level = 0;
+};
+
+class Gpu : public SimObject
+{
+  public:
+    Cache *l2 = nullptr; // EXPECT: cross-component-reach-through
+    MemSink *port = nullptr; // interface seam: clean
+    int id = 0;
+};

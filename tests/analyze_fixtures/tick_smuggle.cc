@@ -1,0 +1,23 @@
+// Fixture for tools/emerald_analyze.py: tick-state-smuggle.
+//
+// `mutable` members and writes to members from const methods: the
+// logically-const-cache idiom that turns into a cross-shard write
+// race once two threads tick the model.
+
+class TileCache
+{
+  public:
+    int
+    lookup(int key) const
+    {
+        ++_probes; // EXPECT: tick-state-smuggle
+        _last = key; // EXPECT: tick-state-smuggle
+        return key * 2;
+    }
+
+    void insert(int key) { _last = key; } // non-const write: clean
+
+  private:
+    mutable unsigned long _probes = 0; // EXPECT: tick-state-smuggle
+    mutable int _last = 0; // EXPECT: tick-state-smuggle
+};

@@ -41,6 +41,8 @@ allocPacket(Simulation &sim, Addr addr = 0x1000)
 class HoldingSink : public MemSink
 {
   public:
+    explicit HoldingSink(Simulation &sim) : MemSink(sim) {}
+
     bool
     tryAccept(MemPacket *pkt) override
     {
@@ -55,6 +57,8 @@ class HoldingSink : public MemSink
 class FullSink : public MemSink
 {
   public:
+    explicit FullSink(Simulation &sim) : MemSink(sim) {}
+
     bool tryAccept(MemPacket *) override { return false; }
 
     void drainWaiters() { while (wakeOneRetry()) {} }
@@ -79,7 +83,7 @@ TEST(CheckerDeathTest, DoubleFreeAborts)
 TEST(CheckerDeathTest, FreeWhileInFlightAborts)
 {
     Simulation sim;
-    HoldingSink sink;
+    HoldingSink sink(sim);
     NullRequestor req;
     MemPacket *pkt = allocPacket(sim);
     ASSERT_TRUE(sink.offer(pkt, req));
@@ -102,7 +106,7 @@ TEST(CheckerDeathTest, UseAfterFreeOnCompleteAborts)
 TEST(CheckerDeathTest, UseAfterFreeOnOfferAborts)
 {
     Simulation sim;
-    HoldingSink sink;
+    HoldingSink sink(sim);
     NullRequestor req;
     MemPacket *pkt = allocPacket(sim);
     freePacket(pkt);
@@ -124,7 +128,7 @@ TEST(CheckerDeathTest, DroppedRetryRegistrationAborts)
     Simulation sim;
     NullRequestor req;
     MemPacket *pkt = allocPacket(sim);
-    RetryList list;
+    RetryList list(&sim.faultDomain());
     list.setOwner("bad_sink");
     // A sink that rejects but never registers the requestor: inject
     // the reject hook without the matching RetryList::add.
@@ -143,7 +147,7 @@ TEST(CheckerDeathTest, CorruptedRetryListDedupAborts)
 {
     Simulation sim;
     NullRequestor req;
-    RetryList list;
+    RetryList list(&sim.faultDomain());
     list.setOwner("corrupt_sink");
     // Two non-dedup'd adds of one requestor on one list can only mean
     // RetryList::add's dedup scan is broken.
@@ -159,7 +163,7 @@ TEST(CheckerDeathTest, NonShrinkingWakeLoopAborts)
 {
     Simulation sim;
     NullRequestor req;
-    RetryList list;
+    RetryList list(&sim.faultDomain());
     list.setOwner("looping_sink");
     EXPECT_DEATH(
         {
@@ -177,7 +181,7 @@ TEST(CheckerDeathTest, LostWakeupAborts)
     ctx->retry().setLostWakeThreshold(ticksFromUs(1.0));
 
     NullRequestor req;
-    RetryList list;
+    RetryList list(&sim.faultDomain());
     list.setOwner("forgetful_sink");
     check::retryRegistered(&list, &req, false);
 
@@ -191,7 +195,7 @@ TEST(CheckerDeathTest, LostWakeupAborts)
 TEST(CheckerTest, RejectRegisterWakeRoundTripIsClean)
 {
     Simulation sim;
-    FullSink sink;
+    FullSink sink(sim);
     NullRequestor req;
     MemPacket *pkt = allocPacket(sim);
     ASSERT_FALSE(sink.offer(pkt, req));
@@ -207,7 +211,7 @@ TEST(CheckerTest, RejectRegisterWakeRoundTripIsClean)
 TEST(CheckerTest, CleanTrafficPassesAllCheckers)
 {
     Simulation sim;
-    HoldingSink sink;
+    HoldingSink sink(sim);
     NullRequestor req;
     for (int i = 0; i < 8; ++i) {
         MemPacket *pkt = allocPacket(sim, 0x1000 + 64u * (unsigned)i);

@@ -168,7 +168,7 @@ TEST(FaultOffTest, DefaultSimulationHasNoInjectorOrWatchdog)
     Simulation sim;
     EXPECT_EQ(sim.faultInjector(), nullptr);
     EXPECT_EQ(sim.watchdog(), nullptr);
-    EXPECT_EQ(fault::FaultInjector::active(), nullptr);
+    EXPECT_EQ(sim.faultDomain().injector(), nullptr);
 }
 
 TEST(FaultOffTest, EmptyPlanConfiguresNothing)
@@ -176,7 +176,7 @@ TEST(FaultOffTest, EmptyPlanConfiguresNothing)
     Simulation sim;
     sim.configureFaults("", 1);
     EXPECT_EQ(sim.faultInjector(), nullptr);
-    EXPECT_EQ(fault::FaultInjector::active(), nullptr);
+    EXPECT_EQ(sim.faultDomain().injector(), nullptr);
 }
 
 // Watchdog -------------------------------------------------------------
@@ -192,7 +192,10 @@ allocPacket(Simulation &sim, Addr addr = 0x1000)
 class FullSink : public MemSink
 {
   public:
-    FullSink() { setSinkName("test_sink"); }
+    explicit FullSink(Simulation &sim) : MemSink(sim)
+    {
+        setSinkName("test_sink");
+    }
 
     bool tryAccept(MemPacket *) override { return false; }
 
@@ -245,7 +248,7 @@ using WatchdogDeathTest = ::testing::Test;
 TEST(WatchdogDeathTest, HangReportNamesParkedWaiter)
 {
     Simulation sim;
-    FullSink sink;
+    FullSink sink(sim);
     NamedRequestor req;
     MemPacket *pkt = allocPacket(sim);
     ASSERT_FALSE(sink.offer(pkt, req)); // Parks req on test_sink.
@@ -270,7 +273,7 @@ TEST(WatchdogDeathTest, HangReportNamesParkedWaiter)
 class SlowSink : public MemSink
 {
   public:
-    explicit SlowSink(Simulation &sim) : _sim(sim)
+    explicit SlowSink(Simulation &sim) : MemSink(sim), _sim(sim)
     {
         setSinkName("slow_sink");
     }

@@ -106,12 +106,41 @@ TEST(SweepGrid, ParsesCommentsRestoreReplayAndWhitespace)
               (std::vector<std::string>{"30", "60"}));
 }
 
+TEST(SweepGrid, BracketsShieldAxisValueCommas)
+{
+    // A fault plan's own commas sit inside (), so the two plans
+    // below are two axis values, not five.
+    SweepSpec spec = parseSweepSpec(
+        "axis.fault-plan = offer-reject(match=l2,start=1us,prob=0.5),"
+        "dram-stall(len=2us,period=8us)\n");
+    ASSERT_EQ(spec.axes.size(), 1u);
+    EXPECT_EQ(spec.axes[0].second,
+              (std::vector<std::string>{
+                  "offer-reject(match=l2,start=1us,prob=0.5)",
+                  "dram-stall(len=2us,period=8us)"}));
+}
+
+TEST(SweepGrid, BackslashEscapesAxisValueCommas)
+{
+    SweepSpec spec = parseSweepSpec(
+        "axis.tag = a\\,b,c\n");
+    ASSERT_EQ(spec.axes.size(), 1u);
+    EXPECT_EQ(spec.axes[0].second,
+              (std::vector<std::string>{"a,b", "c"}));
+}
+
 TEST(SweepGridDeathTest, RejectsMalformedSpecs)
 {
     EXPECT_EXIT(parseSweepSpec("bogus = 1\n"),
                 ::testing::ExitedWithCode(1), "unknown directive");
     EXPECT_EXIT(parseSweepSpec("axis.fps = 30,,60\n"),
                 ::testing::ExitedWithCode(1), "empty axis value");
+    EXPECT_EXIT(parseSweepSpec("axis.plan = stall(len=1us\n"),
+                ::testing::ExitedWithCode(1), "unbalanced brackets");
+    EXPECT_EXIT(parseSweepSpec("axis.plan = stall)\n"),
+                ::testing::ExitedWithCode(1), "unbalanced brackets");
+    EXPECT_EXIT(parseSweepSpec("axis.tag = a\\\n"),
+                ::testing::ExitedWithCode(1), "dangling backslash");
     EXPECT_EXIT(
         expandGrid(parseSweepSpec(
             "fixed.fps = 30\naxis.fps = 30,60\n")),

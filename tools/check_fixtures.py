@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Fixture gate for tools/emerald_analyze.py.
+
+Every file under tests/analyze_fixtures/ annotates the lines the
+analyzer must flag with `// EXPECT: <rule>` (one rule per annotation;
+repeat the comment for multiple rules on one line).  This gate runs
+the analyzer over the fixtures and compares (file, line, rule) sets in
+BOTH directions: a missed annotation is a false negative, an
+unannotated finding is a false positive, and either fails.
+
+The textual engine always runs.  The AST engine additionally runs
+when clang is installed (as in CI), so the two engines are held to
+identical verdicts on the fixtures.  --engine narrows the run.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w-]+)")
+
+TOOLS = Path(__file__).resolve().parent
+ROOT = TOOLS.parent
+FIXTURES = ROOT / "tests" / "analyze_fixtures"
+
+
+def expected_findings(fixture_files):
+    expected = set()
+    for path in fixture_files:
+        rel = path.relative_to(ROOT).as_posix()
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), 1):
+            for match in EXPECT_RE.finditer(line):
+                expected.add((rel, lineno, match.group(1)))
+    return expected
+
+
+def run_engine(engine, fixture_files):
+    cmd = [sys.executable, str(TOOLS / "emerald_analyze.py"),
+           "--engine", engine, "--json",
+           "--allowlist", os.devnull,
+           "--root", str(ROOT)]
+    cmd += [str(p) for p in fixture_files]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if not proc.stdout.strip():
+        sys.exit(f"check_fixtures: no JSON from the {engine} engine:"
+                 f"\n{proc.stderr}")
+    findings = json.loads(proc.stdout)
+    return {(f["path"], f["line"], f["rule"]) for f in findings}
+
+
+def compare(engine, expected, actual):
+    missed = sorted(expected - actual)
+    spurious = sorted(actual - expected)
+    for rel, line, rule in missed:
+        print(f"check_fixtures: [{engine}] MISSED {rel}:{line} "
+              f"expected [{rule}]")
+    for rel, line, rule in spurious:
+        print(f"check_fixtures: [{engine}] SPURIOUS {rel}:{line} "
+              f"[{rule}] not annotated")
+    return not missed and not spurious
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine",
+                        choices=("auto", "textual", "ast", "both"),
+                        default="auto",
+                        help="auto = textual, plus ast when clang "
+                             "is installed")
+    args = parser.parse_args(argv)
+
+    fixture_files = sorted(FIXTURES.glob("*.cc"))
+    if not fixture_files:
+        sys.exit(f"check_fixtures: no fixtures in {FIXTURES}")
+    expected = expected_findings(fixture_files)
+    if not expected:
+        sys.exit("check_fixtures: no EXPECT annotations found")
+
+    engines = {"auto": ["textual"], "both": ["textual", "ast"],
+               "textual": ["textual"], "ast": ["ast"]}[args.engine]
+    if args.engine == "auto":
+        sys.path.insert(0, str(TOOLS))
+        import emerald_analyze
+        if emerald_analyze.find_clang():
+            engines.append("ast")
+
+    ok = True
+    for engine in engines:
+        actual = run_engine(engine, fixture_files)
+        if compare(engine, expected, actual):
+            print(f"check_fixtures: [{engine}] "
+                  f"{len(expected)} expected finding(s) matched, "
+                  f"{len(fixture_files)} fixture(s)")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,7 @@ def check_integrity(con):
     return failures
 
 
-def check_complete(con, manifest_path):
+def check_complete(con, manifest_path, git_sha=None):
     failures = 0
     try:
         with open(manifest_path, encoding="utf-8") as f:
@@ -71,8 +71,13 @@ def check_complete(con, manifest_path):
     if not points:
         sys.exit(f"check_sweep: '{manifest_path}' lists no points")
 
-    done = {fp: run_id for run_id, fp in con.execute(
-        "SELECT run_id, fingerprint FROM runs WHERE status='done'")}
+    query = "SELECT run_id, fingerprint FROM runs WHERE status='done'"
+    params = ()
+    if git_sha:
+        query += " AND git_sha=?"
+        params = (git_sha,)
+    done = {fp: run_id
+            for run_id, fp in con.execute(query, params)}
     stat_counts = dict(con.execute(
         "SELECT run_id, COUNT(*) FROM stats GROUP BY run_id"))
 
@@ -91,12 +96,18 @@ def check_complete(con, manifest_path):
 
 
 def db_shape(con, model, where, stat="results.gpu_ms",
-             axis="config"):
+             axis="config", git_sha=None):
     """axis value -> stat for the selected runs."""
     where = dict(where, model=model)
+    allowed = None
+    if git_sha:
+        allowed = {run_id for (run_id,) in con.execute(
+            "SELECT run_id FROM runs WHERE git_sha=?", (git_sha,))}
     runs = {}
     for run_id, key, value in con.execute(
             "SELECT run_id, key, value FROM run_params"):
+        if allowed is not None and run_id not in allowed:
+            continue
         runs.setdefault(run_id, {})[key] = value
     shape = {}
     for run_id, params in runs.items():
@@ -119,7 +130,8 @@ def db_shape(con, model, where, stat="results.gpu_ms",
     return shape
 
 
-def check_shape(con, reference_path, model, where, tolerance):
+def check_shape(con, reference_path, model, where, tolerance,
+                git_sha=None):
     failures = 0
     try:
         with open(reference_path, encoding="utf-8") as f:
@@ -128,7 +140,7 @@ def check_shape(con, reference_path, model, where, tolerance):
         sys.exit(f"check_sweep: cannot read '{reference_path}': "
                  f"{err}")
 
-    shape = db_shape(con, model, where)
+    shape = db_shape(con, model, where, git_sha=git_sha)
     if "BAS" not in shape or shape["BAS"] == 0:
         sys.exit("check_sweep: no BAS run to normalize to")
     base = shape["BAS"]
@@ -176,6 +188,11 @@ def main(argv=None):
                         help="max absolute delta per normalized bar "
                              "(default 0.25, matching "
                              "check_replay.py)")
+    parser.add_argument("--git-sha",
+                        help="only consider runs recorded under this "
+                             "sha — required when the DB accumulates "
+                             "several nightlies (the regress ratchet "
+                             "cache)")
     args = parser.parse_args(argv)
 
     where = {}
@@ -192,10 +209,10 @@ def main(argv=None):
         sys.exit(f"check_sweep: cannot open '{args.db}': {err}")
 
     failures = check_integrity(con)
-    failures += check_complete(con, args.manifest)
+    failures += check_complete(con, args.manifest, args.git_sha)
     if args.reference:
         failures += check_shape(con, args.reference, args.model,
-                                where, args.tolerance)
+                                where, args.tolerance, args.git_sha)
 
     if failures:
         print(f"check_sweep: {failures} check(s) failed",

@@ -12,9 +12,6 @@ compiler nor clang-tidy knows about:
                   elsewhere silently breaks determinism.
   raw-print       src/ reports through logging.hh and stats.hh, not
                   printf/std::cout, so output stays machine-parseable.
-  offer-checked   offer() returns false on backpressure; a call site
-                  that drops the result keeps ownership of a packet it
-                  thinks it sent (docs/memory_protocol.md).
   stat-dup        Two stats registered with the same name on the same
                   parent silently shadow each other in dumps.
   fatal-exit      src/ terminates through panic()/fatal() (logging.hh)
@@ -22,16 +19,16 @@ compiler nor clang-tidy knows about:
                   report; a raw abort()/exit() skips both. Only the
                   logging sink itself, the sim/check checkers, and the
                   watchdog report path may touch the process directly.
-  sched-factory   Scheduling policies are constructed through their
-                  registries (docs/scheduling.md) so --warp-sched /
-                  --mem-sched can select every policy; a direct `new`
-                  or `make_unique` of a concrete scheduler class
-                  outside the factory files bypasses the registry.
   serializable-coverage
                   Every SimObject subclass overrides
                   serialize(CheckpointOut&) so checkpoints capture its
                   state, unless allowlisted as stateless
                   (docs/checkpointing.md).
+
+The offer-checked and sched-factory rules moved to
+tools/emerald_analyze.py, which checks them AST-grounded when clang is
+available; their regex implementations stay here (importable) as that
+tool's textual fallback, but no longer run as part of this gate.
 
 Run from anywhere: paths are resolved relative to the repo root
 (parent of this file's directory) unless --root is given. Exit status
@@ -328,10 +325,8 @@ def lint_file(path: Path, rel: str, out):
     check_packet_alloc(rel, clean, out)
     check_randomness(rel, clean, out)
     check_raw_print(rel, clean, out)
-    check_offer_checked(rel, clean, out)
     check_stat_dup(rel, clean, out)
     check_fatal_exit(rel, clean, out)
-    check_sched_factory(rel, clean, out)
     check_serializable_coverage(rel, clean, out)
 
 
