@@ -6,12 +6,130 @@
  *   emerald_bench --list               name<TAB>kind<TAB>description
  *   emerald_bench --run=<name> [...]   run one scenario; remaining
  *                                      flags go to the scenario
+ *
+ * With --supervise the scenario runs in a forked child under the
+ * crash-and-hang-resilient run supervisor (docs/resilience.md):
+ * failures are classified, retried with backoff, and — when the
+ * scenario also rotates auto-checkpoints via --checkpoint-every —
+ * resumed from the newest integrity-passing checkpoint.
+ *
+ *   --supervise                   enable supervision
+ *   --supervise-dir=<dir>         logs/marker/triage (default: supervise)
+ *   --supervise-retries=<n>       retries after the first attempt (3)
+ *   --supervise-backoff-ms=<ms>   first retry backoff, doubles (200)
+ *   --supervise-kill-after-ms=<ms> test hook: SIGKILL attempt 0 (off)
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "registry.hh"
+#include "sim/supervise/supervisor.hh"
+
+namespace
+{
+
+/**
+ * Peel "--key=value" or "--key value" off argv; returns true and
+ * stores the value when present (last occurrence wins).
+ */
+bool
+argValue(int argc, char **argv, const std::string &key,
+         std::string *out)
+{
+    bool found = false;
+    std::string prefix = "--" + key + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0) {
+            *out = arg.substr(prefix.size());
+            found = true;
+        } else if (arg == "--" + key && i + 1 < argc &&
+                   argv[i + 1][0] != '-') {
+            *out = argv[++i];
+            found = true;
+        }
+    }
+    return found;
+}
+
+bool
+argFlag(int argc, char **argv, const std::string &key)
+{
+    std::string value;
+    if (!argValue(argc, argv, key, &value)) {
+        // Bare "--key" (boolean switch form).
+        for (int i = 1; i < argc; ++i)
+            if (std::string(argv[i]) == "--" + key)
+                return true;
+        return false;
+    }
+    return value == "1" || value == "true" || value == "yes" ||
+           value == "on";
+}
+
+unsigned
+argUnsigned(int argc, char **argv, const std::string &key,
+            unsigned dflt)
+{
+    std::string value;
+    if (!argValue(argc, argv, key, &value) || value.empty())
+        return dflt;
+    return static_cast<unsigned>(std::stoul(value));
+}
+
+int
+runSupervised(const emerald::bench::Scenario &scenario, int argc,
+              char **argv)
+{
+    using namespace emerald::supervise;
+
+    SupervisorOptions opts;
+    std::string dir = "supervise";
+    argValue(argc, argv, "supervise-dir", &dir);
+    opts.runDir = dir;
+    opts.maxRetries = argUnsigned(argc, argv, "supervise-retries", 3);
+    opts.backoffBaseMs =
+        argUnsigned(argc, argv, "supervise-backoff-ms", 200);
+    opts.killAfterMs =
+        argUnsigned(argc, argv, "supervise-kill-after-ms", 0);
+
+    // Where the scenario rotates auto-checkpoints: the builder
+    // defaults --checkpoint-dir to "ckpt" whenever --checkpoint-every
+    // is given, so mirror that here.
+    std::string ckptDir;
+    if (!argValue(argc, argv, "checkpoint-dir", &ckptDir)) {
+        std::string every;
+        if (argValue(argc, argv, "checkpoint-every", &every))
+            ckptDir = "ckpt";
+    }
+    opts.ckptDir = ckptDir;
+
+    SupervisorResult result = superviseRun(
+        opts, [&](const ChildSpec &spec) {
+            // Re-enter the scenario with the supervisor's extra
+            // flags appended; Config's last-wins parse means they
+            // override anything the caller passed.
+            std::vector<std::string> args(argv, argv + argc);
+            args.push_back("--hang-report-path=" +
+                           spec.hangReportPath);
+            if (spec.attempt > 0 && !spec.restoreDir.empty())
+                args.push_back("--restore=" + ckptDir);
+            std::vector<char *> cargv;
+            cargv.reserve(args.size());
+            for (std::string &arg : args)
+                cargv.push_back(arg.data());
+            return scenario.run(static_cast<int>(cargv.size()),
+                                cargv.data());
+        });
+
+    if (result.succeeded)
+        return 0;
+    return result.finalExitCode > 0 ? result.finalExitCode : 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -61,5 +179,8 @@ main(int argc, char **argv)
                      run_name.c_str());
         return 2;
     }
+
+    if (argFlag(argc, argv, "supervise"))
+        return runSupervised(*scenario, argc, argv);
     return scenario->run(argc, argv);
 }

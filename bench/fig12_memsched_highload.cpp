@@ -57,8 +57,8 @@ runScenario(int argc, char **argv)
             // produces <dir>/<config> and --restore reads it back.
             SimulationBuilder builder =
                 harness.builderFor(soc::memConfigName(config));
-            std::string model_dir = "/" + std::string(
-                scenes::workloadName(model));
+            std::string model_dir = "/";
+            model_dir += scenes::workloadName(model);
             if (!capture_root.empty()) {
                 builder.captureTrace(config == soc::MemConfig::BAS
                                          ? capture_root + model_dir

@@ -79,8 +79,8 @@ runScenario(int argc, char **argv)
     // root gets the per-model subdir fig12 capture runs produce.
     SimulationBuilder builder =
         harness.builderFor(soc::memConfigName(p.memConfig));
-    std::string model_dir =
-        "/" + std::string(scenes::workloadName(p.model));
+    std::string model_dir = "/";
+    model_dir += scenes::workloadName(p.model);
     std::string capture_root = cfg.getString("capture-trace", "");
     if (!capture_root.empty())
         builder.captureTrace(capture_root + model_dir);

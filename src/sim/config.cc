@@ -23,10 +23,14 @@ namespace
 const char *const knownKeys[] = {
     // Simulation kernel (SimulationBuilder::observability).
     "capture-trace", "check-determinism", "checkpoint-at",
-    "checkpoint-dir", "fault-plan", "fault-seed", "mem-sched",
+    "checkpoint-dir", "checkpoint-every", "checkpoint-keep",
+    "fault-plan", "fault-seed", "hang-report-path", "mem-sched",
     "profile", "replay-trace", "restore", "restore-force",
     "sim-stats-json", "sim-stats-out", "trace-file", "warp-sched",
     "watchdog-mode", "watchdog-ticks",
+    // Run supervisor (bench_main --supervise).
+    "supervise", "supervise-backoff-ms", "supervise-dir",
+    "supervise-kill-after-ms", "supervise-retries",
     // Parser control.
     "allow-unknown-args",
     // Benches and examples.
@@ -36,7 +40,7 @@ const char *const knownKeys[] = {
     "stats-out", "width", "workload", "wt",
     // Bench registry front end (bench_main) and sweep driver.
     "bench-bin", "ckpt-share-keys", "db", "dry-run", "git-sha",
-    "jobs", "list", "run", "spec",
+    "jobs", "list", "retries", "retry-backoff-ms", "run", "spec",
 };
 
 /**
@@ -48,11 +52,14 @@ const char *const knownKeys[] = {
 const char *const fingerprintExcludedKeys[] = {
     "allow-unknown-args", "bench-bin", "capture-trace",
     "check-determinism", "checkpoint-at", "checkpoint-dir",
-    "ckpt-share-keys", "db", "dry-run", "git-sha", "jobs", "list",
-    "name", "out", "outdir", "profile", "replay-trace", "restore",
-    "restore-force", "run", "sim-stats-json", "sim-stats-out", "spec",
-    "stats", "stats-json", "stats-out", "trace-file", "watchdog-mode",
-    "watchdog-ticks",
+    "checkpoint-every", "checkpoint-keep", "ckpt-share-keys", "db",
+    "dry-run", "git-sha", "hang-report-path", "jobs", "list", "name",
+    "out", "outdir", "profile", "replay-trace", "restore",
+    "restore-force", "retries", "retry-backoff-ms", "run",
+    "sim-stats-json", "sim-stats-out", "spec", "stats", "stats-json",
+    "stats-out", "supervise", "supervise-backoff-ms", "supervise-dir",
+    "supervise-kill-after-ms", "supervise-retries", "trace-file",
+    "watchdog-mode", "watchdog-ticks",
 };
 
 bool

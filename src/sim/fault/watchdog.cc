@@ -1,6 +1,7 @@
 #include "sim/fault/watchdog.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "sim/fault/domain.hh"
@@ -18,6 +19,11 @@ namespace
 /** Backoff cap: a persistent hang in degrade mode settles at this
  *  multiple of the base budget between recoveries. */
 constexpr Tick backoffCap = 8;
+
+/** Force-wakes one waiter may absorb (without the lists ever fully
+ *  draining) before degrade mode concedes the hang is persistent and
+ *  escalates to abort-with-report. */
+constexpr unsigned degradeWakeCap = 16;
 
 } // namespace
 
@@ -87,6 +93,11 @@ ProgressWatchdog::beat()
         // mode still sweeps for waiters stuck at a list head.
         if (_mode == WatchdogMode::Degrade)
             sweepStaleFronts();
+        // A fully drained set of retry lists forgives past force-wake
+        // debt: the escalation cap only charges waiters that never
+        // managed to leave.
+        if (!parkedWaiters())
+            _forcedWakeCount.clear();
         _currentBudget = _budget;
         if (!eq.empty())
             eq.schedule(_beatEvent, eq.curTick() + _currentBudget);
@@ -96,13 +107,8 @@ ProgressWatchdog::beat()
     ++statHangs;
     _lastReport = buildReport();
 
-    if (_mode == WatchdogMode::Abort) {
-        // abort skips destructors, so flush the JSON stats sink first;
-        // panic() is the one sanctioned abort path and carries the
-        // report to stderr.
-        _sim.flushStatsSink();
-        panic("%s", _lastReport.c_str());
-    }
+    if (_mode == WatchdogMode::Abort)
+        abortWithReport("hang");
 
     warn("%s", _lastReport.c_str());
     degradeRecover();
@@ -161,11 +167,107 @@ ProgressWatchdog::degradeRecover()
     // by the very fault it recovers from.
     for (RetryList *list : _sim.faultDomain().lists()) {
         std::size_t budget = list->size();
-        while (budget-- > 0 && list->wakeOne(/*force=*/true))
+        while (budget-- > 0) {
+            chargeForcedWake(list);
+            if (!list->wakeOne(/*force=*/true))
+                break;
             ++statForcedWakes;
+        }
     }
     for (SimObject *obj : _sim.objects())
         obj->onWatchdogDegrade();
+}
+
+void
+ProgressWatchdog::chargeForcedWake(const RetryList *list)
+{
+    if (list->empty())
+        return;
+    const MemRequestor *head = list->waiters().front();
+    unsigned &count = _forcedWakeCount[head];
+    if (++count <= degradeWakeCap)
+        return;
+    // One waiter has absorbed a full cap of force-wakes without the
+    // lists ever draining: this hang is deterministic, and degrade
+    // mode spinning on it forever would just hide it. Escalate with a
+    // fresh report so the supervisor sees the final state.
+    _lastReport = buildReport();
+    _lastReport += strprintf(
+        "\n  DEGRADE ESCALATION: waiter '%s' absorbed %u force-wakes "
+        "on list '%s' without recovering (cap %u)",
+        head->requestorName().c_str(), count, list->owner().c_str(),
+        degradeWakeCap);
+    abortWithReport("degrade-escalation");
+}
+
+void
+ProgressWatchdog::abortWithReport(const char *kind)
+{
+    const std::string &path = _sim.hangReportPath();
+    if (!path.empty()) {
+        EventQueue &eq = _sim.eventQueue();
+        PacketPool &pool = _sim.packetPool();
+        std::ofstream os(path, std::ios::trunc);
+        if (!os) {
+            warn("cannot write hang report to '%s'", path.c_str());
+        } else {
+            os << "{\n";
+            os << "  \"kind\": \"" << jsonEscape(kind) << "\",\n";
+            os << "  \"tick\": " << eq.curTick() << ",\n";
+            os << "  \"budget\": " << _currentBudget << ",\n";
+            os << "  \"mode\": \""
+               << (_mode == WatchdogMode::Abort ? "abort" : "degrade")
+               << "\",\n";
+            os << "  \"event_queue\": {\"size\": " << eq.size()
+               << ", \"head\": \"" << jsonEscape(eq.headSummary())
+               << "\"},\n";
+            os << "  \"pool\": {\"live\": " << pool.live()
+               << ", \"allocs\": "
+               << static_cast<std::uint64_t>(pool.statAllocs.value())
+               << ", \"frees\": "
+               << static_cast<std::uint64_t>(pool.statFrees.value())
+               << "},\n";
+            os << "  \"waiters\": [";
+            bool firstList = true;
+            for (const RetryList *list : _sim.faultDomain().lists()) {
+                if (list->empty())
+                    continue;
+                os << (firstList ? "" : ", ")
+                   << "{\"list\": \"" << jsonEscape(list->owner())
+                   << "\", \"requestors\": [";
+                firstList = false;
+                bool firstReq = true;
+                for (const MemRequestor *req : list->waiters()) {
+                    os << (firstReq ? "" : ", ") << "\""
+                       << jsonEscape(req->requestorName()) << "\"";
+                    firstReq = false;
+                }
+                os << "]}";
+            }
+            os << "],\n";
+            os << "  \"diagnostics\": [";
+            bool firstDiag = true;
+            for (SimObject *obj : _sim.objects()) {
+                std::ostringstream line;
+                obj->hangDiagnostics(line);
+                if (line.str().empty())
+                    continue;
+                os << (firstDiag ? "" : ", ") << "\""
+                   << jsonEscape(obj->name() + ": " + line.str())
+                   << "\"";
+                firstDiag = false;
+            }
+            os << "],\n";
+            os << "  \"report_text\": \"" << jsonEscape(_lastReport)
+               << "\"\n";
+            os << "}\n";
+        }
+    }
+    // abort skips destructors, so flush the JSON stats sink first;
+    // panic() is the one sanctioned abort path and carries the
+    // report to stderr.
+    _sim.flushStatsSink();
+    panic("%s", _lastReport.c_str());
 }
 
 void
@@ -180,6 +282,7 @@ ProgressWatchdog::sweepStaleFronts()
             // The same waiter headed this list a full budget ago while
             // everything around it made progress: its wakeup is lost.
             // A spurious wake is always legal, so recover it.
+            chargeForcedWake(list);
             if (list->wakeOne(/*force=*/true)) {
                 ++statForcedWakes;
                 ++statStaleWakes;

@@ -110,6 +110,21 @@ class ProgressWatchdog
     void degradeRecover();
     void sweepStaleFronts();
 
+    /**
+     * Serialize the current report as JSON to --hang-report-path
+     * (no-op when unset) and terminate through the sanctioned
+     * flush-stats-then-panic path. @p kind is "hang" (abort mode) or
+     * "degrade-escalation" (forced-wake cap tripped).
+     */
+    [[noreturn]] void abortWithReport(const char *kind);
+
+    /**
+     * Count one force-wake against the waiter at the head of
+     * @p list; escalates to abortWithReport when the per-waiter cap
+     * trips (degrade must not silently spin forever).
+     */
+    void chargeForcedWake(const RetryList *list);
+
     Simulation &_sim;
     Tick _budget;
     Tick _currentBudget;
@@ -121,6 +136,11 @@ class ProgressWatchdog
      *  stale-front sweep). Keys are only ever compared against live
      *  list pointers, never dereferenced. */
     std::unordered_map<const RetryList *, const MemRequestor *> _lastFront;
+    /** Degrade-mode force-wakes charged to each waiter since the
+     *  retry lists last fully drained; when one waiter absorbs more
+     *  than the cap, degrade escalates to abort-with-report instead
+     *  of spinning forever. Keys follow the _lastFront rules. */
+    std::unordered_map<const MemRequestor *, unsigned> _forcedWakeCount;
     std::string _lastReport;
 };
 

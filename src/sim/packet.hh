@@ -239,8 +239,13 @@ class MemSink
         }
         if (tryAccept(pkt)) {
             // pkt may already be completed (even freed) by the sink
-            // here; the hook uses it as an identity key only.
+            // here; the hook uses it as an identity key only, so
+            // GCC's use-after-free tracking is a false positive
+            // (whether it fires depends on inlining depth).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
             EMERALD_CHECK_HOOK(offerAccepted(&_retries, pkt));
+#pragma GCC diagnostic pop
             return true;
         }
         EMERALD_CHECK_HOOK(offerRejected(&_retries, pkt, &req));

@@ -50,6 +50,16 @@ readLE(const char *p, unsigned bytes)
 }
 
 /**
+ * Internal parse failure: thrown by the manifest scanner so the two
+ * consumers can diverge — CheckpointReader turns it into the usual
+ * fatal(), probeCheckpoint() into a recoverable MalformedManifest.
+ */
+struct ManifestError
+{
+    std::string msg;
+};
+
+/**
  * Minimal JSON scanner for the manifest we write ourselves: objects,
  * arrays, strings and unsigned integers. All numeric manifest fields
  * are written as JSON strings (u64 values do not survive a double
@@ -63,11 +73,12 @@ class ManifestParser
         : _text(text), _path(std::move(path))
     {}
 
-    void
+    [[noreturn]] void
     die(const char *what) const
     {
-        fatal("checkpoint manifest '%s': malformed JSON (%s near "
-              "offset %zu)", _path.c_str(), what, _pos);
+        throw ManifestError{strprintf(
+            "checkpoint manifest '%s': malformed JSON (%s near "
+            "offset %zu)", _path.c_str(), what, _pos)};
     }
 
     void
@@ -204,14 +215,219 @@ parseU64Field(const std::string &text, const std::string &key,
 {
     char *end = nullptr;
     std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
-    fatal_if(end == text.c_str() || *end != '\0',
-             "checkpoint manifest '%s': field '%s' ('%s') is not an "
-             "unsigned integer", path.c_str(), key.c_str(),
-             text.c_str());
+    if (end == text.c_str() || *end != '\0') {
+        throw ManifestError{strprintf(
+            "checkpoint manifest '%s': field '%s' ('%s') is not an "
+            "unsigned integer", path.c_str(), key.c_str(),
+            text.c_str())};
+    }
     return v;
 }
 
+/** One parsed section-table entry. */
+struct SectionEntry
+{
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    std::uint32_t crc = 0;
+    /** Version-1 manifests carry no CRC; verification is skipped. */
+    bool hasCrc = false;
+};
+
+/** Everything a manifest.json holds, independent of error policy. */
+struct ManifestData
+{
+    std::uint64_t version = 0;
+    bool sawVersion = false;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t tick = 0;
+    std::uint64_t numProcessed = 0;
+    std::map<std::string, SectionEntry> sections;
+};
+
+/** Parse @p text (throws ManifestError on any malformation). */
+ManifestData
+parseManifestText(const std::string &text, const std::string &path)
+{
+    ManifestData md;
+    ManifestParser p(text, path);
+    p.parseObject(
+        [&](const std::string &key, const std::string &value) {
+            if (key == "format_version") {
+                md.version = parseU64Field(value, key, path);
+                md.sawVersion = true;
+            } else if (key == "config_fingerprint") {
+                md.fingerprint = parseU64Field(value, key, path);
+            } else if (key == "tick") {
+                md.tick = parseU64Field(value, key, path);
+            } else if (key == "num_processed") {
+                md.numProcessed = parseU64Field(value, key, path);
+            }
+            // Unknown scalar fields are ignored: adding manifest
+            // metadata is a compatible change.
+        },
+        [&](const std::string &key) {
+            std::string name;
+            SectionEntry entry;
+            p.parseObject(
+                [&](const std::string &k, const std::string &v) {
+                    if (k == "name") {
+                        name = v;
+                    } else if (k == "offset") {
+                        entry.offset = static_cast<std::size_t>(
+                            parseU64Field(v, k, path));
+                    } else if (k == "size") {
+                        entry.size = static_cast<std::size_t>(
+                            parseU64Field(v, k, path));
+                    } else if (k == "crc") {
+                        entry.crc = static_cast<std::uint32_t>(
+                            parseU64Field(v, k, path));
+                        entry.hasCrc = true;
+                    }
+                },
+                [&](const std::string &) {
+                    p.die("nested array in section entry");
+                });
+            if (key != "sections") {
+                throw ManifestError{strprintf(
+                    "checkpoint manifest '%s': unexpected array "
+                    "field '%s'", path.c_str(), key.c_str())};
+            }
+            if (name.empty()) {
+                throw ManifestError{strprintf(
+                    "checkpoint manifest '%s': section without a "
+                    "name", path.c_str())};
+            }
+            auto [it, inserted] = md.sections.emplace(name, entry);
+            if (!inserted) {
+                throw ManifestError{strprintf(
+                    "checkpoint manifest '%s': duplicate section "
+                    "'%s'", path.c_str(), name.c_str())};
+            }
+        });
+    if (!md.sawVersion) {
+        throw ManifestError{strprintf(
+            "checkpoint manifest '%s': missing format_version",
+            path.c_str())};
+    }
+    return md;
+}
+
+/** Read a whole file into @p out; false when it cannot be opened. */
+bool
+slurpFile(const std::string &path, std::string &out, bool binary)
+{
+    std::ifstream in(path, binary ? std::ios::binary
+                                  : std::ios::in);
+    if (!in.is_open())
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
 } // namespace
+
+std::uint32_t
+crc32(const void *bytes, std::size_t n)
+{
+    // Bitwise (table-free) reflected CRC-32: checkpoint sections are
+    // at most a few MB, so the 8x table speedup is not worth the
+    // cache footprint here.
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i) {
+        crc ^= p[i];
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xedb88320u & (-(crc & 1u)));
+    }
+    return crc ^ 0xffffffffu;
+}
+
+const char *
+ckptIntegrityName(CkptIntegrity status)
+{
+    switch (status) {
+    case CkptIntegrity::Ok: return "ok";
+    case CkptIntegrity::MissingManifest: return "missing-manifest";
+    case CkptIntegrity::MalformedManifest: return "malformed-manifest";
+    case CkptIntegrity::UnsupportedVersion: return "unsupported-version";
+    case CkptIntegrity::MissingData: return "missing-data";
+    case CkptIntegrity::TruncatedSection: return "truncated-section";
+    case CkptIntegrity::CrcMismatch: return "crc-mismatch";
+    }
+    return "?";
+}
+
+CkptProbe
+probeCheckpoint(const std::string &dir)
+{
+    CkptProbe probe;
+    std::string manifest_path = dir + "/manifest.json";
+    std::string text;
+    if (!slurpFile(manifest_path, text, /*binary=*/false)) {
+        probe.status = CkptIntegrity::MissingManifest;
+        probe.detail = "cannot open " + manifest_path;
+        return probe;
+    }
+
+    ManifestData md;
+    try {
+        md = parseManifestText(text, manifest_path);
+    } catch (const ManifestError &err) {
+        probe.status = CkptIntegrity::MalformedManifest;
+        probe.detail = err.msg;
+        return probe;
+    }
+    probe.fingerprint = md.fingerprint;
+    probe.tick = md.tick;
+    probe.numProcessed = md.numProcessed;
+
+    if (md.version < checkpointMinReadVersion ||
+        md.version > checkpointFormatVersion) {
+        probe.status = CkptIntegrity::UnsupportedVersion;
+        probe.detail = strprintf(
+            "format version %llu (this binary reads %llu..%llu)",
+            (unsigned long long)md.version,
+            (unsigned long long)checkpointMinReadVersion,
+            (unsigned long long)checkpointFormatVersion);
+        return probe;
+    }
+
+    std::string data;
+    if (!slurpFile(dir + "/data.bin", data, /*binary=*/true)) {
+        probe.status = CkptIntegrity::MissingData;
+        probe.detail = "cannot open " + dir + "/data.bin";
+        return probe;
+    }
+
+    for (const auto &[name, entry] : md.sections) {
+        if (entry.offset + entry.size > data.size()) {
+            probe.status = CkptIntegrity::TruncatedSection;
+            probe.detail = strprintf(
+                "section '%s' (offset %zu, size %zu) extends past "
+                "the end of data.bin (%zu bytes)", name.c_str(),
+                entry.offset, entry.size, data.size());
+            return probe;
+        }
+        if (entry.hasCrc) {
+            std::uint32_t actual =
+                crc32(data.data() + entry.offset, entry.size);
+            if (actual != entry.crc) {
+                probe.status = CkptIntegrity::CrcMismatch;
+                probe.detail = strprintf(
+                    "section '%s': crc %08x, manifest says %08x",
+                    name.c_str(), actual, entry.crc);
+                return probe;
+            }
+        }
+    }
+
+    probe.status = CkptIntegrity::Ok;
+    probe.detail.clear();
+    return probe;
+}
 
 //
 // CheckpointOut
@@ -513,7 +729,10 @@ CheckpointWriter::finalize()
                    static_cast<std::streamsize>(s.bytes().size()));
         manifest << "    {\"name\": \"" << jsonEscape(s.sectionName())
                  << "\", \"offset\": \"" << offset
-                 << "\", \"size\": \"" << s.bytes().size() << "\"}"
+                 << "\", \"size\": \"" << s.bytes().size()
+                 << "\", \"crc\": \""
+                 << crc32(s.bytes().data(), s.bytes().size())
+                 << "\"}"
                  << (i + 1 < _sections.size() ? "," : "") << "\n";
         offset += s.bytes().size();
     }
@@ -537,86 +756,52 @@ CheckpointWriter::finalize()
 CheckpointReader::CheckpointReader(const std::string &dir) : _dir(dir)
 {
     std::string manifest_path = _dir + "/manifest.json";
-    std::ifstream mf(manifest_path);
-    fatal_if(!mf.is_open(),
+    std::string text;
+    fatal_if(!slurpFile(manifest_path, text, /*binary=*/false),
              "cannot open checkpoint manifest '%s' — is '%s' a "
              "checkpoint directory?", manifest_path.c_str(),
              _dir.c_str());
-    std::stringstream ss;
-    ss << mf.rdbuf();
-    std::string text = ss.str();
 
-    bool saw_version = false;
-    std::uint64_t version = 0;
-    ManifestParser p(text, manifest_path);
-    p.parseObject(
-        [&](const std::string &key, const std::string &value) {
-            if (key == "format_version") {
-                version = parseU64Field(value, key, manifest_path);
-                saw_version = true;
-            } else if (key == "config_fingerprint") {
-                _fingerprint =
-                    parseU64Field(value, key, manifest_path);
-            } else if (key == "tick") {
-                _tick = parseU64Field(value, key, manifest_path);
-            } else if (key == "num_processed") {
-                _numProcessed =
-                    parseU64Field(value, key, manifest_path);
-            }
-            // Unknown scalar fields are ignored: adding manifest
-            // metadata is a compatible change.
-        },
-        [&](const std::string &key) {
-            std::string name;
-            std::uint64_t offset = 0;
-            std::uint64_t size = 0;
-            p.parseObject(
-                [&](const std::string &k, const std::string &v) {
-                    if (k == "name")
-                        name = v;
-                    else if (k == "offset")
-                        offset = parseU64Field(v, k, manifest_path);
-                    else if (k == "size")
-                        size = parseU64Field(v, k, manifest_path);
-                },
-                [&](const std::string &) {
-                    p.die("nested array in section entry");
-                });
-            fatal_if(key != "sections",
-                     "checkpoint manifest '%s': unexpected array "
-                     "field '%s'", manifest_path.c_str(), key.c_str());
-            fatal_if(name.empty(),
-                     "checkpoint manifest '%s': section without a "
-                     "name", manifest_path.c_str());
-            auto [it, inserted] = _sections.emplace(
-                name, SectionRef{static_cast<std::size_t>(offset),
-                                 static_cast<std::size_t>(size)});
-            fatal_if(!inserted,
-                     "checkpoint manifest '%s': duplicate section "
-                     "'%s'", manifest_path.c_str(), name.c_str());
-        });
+    ManifestData md;
+    try {
+        md = parseManifestText(text, manifest_path);
+    } catch (const ManifestError &err) {
+        fatal("%s", err.msg.c_str());
+    }
+    _fingerprint = md.fingerprint;
+    _tick = md.tick;
+    _numProcessed = md.numProcessed;
 
-    fatal_if(!saw_version,
-             "checkpoint manifest '%s': missing format_version",
-             manifest_path.c_str());
-    fatal_if(version != checkpointFormatVersion,
+    fatal_if(md.version < checkpointMinReadVersion ||
+                 md.version > checkpointFormatVersion,
              "checkpoint '%s' has format version %llu; this binary "
-             "reads version %llu", _dir.c_str(),
-             (unsigned long long)version,
+             "reads versions %llu..%llu", _dir.c_str(),
+             (unsigned long long)md.version,
+             (unsigned long long)checkpointMinReadVersion,
              (unsigned long long)checkpointFormatVersion);
 
     std::string data_path = _dir + "/data.bin";
-    std::ifstream data(data_path, std::ios::binary);
-    fatal_if(!data.is_open(), "cannot open checkpoint data '%s'",
-             data_path.c_str());
-    std::stringstream ds;
-    ds << data.rdbuf();
-    _data = ds.str();
+    fatal_if(!slurpFile(data_path, _data, /*binary=*/true),
+             "cannot open checkpoint data '%s'", data_path.c_str());
 
-    for (const auto &[name, ref] : _sections) {
-        fatal_if(ref.offset + ref.size > _data.size(),
+    for (const auto &[name, entry] : md.sections) {
+        fatal_if(entry.offset + entry.size > _data.size(),
                  "checkpoint '%s': section '%s' extends past the end "
                  "of data.bin", _dir.c_str(), name.c_str());
+        // Strict readers verify too: the probe-then-restore window is
+        // short but a checkpoint can rot (or be truncated) between
+        // the supervisor's probe and the child's restore.
+        if (entry.hasCrc) {
+            std::uint32_t actual =
+                crc32(_data.data() + entry.offset, entry.size);
+            fatal_if(actual != entry.crc,
+                     "checkpoint '%s': section '%s' fails CRC "
+                     "verification (%08x, manifest says %08x) — the "
+                     "checkpoint is corrupt", _dir.c_str(),
+                     name.c_str(), actual, entry.crc);
+        }
+        _sections.emplace(name,
+                          SectionRef{entry.offset, entry.size});
     }
 }
 

@@ -38,8 +38,67 @@ enum class RecordType : std::uint8_t
     F64Vec = 7,
 };
 
-/** Bump on any incompatible change to the record or manifest format. */
-constexpr std::uint64_t checkpointFormatVersion = 1;
+/**
+ * Bump on any incompatible change to the record or manifest format.
+ * Version 2 added a per-section CRC-32 to the manifest's section
+ * table; the reader still accepts version-1 checkpoints (no CRC
+ * entries, so integrity verification is skipped for them).
+ */
+constexpr std::uint64_t checkpointFormatVersion = 2;
+
+/** Oldest manifest format this binary still reads. */
+constexpr std::uint64_t checkpointMinReadVersion = 1;
+
+/** CRC-32 (IEEE, reflected polynomial 0xEDB88320) of @p n bytes. */
+std::uint32_t crc32(const void *bytes, std::size_t n);
+
+/**
+ * What probeCheckpoint() found. Everything except Ok is a recoverable
+ * condition: the caller (rotation-aware restore, the run supervisor)
+ * skips the damaged checkpoint and falls back to an older one or a
+ * cold start instead of aborting.
+ */
+enum class CkptIntegrity : std::uint8_t
+{
+    Ok,
+    /** No manifest.json — not a checkpoint directory (or torn). */
+    MissingManifest,
+    /** manifest.json exists but does not parse or lacks fields. */
+    MalformedManifest,
+    /** Format version outside [min read, current]. */
+    UnsupportedVersion,
+    /** manifest.json is fine but data.bin is absent. */
+    MissingData,
+    /** A section extends past the end of data.bin. */
+    TruncatedSection,
+    /** A section's bytes do not match its manifest CRC. */
+    CrcMismatch,
+};
+
+/** Stable lower-case name ("ok", "crc-mismatch", ...) for logs/DBs. */
+const char *ckptIntegrityName(CkptIntegrity status);
+
+/** Result of a non-fatal checkpoint integrity probe. */
+struct CkptProbe
+{
+    CkptIntegrity status = CkptIntegrity::MissingManifest;
+    /** Human-readable diagnosis (names the section / parse error). */
+    std::string detail;
+    std::uint64_t fingerprint = 0;
+    Tick tick = 0;
+    std::uint64_t numProcessed = 0;
+
+    bool ok() const { return status == CkptIntegrity::Ok; }
+};
+
+/**
+ * Inspect the checkpoint directory @p dir without restoring from it:
+ * parse the manifest, bounds-check every section against data.bin and
+ * verify each section's CRC (format >= 2). Never fatal — a truncated
+ * or corrupt checkpoint comes back as a typed, diagnosable status so
+ * recovery code can skip it.
+ */
+CkptProbe probeCheckpoint(const std::string &dir);
 
 /**
  * One section being written: an append-only stream of typed key/value

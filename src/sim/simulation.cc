@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include <algorithm>
+#include <filesystem>
+#include <vector>
 
 #include "sim/check/context.hh"
 #include "sim/check/determinism.hh"
@@ -19,17 +21,29 @@ namespace emerald
 {
 
 /**
- * Fires the armed --checkpoint-at save from the event-queue
- * instrument chain: between events, after the determinism verifier
- * has folded the just-processed one, so the saved hash covers exactly
- * the pre-checkpoint prefix and the event stream itself is never
- * perturbed (no probe events). Stays attached but inert after firing.
+ * Fires checkpoint saves from the event-queue instrument chain:
+ * between events, after the determinism verifier has folded the
+ * just-processed one, so the saved hash covers exactly the
+ * pre-checkpoint prefix and the event stream itself is never
+ * perturbed (no probe events).
+ *
+ * One-shot mode (--checkpoint-at) saves straight into the configured
+ * directory and stays attached but inert after firing. Recurring
+ * mode (--checkpoint-every) re-arms after every save and writes
+ * atomically-renamed rotations under the directory instead
+ * (Simulation::saveRotatedCheckpoint), keeping only the newest K.
  */
 class CheckpointTrigger : public EventInstrument
 {
   public:
     CheckpointTrigger(Simulation &sim, Tick at, std::string dir)
         : _sim(sim), _at(at), _dir(std::move(dir))
+    {}
+
+    CheckpointTrigger(Simulation &sim, Tick every, std::string dir,
+                      unsigned keep)
+        : _sim(sim), _at(every), _dir(std::move(dir)), _every(every),
+          _keep(keep)
     {}
 
     void
@@ -50,14 +64,37 @@ class CheckpointTrigger : public EventInstrument
             }
             return;
         }
-        _fired = true;
-        _sim.saveCheckpoint(_dir);
+        _deferred = false;
+        if (_every == 0) {
+            _fired = true;
+            _sim.saveCheckpoint(_dir);
+            return;
+        }
+        _sim.saveRotatedCheckpoint(_dir, _keep);
+        // Re-arm relative to now, not to _at: a long quiescence
+        // deferral must not make up for lost rotations in a burst.
+        _at = when + _every;
+    }
+
+    /**
+     * After a restore jumped the clock, push the next firing a full
+     * period past the restored tick; without this a recurring
+     * trigger would fire at the first post-restore event.
+     */
+    void
+    rebase(Tick now)
+    {
+        if (_every > 0)
+            _at = now + _every;
     }
 
   private:
     Simulation &_sim;
     Tick _at;
     std::string _dir;
+    /** 0 = one-shot (--checkpoint-at) mode. */
+    Tick _every = 0;
+    unsigned _keep = 0;
     bool _fired = false;
     bool _deferred = false;
 };
@@ -253,6 +290,66 @@ Simulation::scheduleCheckpoint(Tick at, const std::string &dir)
 }
 
 void
+Simulation::scheduleRecurringCheckpoint(Tick every,
+                                        const std::string &dir,
+                                        unsigned keep)
+{
+    panic_if(_ckptTrigger != nullptr,
+             "scheduleRecurringCheckpoint: a checkpoint trigger is "
+             "already armed on this Simulation");
+    fatal_if(every == 0,
+             "--checkpoint-every needs a nonzero period");
+    fatal_if(dir.empty(), "--checkpoint-every needs a checkpoint "
+             "directory (--checkpoint-dir)");
+    fatal_if(keep == 0, "--checkpoint-keep must be at least 1");
+    _ckptTrigger =
+        std::make_unique<CheckpointTrigger>(*this, every, dir, keep);
+    attachInstrument(_ckptTrigger.get());
+}
+
+void
+Simulation::saveRotatedCheckpoint(const std::string &base,
+                                  unsigned keep)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(base, ec);
+    fatal_if(static_cast<bool>(ec),
+             "cannot create checkpoint directory '%s': %s",
+             base.c_str(), ec.message().c_str());
+
+    // Write into a scratch directory first; only a complete
+    // checkpoint gets renamed into place, so a reader can never
+    // observe a torn auto-* rotation (rename(2) is atomic).
+    std::string tmp = base + "/.tmp-auto";
+    fs::remove_all(tmp, ec);
+    saveCheckpoint(tmp);
+
+    std::string final_name =
+        strprintf("auto-%020llu", (unsigned long long)_eq.curTick());
+    std::string final_dir = base + "/" + final_name;
+    fs::remove_all(final_dir, ec);
+    fs::rename(tmp, final_dir, ec);
+    fatal_if(static_cast<bool>(ec),
+             "cannot publish checkpoint rotation '%s': %s",
+             final_dir.c_str(), ec.message().c_str());
+
+    // Prune to the newest `keep` rotations. The zero-padded tick in
+    // the name makes lexical order tick order.
+    std::vector<std::string> autos;
+    for (const auto &entry : fs::directory_iterator(base, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("auto-", 0) == 0)
+            autos.push_back(name);
+    }
+    std::sort(autos.begin(), autos.end());
+    while (autos.size() > keep) {
+        fs::remove_all(base + "/" + autos.front(), ec);
+        autos.erase(autos.begin());
+    }
+}
+
+void
 Simulation::saveCheckpoint(const std::string &dir)
 {
     fatal_if(!checkpointSafeNow(),
@@ -320,6 +417,67 @@ Simulation::saveCheckpoint(const std::string &dir)
            static_cast<std::size_t>(_packetPool->live()));
 }
 
+namespace
+{
+
+/**
+ * Pick the directory restoreCheckpoint() actually reads. @p base is
+ * either a checkpoint directory itself (manifest.json present) or a
+ * rotation base holding auto-<tick> subdirectories, in which case the
+ * newest rotation that passes the integrity probe wins and corrupt
+ * ones are skipped with a warning — a torn or bit-rotted rotation is
+ * recoverable, not fatal. Returns "" for a lenient cold start.
+ */
+std::string
+resolveRestoreSource(const std::string &base, bool lenient)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+
+    if (fs::exists(base + "/manifest.json", ec)) {
+        CkptProbe probe = probeCheckpoint(base);
+        if (probe.ok())
+            return base;
+        if (!lenient) {
+            fatal("checkpoint '%s' is damaged (%s): %s",
+                  base.c_str(), ckptIntegrityName(probe.status),
+                  probe.detail.c_str());
+        }
+        warn("checkpoint '%s' is damaged (%s): %s — starting cold",
+             base.c_str(), ckptIntegrityName(probe.status),
+             probe.detail.c_str());
+        return "";
+    }
+
+    std::vector<std::string> autos;
+    for (const auto &entry : fs::directory_iterator(base, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("auto-", 0) == 0)
+            autos.push_back(name);
+    }
+    std::sort(autos.rbegin(), autos.rend());
+    for (const std::string &name : autos) {
+        std::string dir = base + "/" + name;
+        CkptProbe probe = probeCheckpoint(dir);
+        if (probe.ok())
+            return dir;
+        warn("ckpt-corrupt: skipping rotation '%s' (%s): %s",
+             dir.c_str(), ckptIntegrityName(probe.status),
+             probe.detail.c_str());
+    }
+
+    if (lenient) {
+        warn("restore directory '%s' holds no usable checkpoint — "
+             "starting cold", base.c_str());
+        return "";
+    }
+    fatal("restore directory '%s' holds no usable checkpoint (no "
+          "manifest.json and no intact auto-* rotation)",
+          base.c_str());
+}
+
+} // namespace
+
 void
 Simulation::restoreCheckpoint()
 {
@@ -329,12 +487,21 @@ Simulation::restoreCheckpoint()
     panic_if(_eq.numProcessed() != 0,
              "restoreCheckpoint after events have run");
 
-    CheckpointReader r(_restoreDir);
+    std::string source =
+        resolveRestoreSource(_restoreDir, _restoreLenient);
+    if (source.empty()) {
+        // Lenient cold start: clear the spec so restorePending()
+        // turns false and the run proceeds from scratch.
+        _restoreDir.clear();
+        return;
+    }
+
+    CheckpointReader r(source);
     if (r.configFingerprint() != _configFingerprint) {
         if (_restoreForce) {
             warn("checkpoint '%s' was taken under config fingerprint "
                  "%016llx but this run is %016llx; proceeding because "
-                 "of --restore-force", _restoreDir.c_str(),
+                 "of --restore-force", source.c_str(),
                  (unsigned long long)r.configFingerprint(),
                  (unsigned long long)_configFingerprint);
         } else {
@@ -343,7 +510,7 @@ Simulation::restoreCheckpoint()
                   "into a different configuration would be silently "
                   "corrupt. Re-run with the checkpoint's "
                   "configuration, or pass --restore-force to "
-                  "override.", _restoreDir.c_str(),
+                  "override.", source.c_str(),
                   (unsigned long long)r.configFingerprint(),
                   (unsigned long long)_configFingerprint);
         }
@@ -384,7 +551,7 @@ Simulation::restoreCheckpoint()
                      "--check-determinism is on but checkpoint '%s' "
                      "was taken without it; the event hash cannot be "
                      "resumed. Re-take the checkpoint with "
-                     "--check-determinism.", _restoreDir.c_str());
+                     "--check-determinism.", source.c_str());
             _determinism->restoreState(in.getU64("hash"),
                                        in.getU64("num_events"));
         }
@@ -410,9 +577,14 @@ Simulation::restoreCheckpoint()
         }
     }
 
+    // A recurring trigger must not fire (and overwrite the rotation
+    // it just read) at the first post-restore event.
+    if (_ckptTrigger)
+        _ckptTrigger->rebase(_eq.curTick());
+
     _restored = true;
     inform("restored checkpoint '%s': tick %llu, %llu events "
-           "processed, %zu live packets", _restoreDir.c_str(),
+           "processed, %zu live packets", source.c_str(),
            (unsigned long long)r.tick(),
            (unsigned long long)r.numProcessed(),
            static_cast<std::size_t>(_packetPool->live()));

@@ -247,6 +247,16 @@ class Simulation
     void scheduleCheckpoint(Tick at, const std::string &dir);
 
     /**
+     * Arm recurring auto-checkpoints (--checkpoint-every): every
+     * @p every ticks, at the next quiescent inter-event boundary, a
+     * complete checkpoint is written to a temporary directory and
+     * atomically renamed to <dir>/auto-<tick> — a reader never sees
+     * a torn one. Only the newest @p keep rotations are retained.
+     */
+    void scheduleRecurringCheckpoint(Tick every, const std::string &dir,
+                                     unsigned keep);
+
+    /**
      * Write a checkpoint of the current state into directory @p dir
      * (manifest.json + data.bin + stats.json). Fatal when any object
      * reports !checkpointSafe().
@@ -254,17 +264,31 @@ class Simulation
     void saveCheckpoint(const std::string &dir);
 
     /**
+     * One rotation of the recurring trigger, exposed for it and for
+     * tests: save into <base>/.tmp-auto, atomically rename to
+     * <base>/auto-<tick> (zero-padded so lexical order is tick
+     * order), then prune rotations beyond @p keep.
+     */
+    void saveRotatedCheckpoint(const std::string &base, unsigned keep);
+
+    /**
      * Declare that this simulation will restore from @p dir
      * (--restore). The actual restore runs once the topology exists —
      * rigs call restoreCheckpoint() after construction (SocTop does
      * this automatically). @p force downgrades the config-fingerprint
      * mismatch from fatal to a warning (--restore-force).
+     * @p lenient makes a missing/entirely-corrupt checkpoint a
+     * warning-and-cold-start instead of fatal — the recovery path
+     * (supervised reruns under --checkpoint-every) restarts benches
+     * whose configs never reached their first checkpoint.
      */
     void
-    setRestoreSpec(const std::string &dir, bool force)
+    setRestoreSpec(const std::string &dir, bool force,
+                   bool lenient = false)
     {
         _restoreDir = dir;
         _restoreForce = force;
+        _restoreLenient = lenient;
     }
 
     /** True when setRestoreSpec ran and restoreCheckpoint has not. */
@@ -285,6 +309,19 @@ class Simulation
 
     /** True once restoreCheckpoint has run (warm start). */
     bool restored() const { return _restored; }
+
+    /**
+     * @{ Where the watchdog's abort path writes its structured hang
+     * report as JSON (--hang-report-path; "" disables). The run
+     * supervisor reads the file to classify a died child as Hang.
+     */
+    void
+    setHangReportPath(const std::string &path)
+    {
+        _hangReportPath = path;
+    }
+    const std::string &hangReportPath() const { return _hangReportPath; }
+    /** @} */
 
     /**
      * @{ Scheduler-policy selection (--warp-sched / --mem-sched).
@@ -385,7 +422,9 @@ class Simulation
     std::unique_ptr<CheckpointTrigger> _ckptTrigger;
     std::string _restoreDir;
     bool _restoreForce = false;
+    bool _restoreLenient = false;
     bool _restored = false;
+    std::string _hangReportPath;
     std::string _warpSchedPolicy;
     std::string _memSchedPolicy;
     std::string _captureTraceDir;

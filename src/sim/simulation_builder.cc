@@ -69,6 +69,23 @@ SimulationBuilder::checkpointAt(Tick at, const std::string &dir)
 }
 
 SimulationBuilder &
+SimulationBuilder::checkpointEvery(Tick every, const std::string &dir,
+                                   unsigned keep)
+{
+    _checkpointEvery = every;
+    _checkpointDir = dir;
+    _checkpointKeep = keep;
+    return *this;
+}
+
+SimulationBuilder &
+SimulationBuilder::hangReportPath(const std::string &path)
+{
+    _hangReportPath = path;
+    return *this;
+}
+
+SimulationBuilder &
 SimulationBuilder::restoreFrom(const std::string &dir, bool force)
 {
     _restoreDir = dir;
@@ -140,6 +157,14 @@ SimulationBuilder::observability(const Config &cfg)
                          "--checkpoint-at"),
                      cfg.getString("checkpoint-dir", "ckpt"));
     }
+    if (cfg.has("checkpoint-every")) {
+        checkpointEvery(
+            fault::parseDuration(cfg.getString("checkpoint-every", ""),
+                                 "--checkpoint-every"),
+            cfg.getString("checkpoint-dir", "ckpt"),
+            static_cast<unsigned>(cfg.getU64("checkpoint-keep", 3)));
+    }
+    hangReportPath(cfg.getString("hang-report-path", _hangReportPath));
     if (cfg.has("restore")) {
         restoreFrom(cfg.getString("restore", ""),
                     cfg.getBool("restore-force", false));
@@ -174,10 +199,26 @@ SimulationBuilder::applyTo(Simulation &sim) const
         sim.enableDeterminismCheck();
     // The checkpoint trigger attaches after the determinism verifier
     // so a saved hash always covers the just-processed event.
-    if (!_checkpointDir.empty())
+    fatal_if(_checkpointAt > 0 && _checkpointEvery > 0,
+             "--checkpoint-at and --checkpoint-every cannot combine: "
+             "one trigger per simulation");
+    if (_checkpointEvery > 0) {
+        sim.scheduleRecurringCheckpoint(_checkpointEvery,
+                                        _checkpointDir,
+                                        _checkpointKeep);
+    } else if (!_checkpointDir.empty()) {
         sim.scheduleCheckpoint(_checkpointAt, _checkpointDir);
-    if (!_restoreDir.empty())
-        sim.setRestoreSpec(_restoreDir, _restoreForce);
+    }
+    // Under recurring auto-checkpointing the restore is lenient: a
+    // supervised rerun may restart a config that never reached its
+    // first rotation (or whose only rotation is corrupt), and that
+    // must degrade to a cold start, not a fatal.
+    if (!_restoreDir.empty()) {
+        sim.setRestoreSpec(_restoreDir, _restoreForce,
+                           /*lenient=*/_checkpointEvery > 0);
+    }
+    if (!_hangReportPath.empty())
+        sim.setHangReportPath(_hangReportPath);
     if (!_faultPlan.empty())
         sim.configureFaults(_faultPlan, _faultSeed);
     if (_watchdogTicks > 0) {

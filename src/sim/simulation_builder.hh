@@ -83,6 +83,23 @@ class SimulationBuilder
     SimulationBuilder &checkpointAt(Tick at, const std::string &dir);
 
     /**
+     * Rotate auto-checkpoints into @p dir every @p every ticks
+     * (--checkpoint-every / --checkpoint-dir), keeping the newest
+     * @p keep (--checkpoint-keep). every == 0 disables. Mutually
+     * exclusive with checkpointAt().
+     */
+    SimulationBuilder &checkpointEvery(Tick every,
+                                       const std::string &dir,
+                                       unsigned keep = 3);
+
+    /**
+     * Where the watchdog's abort path writes its structured hang
+     * report as JSON (--hang-report-path); "" disables. The run
+     * supervisor uses the file to classify a dead child as a hang.
+     */
+    SimulationBuilder &hangReportPath(const std::string &path);
+
+    /**
      * Warm-start from the checkpoint directory @p dir (--restore).
      * The restore itself runs after topology construction (SocTop
      * triggers it); @p force turns the config-fingerprint mismatch
@@ -133,9 +150,12 @@ class SimulationBuilder
      * the robustness keys "fault-plan" (campaign string),
      * "fault-seed" (integer), "watchdog-ticks" (duration: "1ms",
      * "250us", or raw ticks) and "watchdog-mode" (abort|degrade),
-     * plus the checkpoint keys "checkpoint-at" (duration),
-     * "checkpoint-dir" (path, default "ckpt"), "restore" (path) and
-     * "restore-force" (bool), the scheduler-policy keys "warp-sched"
+     * "hang-report-path" (file the watchdog's abort mode writes its
+     * JSON hang report to), plus the checkpoint keys "checkpoint-at"
+     * (duration), "checkpoint-every" (duration, rotating
+     * auto-checkpoints), "checkpoint-keep" (rotation count, default
+     * 3), "checkpoint-dir" (path, default "ckpt"), "restore" (path)
+     * and "restore-force" (bool), the scheduler-policy keys "warp-sched"
      * and "mem-sched", and the trace keys "capture-trace" and
      * "replay-trace" (directories).
      */
@@ -164,7 +184,10 @@ class SimulationBuilder
     Tick _watchdogTicks = 0;
     std::string _watchdogMode = "abort";
     Tick _checkpointAt = 0;
+    Tick _checkpointEvery = 0;
+    unsigned _checkpointKeep = 3;
     std::string _checkpointDir;
+    std::string _hangReportPath;
     std::string _restoreDir;
     bool _restoreForce = false;
     std::string _warpSched;

@@ -1,7 +1,11 @@
 #include "sim/stats_sink.hh"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <sstream>
@@ -207,7 +211,7 @@ class SqliteSink : public StatsSink
             fatal("cannot open sqlite stats db '%s': %s", path.c_str(),
                   _db ? sqlite3_errmsg(_db) : "out of memory");
         }
-        sqlite3_busy_timeout(_db, 120000);
+        sqlite3_busy_timeout(_db, sqliteBusyTimeoutMs(120000));
         // WAL lets sweep workers commit without blocking readers;
         // best effort (plain rollback journal is correct too).
         exec("PRAGMA journal_mode=WAL", true);
@@ -268,11 +272,8 @@ class SqliteSink : public StatsSink
     void
     exec(const char *sql, bool best_effort = false)
     {
-        char *err = nullptr;
-        if (sqlite3_exec(_db, sql, nullptr, nullptr, &err) !=
-            SQLITE_OK) {
-            std::string msg = err ? err : "unknown error";
-            sqlite3_free(err);
+        std::string msg;
+        if (sqliteExecRetry(_db, sql, &msg) != SQLITE_OK) {
             if (!best_effort)
                 fatal("sqlite stats db: '%s' failed: %s", sql,
                       msg.c_str());
@@ -490,11 +491,111 @@ sweepSchemaStatements()
         "  name TEXT NOT NULL,"
         "  value REAL,"
         "  PRIMARY KEY(run_id, name))",
+        // Failure taxonomy (docs/resilience.md): one row per
+        // classified per-point failure, keyed like runs so a point's
+        // history survives its eventual success. Additive — older
+        // readers ignore it, so schema_version stays '1'.
+        "CREATE TABLE IF NOT EXISTS run_failures("
+        "  failure_id INTEGER PRIMARY KEY,"
+        "  bench TEXT NOT NULL,"
+        "  fingerprint TEXT NOT NULL,"
+        "  git_sha TEXT NOT NULL DEFAULT '',"
+        "  attempt INTEGER NOT NULL DEFAULT 0,"
+        "  class TEXT NOT NULL,"
+        "  signal INTEGER NOT NULL DEFAULT 0,"
+        "  exit_code INTEGER NOT NULL DEFAULT -1,"
+        "  recovered_tick INTEGER NOT NULL DEFAULT 0,"
+        "  detail TEXT NOT NULL DEFAULT '',"
+        "  occurred_at TEXT)",
         "INSERT OR IGNORE INTO sweep_meta(key, value) "
         "VALUES('schema_version', '1')",
     };
     return ddl;
 }
+
+int
+sqliteBusyTimeoutMs(int dfltMs)
+{
+    const char *env = std::getenv("EMERALD_SQLITE_BUSY_MS");
+    if (!env || !*env)
+        return dfltMs;
+    char *end = nullptr;
+    long ms = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || ms < 0)
+        return dfltMs;
+    return static_cast<int>(std::min<long>(ms, 600000));
+}
+
+#ifdef EMERALD_HAS_SQLITE
+
+namespace
+{
+
+/**
+ * Deterministic per-connection jitter in [0, limit): a splitmix64
+ * finalizer over the connection pointer and attempt number. The
+ * sanctioned rand() replacement (sim/random.hh) seeds simulation
+ * state; host-side DB backoff must not touch it, and real randomness
+ * would make contention stalls unreproducible.
+ */
+unsigned
+backoffJitter(sqlite3 *db, int attempt, unsigned limit)
+{
+    std::uint64_t x = reinterpret_cast<std::uintptr_t>(db);
+    x += static_cast<std::uint64_t>(::getpid());
+    x += static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return limit ? static_cast<unsigned>(x % limit) : 0;
+}
+
+} // namespace
+
+int
+sqliteExecRetry(sqlite3 *db, const char *sql, std::string *errOut)
+{
+    // A dozen attempts with the doubling schedule below spans a few
+    // seconds past the busy handler's own patience — enough for a
+    // whole sweep's worth of workers fighting over one WAL.
+    constexpr int maxAttempts = 12;
+    constexpr unsigned baseDelayMs = 2;
+    constexpr unsigned capDelayMs = 250;
+
+    int rc = SQLITE_OK;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        char *err = nullptr;
+        rc = sqlite3_exec(db, sql, nullptr, nullptr, &err);
+        if (rc != SQLITE_BUSY && rc != SQLITE_LOCKED) {
+            if (errOut)
+                *errOut = err ? err : (rc == SQLITE_OK ? "" : "error");
+            sqlite3_free(err);
+            return rc;
+        }
+        if (errOut)
+            *errOut = err ? err : "database is locked";
+        sqlite3_free(err);
+        // No rollback here: a busy BEGIN opened nothing, and a busy
+        // COMMIT leaves its transaction intact for the retry.
+        unsigned delay = std::min(capDelayMs, baseDelayMs << attempt);
+        delay = delay / 2 + backoffJitter(db, attempt, delay / 2 + 1);
+        ::usleep(delay * 1000u);
+    }
+    return rc;
+}
+
+#else // !EMERALD_HAS_SQLITE
+
+int
+sqliteExecRetry(sqlite3 *, const char *sql, std::string *)
+{
+    fatal("sqliteExecRetry('%s'): this build has no SQLite support",
+          sql);
+}
+
+#endif // EMERALD_HAS_SQLITE
 
 std::unique_ptr<StatsSink>
 makeTreeStatsSink(const std::string &uri)

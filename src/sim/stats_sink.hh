@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+struct sqlite3;
+
 namespace emerald
 {
 
@@ -105,6 +107,24 @@ bool sqliteSinkAvailable();
  * orchestrator's resume queries so the schema cannot drift.
  */
 const std::vector<std::string> &sweepSchemaStatements();
+
+/**
+ * sqlite3_exec hardened against writer contention: SQLITE_BUSY /
+ * SQLITE_LOCKED results are retried with jittered exponential
+ * backoff (the jitter is derived from the connection pointer, not
+ * rand(), so simulation determinism is untouched). Returns the final
+ * sqlite result code; on error *errOut (when non-null) receives the
+ * message. Only meaningful in SQLite-enabled builds.
+ */
+int sqliteExecRetry(sqlite3 *db, const char *sql,
+                    std::string *errOut);
+
+/**
+ * Busy-handler timeout for sweep connections: the
+ * EMERALD_SQLITE_BUSY_MS environment variable when set (stress tests
+ * shrink it to force the sqliteExecRetry path), else @p dfltMs.
+ */
+int sqliteBusyTimeoutMs(int dfltMs);
 
 } // namespace emerald
 

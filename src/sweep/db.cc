@@ -1,5 +1,9 @@
 #include "sweep/db.hh"
 
+#include <unistd.h>
+
+#include <ctime>
+
 #include "sim/logging.hh"
 #include "sim/stats_sink.hh"
 
@@ -30,18 +34,18 @@ SweepDb::SweepDb(const std::string &path)
     fatal_if(rc != SQLITE_OK, "cannot open sweep db '%s': %s",
              path.c_str(),
              _db ? sqlite3_errmsg(_db) : "out of memory");
-    sqlite3_busy_timeout(_db, 120000);
+    sqlite3_busy_timeout(_db, sqliteBusyTimeoutMs(120000));
     // Best-effort pragmas; children set the same ones.
     sqlite3_exec(_db, "PRAGMA journal_mode=WAL", nullptr, nullptr,
                  nullptr);
     sqlite3_exec(_db, "PRAGMA synchronous=NORMAL", nullptr, nullptr,
                  nullptr);
 
-    char *err = nullptr;
     auto exec = [&](const char *sql) {
-        int erc = sqlite3_exec(_db, sql, nullptr, nullptr, &err);
+        std::string err;
+        int erc = sqliteExecRetry(_db, sql, &err);
         fatal_if(erc != SQLITE_OK, "sweep db '%s': %s (%s)",
-                 path.c_str(), err ? err : "error", sql);
+                 path.c_str(), err.c_str(), sql);
     };
     exec("BEGIN IMMEDIATE");
     for (const std::string &ddl : sweepSchemaStatements())
@@ -118,6 +122,154 @@ SweepDb::setMeta(const std::string &key, const std::string &value)
              sqlite3_errmsg(_db));
 }
 
+namespace
+{
+
+/** ISO-8601 UTC now, matching SqliteSink's finished_at format. */
+std::string
+isoNowUtc()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+/** sqlite3_step with a short busy-retry (the busy handler already
+ *  waited; this absorbs the immediate-BUSY deadlock-avoidance case). */
+int
+stepRetry(sqlite3 *stmt_db, sqlite3_stmt *stmt)
+{
+    int rc = SQLITE_OK;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        rc = sqlite3_step(stmt);
+        if (rc != SQLITE_BUSY && rc != SQLITE_LOCKED)
+            return rc;
+        sqlite3_reset(stmt);
+        (void)stmt_db;
+        ::usleep(2000u << (attempt < 7 ? attempt : 7));
+    }
+    return rc;
+}
+
+} // namespace
+
+void
+SweepDb::recordFailure(const std::string &bench,
+                       const std::string &fingerprint,
+                       const std::string &gitSha, unsigned attempt,
+                       const std::string &cls, int signal,
+                       int exitCode, std::uint64_t recoveredTick,
+                       const std::string &detail)
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "INSERT INTO run_failures(bench, fingerprint, git_sha, "
+        "attempt, class, signal, exit_code, recovered_tick, detail, "
+        "occurred_at) VALUES(?1, ?2, ?3, ?4, ?5, ?6, ?7, ?8, ?9, ?10)",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+    std::string now = isoNowUtc();
+    sqlite3_bind_text(stmt, 1, bench.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, fingerprint.c_str(), -1,
+                      SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 3, gitSha.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_int64(stmt, 4, attempt);
+    sqlite3_bind_text(stmt, 5, cls.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_int(stmt, 6, signal);
+    sqlite3_bind_int(stmt, 7, exitCode);
+    sqlite3_bind_int64(stmt, 8,
+                       static_cast<sqlite3_int64>(recoveredTick));
+    sqlite3_bind_text(stmt, 9, detail.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 10, now.c_str(), -1, SQLITE_TRANSIENT);
+    rc = stepRetry(_db, stmt);
+    sqlite3_finalize(stmt);
+    fatal_if(rc != SQLITE_DONE, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+}
+
+unsigned
+SweepDb::failureCount(const std::string &bench,
+                      const std::string &fingerprint,
+                      const std::string &gitSha) const
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "SELECT COUNT(*) FROM run_failures WHERE bench=?1 AND "
+        "fingerprint=?2 AND git_sha=?3 AND class != 'ckpt-corrupt'",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db query failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, bench.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, fingerprint.c_str(), -1,
+                      SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 3, gitSha.c_str(), -1, SQLITE_TRANSIENT);
+    unsigned count = 0;
+    if (sqlite3_step(stmt) == SQLITE_ROW)
+        count = static_cast<unsigned>(sqlite3_column_int64(stmt, 0));
+    sqlite3_finalize(stmt);
+    return count;
+}
+
+void
+SweepDb::setRunStatus(const std::string &bench,
+                      const std::string &fingerprint,
+                      const std::string &gitSha,
+                      const std::string &status)
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "INSERT INTO runs(bench, fingerprint, git_sha, status) "
+        "VALUES(?1, ?2, ?3, ?4) "
+        "ON CONFLICT(bench, fingerprint, git_sha) DO UPDATE SET "
+        "status = excluded.status",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, bench.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, fingerprint.c_str(), -1,
+                      SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 3, gitSha.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 4, status.c_str(), -1, SQLITE_TRANSIENT);
+    rc = stepRetry(_db, stmt);
+    sqlite3_finalize(stmt);
+    fatal_if(rc != SQLITE_DONE, "sweep db write failed: %s",
+             sqlite3_errmsg(_db));
+}
+
+std::string
+SweepDb::runStatus(const std::string &bench,
+                   const std::string &fingerprint,
+                   const std::string &gitSha) const
+{
+    sqlite3_stmt *stmt = nullptr;
+    int rc = sqlite3_prepare_v2(
+        _db,
+        "SELECT status FROM runs WHERE bench=?1 AND fingerprint=?2 "
+        "AND git_sha=?3",
+        -1, &stmt, nullptr);
+    fatal_if(rc != SQLITE_OK, "sweep db query failed: %s",
+             sqlite3_errmsg(_db));
+    sqlite3_bind_text(stmt, 1, bench.c_str(), -1, SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 2, fingerprint.c_str(), -1,
+                      SQLITE_TRANSIENT);
+    sqlite3_bind_text(stmt, 3, gitSha.c_str(), -1, SQLITE_TRANSIENT);
+    std::string status;
+    if (sqlite3_step(stmt) == SQLITE_ROW) {
+        const unsigned char *text = sqlite3_column_text(stmt, 0);
+        if (text)
+            status = reinterpret_cast<const char *>(text);
+    }
+    sqlite3_finalize(stmt);
+    return status;
+}
+
 #else // !EMERALD_HAS_SQLITE
 
 SweepDb::SweepDb(const std::string &path)
@@ -144,6 +296,34 @@ SweepDb::getMeta(const std::string &) const
 void
 SweepDb::setMeta(const std::string &, const std::string &)
 {
+}
+
+void
+SweepDb::recordFailure(const std::string &, const std::string &,
+                       const std::string &, unsigned,
+                       const std::string &, int, int, std::uint64_t,
+                       const std::string &)
+{
+}
+
+unsigned
+SweepDb::failureCount(const std::string &, const std::string &,
+                      const std::string &) const
+{
+    return 0;
+}
+
+void
+SweepDb::setRunStatus(const std::string &, const std::string &,
+                      const std::string &, const std::string &)
+{
+}
+
+std::string
+SweepDb::runStatus(const std::string &, const std::string &,
+                   const std::string &) const
+{
+    return "";
 }
 
 #endif // EMERALD_HAS_SQLITE

@@ -11,6 +11,7 @@
 #ifndef EMERALD_SWEEP_DB_HH
 #define EMERALD_SWEEP_DB_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,44 @@ class SweepDb
 
     /** Insert or overwrite a sweep_meta value. */
     void setMeta(const std::string &key, const std::string &value);
+
+    /**
+     * Record one classified point failure (docs/resilience.md) in
+     * run_failures. @p cls is a failureClassName() string; @p signal
+     * 0 when none; @p exitCode -1 when the child did not exit
+     * normally; @p recoveredTick the checkpoint tick the retry
+     * resumed from (0 = cold).
+     */
+    void recordFailure(const std::string &bench,
+                       const std::string &fingerprint,
+                       const std::string &gitSha, unsigned attempt,
+                       const std::string &cls, int signal,
+                       int exitCode, std::uint64_t recoveredTick,
+                       const std::string &detail);
+
+    /**
+     * Failures already recorded for one point — a relaunched
+     * orchestrator resumes a half-retried point with its attempt
+     * budget partially spent instead of reset.
+     */
+    unsigned failureCount(const std::string &bench,
+                          const std::string &fingerprint,
+                          const std::string &gitSha) const;
+
+    /**
+     * Set a point's runs.status without touching its stats (creates
+     * the row if the point never committed — how 'quarantined' rows
+     * for never-successful points come to exist).
+     */
+    void setRunStatus(const std::string &bench,
+                      const std::string &fingerprint,
+                      const std::string &gitSha,
+                      const std::string &status);
+
+    /** A point's runs.status ("" when no row exists). */
+    std::string runStatus(const std::string &bench,
+                          const std::string &fingerprint,
+                          const std::string &gitSha) const;
 
   private:
     sqlite3 *_db = nullptr;

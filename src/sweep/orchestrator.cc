@@ -6,11 +6,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sweep/db.hh"
 
 namespace emerald
 {
@@ -86,6 +90,37 @@ pointCommand(const SweepSpec &spec, const SweepPoint &point,
     return command;
 }
 
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One pending point's retry ledger. */
+struct PointState
+{
+    const SweepPoint *point = nullptr;
+    /** Failures charged so far (seeded from run_failures, so a
+     *  kill -9'd orchestrator resumes a half-retried point with its
+     *  budget partially spent). */
+    unsigned failures = 0;
+    /** Earliest relaunch time (backoff). */
+    Clock::time_point eligibleAt = Clock::time_point::min();
+    bool finished = false;
+};
+
+/** Classify one dead sweep child (docs/resilience.md taxonomy). */
+std::string
+classifyPointFailure(int status, bool hangReport)
+{
+    if (hangReport)
+        return "hang";
+    if (WIFSIGNALED(status))
+        return WTERMSIG(status) == SIGKILL ? "oom-killed" : "crash";
+    return "crash";
+}
+
+} // namespace
+
 SweepReport
 runSweep(const SweepSpec &spec,
          const std::vector<SweepPoint> &pending,
@@ -115,23 +150,87 @@ runSweep(const SweepSpec &spec,
     std::string logDir = opts.outDir + "/logs";
     makeDirs(logDir);
 
+    auto hangReportPath = [&](const SweepPoint &point) {
+        return logDir + "/" + point.fingerprintHex + ".hang.json";
+    };
+
+    std::vector<PointState> states(pending.size());
+    std::size_t finished = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        states[i].point = &pending[i];
+        if (opts.db) {
+            states[i].failures = opts.db->failureCount(
+                spec.scenario, pending[i].fingerprintHex,
+                opts.gitSha);
+        }
+        if (states[i].failures > opts.maxRetries) {
+            // The budget was exhausted in a previous launch (the
+            // orchestrator died before, or while, quarantining):
+            // finish the quarantine instead of retrying forever
+            // across relaunches.
+            if (opts.db) {
+                opts.db->setRunStatus(spec.scenario,
+                                      pending[i].fingerprintHex,
+                                      opts.gitSha, "quarantined");
+            }
+            warn("sweep point %s: retry budget already exhausted "
+                 "(%u failures on record) — quarantined",
+                 pending[i].fingerprintHex.c_str(),
+                 states[i].failures);
+            states[i].finished = true;
+            ++finished;
+            ++report.failed;
+            ++report.quarantined;
+        }
+    }
+
     // Dispatch loop: keep up to `jobs` children in flight; whenever
-    // one exits, harvest it and launch the next pending point.
-    std::map<pid_t, const SweepPoint *> running;
-    std::size_t next = 0;
-    std::size_t done = 0;
-    while (done < pending.size()) {
-        while (next < pending.size() && running.size() < jobs) {
-            const SweepPoint &point = pending[next++];
+    // one exits, harvest it, classify any failure, and either
+    // relaunch the point after its backoff or quarantine it.
+    std::map<pid_t, std::size_t> running;
+    while (finished < states.size()) {
+        Clock::time_point now = Clock::now();
+        bool deferred = false;
+        for (std::size_t i = 0;
+             i < states.size() && running.size() < jobs; ++i) {
+            PointState &st = states[i];
+            bool launched = false;
+            for (const auto &[pid, idx] : running)
+                launched |= idx == i;
+            if (st.finished || launched)
+                continue;
+            if (st.eligibleAt > now) {
+                deferred = true;
+                continue;
+            }
+            const SweepPoint &point = *st.point;
             std::string logPath =
                 logDir + "/" + point.fingerprintHex + ".log";
-            pid_t pid = launchPoint(pointCommand(spec, point, opts),
-                                    logPath);
-            running[pid] = &point;
+            // A stale hang report would misclassify the next
+            // failure, so each launch starts with a clean slate.
+            std::remove(hangReportPath(point).c_str());
+            std::vector<std::string> command =
+                pointCommand(spec, point, opts);
+            command.push_back("--hang-report-path=" +
+                              hangReportPath(point));
+            running[launchPoint(command, logPath)] = i;
         }
 
+        if (running.empty()) {
+            // Everything unfinished is backing off; nap briefly
+            // rather than tracking the exact next deadline.
+            ::usleep(10000);
+            continue;
+        }
+
+        // With deferred points waiting on a backoff deadline, poll so
+        // an expiring deadline is not stuck behind a slow sibling.
         int status = 0;
-        pid_t pid = ::waitpid(-1, &status, 0);
+        pid_t pid = ::waitpid(-1, &status, deferred ? WNOHANG : 0);
+        if (pid == 0) {
+            ::usleep(10000);
+            continue;
+        }
         if (pid < 0) {
             fatal_if(errno != EINTR, "waitpid failed: %s",
                      std::strerror(errno));
@@ -140,29 +239,74 @@ runSweep(const SweepSpec &spec,
         auto it = running.find(pid);
         if (it == running.end())
             continue;
-        const SweepPoint &point = *it->second;
+        PointState &st = states[it->second];
+        const SweepPoint &point = *st.point;
         running.erase(it);
-        ++done;
 
         bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
         if (ok) {
+            st.finished = true;
+            ++finished;
             ++report.succeeded;
-        } else {
-            ++report.failed;
-            if (WIFSIGNALED(status)) {
-                warn("sweep point %s killed by signal %d (log: "
-                     "%s/%s.log)",
-                     point.fingerprintHex.c_str(), WTERMSIG(status),
-                     logDir.c_str(), point.fingerprintHex.c_str());
-            } else {
-                warn("sweep point %s exited with %d (log: %s/%s.log)",
-                     point.fingerprintHex.c_str(),
-                     WEXITSTATUS(status), logDir.c_str(),
-                     point.fingerprintHex.c_str());
-            }
+            inform("sweep: [%zu/%zu] %s done", finished,
+                   states.size(), point.fingerprintHex.c_str());
+            continue;
         }
-        inform("sweep: [%zu/%zu] %s %s", done, pending.size(),
-               point.fingerprintHex.c_str(), ok ? "done" : "FAILED");
+
+        bool hangReport =
+            ::access(hangReportPath(point).c_str(), F_OK) == 0;
+        std::string cls = classifyPointFailure(status, hangReport);
+        int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        int exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        std::string detail =
+            sig ? strprintf("terminated by signal %d", sig)
+                : strprintf("exit code %d", exitCode);
+        if (hangReport)
+            detail += "; hang report " + hangReportPath(point);
+        warn("sweep point %s failed (%s: %s; log: %s/%s.log)",
+             point.fingerprintHex.c_str(), cls.c_str(),
+             detail.c_str(), logDir.c_str(),
+             point.fingerprintHex.c_str());
+
+        unsigned attempt = st.failures++;
+        if (opts.db) {
+            opts.db->recordFailure(spec.scenario,
+                                   point.fingerprintHex, opts.gitSha,
+                                   attempt, cls, sig, exitCode,
+                                   /*recoveredTick=*/0, detail);
+        }
+
+        if (st.failures > opts.maxRetries) {
+            if (opts.db) {
+                opts.db->setRunStatus(spec.scenario,
+                                      point.fingerprintHex,
+                                      opts.gitSha, "quarantined");
+            }
+            warn("sweep point %s: %u failure(s), budget exhausted — "
+                 "quarantined",
+                 point.fingerprintHex.c_str(), st.failures);
+            st.finished = true;
+            ++finished;
+            ++report.failed;
+            ++report.quarantined;
+            inform("sweep: [%zu/%zu] %s QUARANTINED", finished,
+                   states.size(), point.fingerprintHex.c_str());
+            continue;
+        }
+
+        if (opts.db) {
+            opts.db->setRunStatus(spec.scenario, point.fingerprintHex,
+                                  opts.gitSha, "retrying");
+        }
+        unsigned backoffMs =
+            opts.backoffBaseMs << (st.failures > 1 ? st.failures - 1
+                                                   : 0);
+        st.eligibleAt =
+            Clock::now() + std::chrono::milliseconds(backoffMs);
+        ++report.retried;
+        inform("sweep: %s retrying in %u ms (failure %u/%u)",
+               point.fingerprintHex.c_str(), backoffMs, st.failures,
+               opts.maxRetries + 1);
     }
     return report;
 }

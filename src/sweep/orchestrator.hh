@@ -23,6 +23,8 @@ namespace emerald
 namespace sweep
 {
 
+class SweepDb;
+
 /** mkdir -p: create @p path and any missing parents; fatal on error. */
 void makeDirs(const std::string &path);
 
@@ -40,14 +42,31 @@ struct OrchestratorOptions
     unsigned jobs = 0;
     /** Print each point's command line instead of running it. */
     bool dryRun = false;
+    /**
+     * Per-point retries after the first failure; a point that fails
+     * maxRetries+1 times is quarantined (runs.status='quarantined')
+     * instead of blocking the sweep (docs/resilience.md).
+     */
+    unsigned maxRetries = 2;
+    /** First per-point retry backoff; doubles per retry. */
+    unsigned backoffBaseMs = 200;
+    /**
+     * Failure journal (borrowed, may be null): classified failures
+     * land in run_failures and statuses in runs.status, making the
+     * retry budget survive an orchestrator kill -9 — a relaunch
+     * resumes half-retried points with their budget partially spent.
+     */
+    SweepDb *db = nullptr;
 };
 
 struct SweepReport
 {
-    std::size_t total = 0;     ///< points in the expanded grid
-    std::size_t resumed = 0;   ///< already committed, not re-run
-    std::size_t succeeded = 0; ///< ran this launch, exit 0
-    std::size_t failed = 0;    ///< ran this launch, nonzero exit
+    std::size_t total = 0;       ///< points in the expanded grid
+    std::size_t resumed = 0;     ///< already committed, not re-run
+    std::size_t succeeded = 0;   ///< ran this launch, exit 0
+    std::size_t failed = 0;      ///< exhausted their retry budget
+    std::size_t retried = 0;     ///< failure-then-relaunch events
+    std::size_t quarantined = 0; ///< marked quarantined this launch
 };
 
 /**

@@ -15,6 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "sim/config.hh"
 #include "sim/fault/fault_injector.hh"
 #include "sim/fault/fault_plan.hh"
@@ -418,6 +422,76 @@ TEST(WatchdogTest, StaleFrontSweepRecoversPartialStarvation)
     EXPECT_GE(sim.watchdog()->statStaleWakes.value(), 1.0);
     EXPECT_EQ(sim.faultInjector()->statWakesSuppressed.value(), 1.0);
     EXPECT_EQ(sim.packetPool().live(), 0u);
+}
+
+/**
+ * Re-offers to a sink that never accepts: every force-wake bounces
+ * straight back onto the retry list. The degrade watchdog's per-waiter
+ * cap exists exactly for this shape of deterministic hang.
+ */
+class StubbornRequestor : public MemRequestor
+{
+  public:
+    StubbornRequestor(FullSink &sink, MemPacket *pkt)
+        : _sink(sink), _pkt(pkt)
+    {
+    }
+
+    void send() { _sink.offer(_pkt, *this); }
+    void retryRequest() override { send(); }
+    std::string requestorName() const override { return "stubborn_cpu"; }
+
+    MemPacket *packet() { return _pkt; }
+
+  private:
+    FullSink &_sink;
+    MemPacket *_pkt;
+};
+
+TEST(WatchdogDeathTest, DegradeEscalatesAfterForcedWakeCapAndWritesReport)
+{
+    Simulation sim;
+    std::string report =
+        ::testing::TempDir() + "emerald_degrade_escalation.json";
+    std::remove(report.c_str());
+    sim.setHangReportPath(report);
+    sim.enableWatchdog(ticksFromUs(4.0), fault::WatchdogMode::Degrade);
+
+    FullSink sink(sim);
+    StubbornRequestor req(sink, allocPacket(sim));
+
+    // No completions ever: each heartbeat force-wakes the lone parked
+    // waiter, which re-parks immediately. Keep the queue alive long
+    // past the cap (16 charges) so the escalation fires.
+    int ticks = 400;
+    EventFunction keepAlive(
+        [&] {
+            if (--ticks > 0)
+                sim.eventQueue().schedule(keepAlive, sim.curTick() +
+                                          ticksFromUs(10.0));
+        },
+        "keep_alive");
+    sim.eventQueue().schedule(keepAlive, ticksFromUs(1.0));
+
+    EventFunction start([&] { req.send(); }, "start_traffic");
+    sim.eventQueue().schedule(start, 1);
+    EXPECT_DEATH(sim.run(),
+                 "DEGRADE ESCALATION.*stubborn_cpu.*test_sink");
+
+    // The death child wrote the machine-readable report before
+    // panicking — that file is what the run supervisor classifies.
+    std::ifstream is(report);
+    ASSERT_TRUE(is.is_open()) << report;
+    std::ostringstream text;
+    text << is.rdbuf();
+    EXPECT_NE(text.str().find("\"kind\": \"degrade-escalation\""),
+              std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("stubborn_cpu"), std::string::npos);
+
+    // Unwind the parent's copy of the deadlock for teardown.
+    sink.drainWaiters();
+    freePacket(req.packet());
 }
 
 // Injector seams -------------------------------------------------------

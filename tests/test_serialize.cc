@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -361,6 +365,155 @@ TEST(CheckpointEventQueue, RestoredScheduleReproducesFireOrder)
     while (q.runOne()) {}
     EXPECT_EQ(fired, (std::vector<int>{4, 2, 3, 1}));
     EXPECT_EQ(q.numProcessed(), 11u);
+}
+
+// Integrity probe ------------------------------------------------------
+
+/** A small two-section checkpoint to damage in controlled ways. */
+std::string
+probeFixture(const std::string &leaf)
+{
+    std::string dir = tempDir(leaf);
+    std::filesystem::remove_all(dir);
+    CheckpointWriter w(dir, 0xfeedULL, 777, 99);
+    w.section("alpha").putU64("x", 11);
+    w.section("beta").putStr("y", "payload bytes the crc covers");
+    w.finalize();
+    return dir;
+}
+
+void
+patchFile(const std::string &path, long offset, char byte)
+{
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(f.is_open()) << path;
+    f.seekp(offset);
+    f.put(byte);
+}
+
+TEST(CheckpointProbe, IntactCheckpointReportsHeader)
+{
+    CkptProbe probe = probeCheckpoint(probeFixture("probe_ok"));
+    EXPECT_TRUE(probe.ok());
+    EXPECT_EQ(probe.status, CkptIntegrity::Ok);
+    EXPECT_EQ(probe.fingerprint, 0xfeedULL);
+    EXPECT_EQ(probe.tick, 777u);
+    EXPECT_EQ(probe.numProcessed, 99u);
+    EXPECT_STREQ(ckptIntegrityName(probe.status), "ok");
+}
+
+TEST(CheckpointProbe, BitFlipIsCrcMismatchNotFatal)
+{
+    std::string dir = probeFixture("probe_flip");
+    // Flip one byte inside the second section's payload.
+    auto size = std::filesystem::file_size(dir + "/data.bin");
+    patchFile(dir + "/data.bin", static_cast<long>(size) - 3, 'X');
+
+    CkptProbe probe = probeCheckpoint(dir);
+    EXPECT_EQ(probe.status, CkptIntegrity::CrcMismatch);
+    EXPECT_NE(probe.detail.find("beta"), std::string::npos)
+        << probe.detail;
+
+    // The strict reader refuses the same damage loudly.
+    EXPECT_DEATH(CheckpointReader r(dir), "fails CRC");
+}
+
+TEST(CheckpointProbe, TruncationIsTruncatedSection)
+{
+    std::string dir = probeFixture("probe_trunc");
+    std::filesystem::resize_file(dir + "/data.bin", 4);
+    CkptProbe probe = probeCheckpoint(dir);
+    EXPECT_EQ(probe.status, CkptIntegrity::TruncatedSection);
+    EXPECT_DEATH(CheckpointReader r(dir), "past the end");
+}
+
+TEST(CheckpointProbe, MissingAndMalformedPieces)
+{
+    std::string dir = probeFixture("probe_nodata");
+    std::filesystem::remove(dir + "/data.bin");
+    EXPECT_EQ(probeCheckpoint(dir).status, CkptIntegrity::MissingData);
+
+    dir = probeFixture("probe_nomanifest");
+    std::filesystem::remove(dir + "/manifest.json");
+    EXPECT_EQ(probeCheckpoint(dir).status,
+              CkptIntegrity::MissingManifest);
+    EXPECT_EQ(probeCheckpoint(tempDir("probe_absent")).status,
+              CkptIntegrity::MissingManifest);
+
+    dir = probeFixture("probe_garbage");
+    {
+        std::ofstream mf(dir + "/manifest.json", std::ios::trunc);
+        mf << "{ this is not json";
+    }
+    EXPECT_EQ(probeCheckpoint(dir).status,
+              CkptIntegrity::MalformedManifest);
+}
+
+/** Rewrite @p dir's manifest as a version-1 checkpoint: no CRC
+ *  entries, so integrity verification downgrades to bounds checks. */
+void
+downgradeManifestToV1(const std::string &dir)
+{
+    std::string path = dir + "/manifest.json";
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    in.close();
+
+    auto vpos = text.find("\"format_version\": \"2\"");
+    ASSERT_NE(vpos, std::string::npos);
+    text.replace(vpos, std::strlen("\"format_version\": \"2\""),
+                 "\"format_version\": \"1\"");
+    for (std::string::size_type pos;
+         (pos = text.find(", \"crc\": \"")) != std::string::npos;) {
+        auto end = text.find('"', pos + std::strlen(", \"crc\": \""));
+        ASSERT_NE(end, std::string::npos);
+        text.erase(pos, end + 1 - pos);
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+}
+
+TEST(CheckpointProbe, Version1ManifestStillReadsWithoutCrc)
+{
+    std::string dir = probeFixture("probe_v1");
+    downgradeManifestToV1(dir);
+
+    // Probe passes (no CRCs to verify) and the reader still serves
+    // the sections: min-read compatibility.
+    EXPECT_EQ(probeCheckpoint(dir).status, CkptIntegrity::Ok);
+    CheckpointReader r(dir);
+    EXPECT_EQ(r.section("alpha").getU64("x"), 11u);
+
+    // A corrupt v1 checkpoint sails through the probe — exactly why
+    // the format moved to 2.
+    auto size = std::filesystem::file_size(dir + "/data.bin");
+    patchFile(dir + "/data.bin", static_cast<long>(size) - 3, 'X');
+    EXPECT_EQ(probeCheckpoint(dir).status, CkptIntegrity::Ok);
+}
+
+TEST(CheckpointProbe, FutureVersionIsUnsupported)
+{
+    std::string dir = probeFixture("probe_future");
+    std::string path = dir + "/manifest.json";
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    in.close();
+    auto vpos = text.find("\"format_version\": \"2\"");
+    ASSERT_NE(vpos, std::string::npos);
+    text.replace(vpos, std::strlen("\"format_version\": \"2\""),
+                 "\"format_version\": \"99\"");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+    EXPECT_EQ(probeCheckpoint(dir).status,
+              CkptIntegrity::UnsupportedVersion);
+    EXPECT_DEATH(CheckpointReader r(dir), "format version");
 }
 
 // Fingerprint policy ---------------------------------------------------

@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -454,6 +459,92 @@ TEST(StatsSinkSqlite, RoundTripsRunParamsAndStats)
     db.setMeta("spec_hash", "f00d");
     EXPECT_EQ(db.getMeta("spec_hash"), "f00d");
     EXPECT_EQ(db.getMeta("absent"), "");
+}
+
+// ------------------------------------------------------------------
+// Failure journal + run status (the retry/quarantine ledger).
+// ------------------------------------------------------------------
+
+TEST(SweepDbFailures, RecordsCountsAndStatusRoundTrip)
+{
+    ASSERT_TRUE(sweepDbAvailable());
+    std::string path = tempPath("failures.db");
+    std::remove(path.c_str());
+    SweepDb db(path);
+
+    EXPECT_EQ(db.failureCount("soc_point", "fp1", "sha"), 0u);
+    EXPECT_EQ(db.runStatus("soc_point", "fp1", "sha"), "");
+
+    db.recordFailure("soc_point", "fp1", "sha", 0, "crash", 0, 42, 0,
+                     "exit code 42");
+    db.recordFailure("soc_point", "fp1", "sha", 1, "oom-killed", 9,
+                     -1, 12345, "terminated by signal 9");
+    // Corrupt-checkpoint records are informational: they must not
+    // consume the point's retry budget.
+    db.recordFailure("soc_point", "fp1", "sha", 1, "ckpt-corrupt", 0,
+                     -1, 0, "crc-mismatch in rotation");
+
+    EXPECT_EQ(db.failureCount("soc_point", "fp1", "sha"), 2u);
+    EXPECT_EQ(db.failureCount("soc_point", "fp2", "sha"), 0u);
+    EXPECT_EQ(db.failureCount("soc_point", "fp1", "other"), 0u);
+    EXPECT_EQ(db.failureCount("fig12", "fp1", "sha"), 0u);
+
+    // Status upserts work for points that never committed a run row
+    // (that is how a quarantined point becomes visible at all).
+    db.setRunStatus("soc_point", "fp1", "sha", "retrying");
+    EXPECT_EQ(db.runStatus("soc_point", "fp1", "sha"), "retrying");
+    db.setRunStatus("soc_point", "fp1", "sha", "quarantined");
+    EXPECT_EQ(db.runStatus("soc_point", "fp1", "sha"), "quarantined");
+    // A quarantined-but-never-committed point must not count as done.
+    EXPECT_TRUE(db.doneFingerprints("soc_point", "sha").empty());
+}
+
+TEST(SweepDbFailures, ConcurrentWritersRetryThroughContention)
+{
+    ASSERT_TRUE(sweepDbAvailable());
+    std::string path = tempPath("contention.db");
+    std::remove(path.c_str());
+    {
+        SweepDb schema(path); // create the schema before forking
+    }
+
+    // A near-zero busy timeout forces every writer through the
+    // jittered retry loop instead of SQLite's internal wait.
+    ::setenv("EMERALD_SQLITE_BUSY_MS", "1", 1);
+    constexpr int kWriters = 4;
+    constexpr int kEach = 25;
+    std::vector<pid_t> kids;
+    for (int w = 0; w < kWriters; ++w) {
+        pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            SweepDb db(path);
+            std::string fp = "fp" + std::to_string(w);
+            for (int i = 0; i < kEach; ++i) {
+                db.recordFailure("bench", fp, "sha", i, "crash", 0, 1,
+                                 0, "contention probe");
+            }
+            db.setRunStatus("bench", fp, "sha", "retrying");
+            ::_exit(0);
+        }
+        kids.push_back(pid);
+    }
+    for (pid_t pid : kids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "writer died under contention (status " << status
+            << ")";
+    }
+    ::unsetenv("EMERALD_SQLITE_BUSY_MS");
+
+    SweepDb db(path);
+    for (int w = 0; w < kWriters; ++w) {
+        std::string fp = "fp" + std::to_string(w);
+        EXPECT_EQ(db.failureCount("bench", fp, "sha"),
+                  static_cast<unsigned>(kEach));
+        EXPECT_EQ(db.runStatus("bench", fp, "sha"), "retrying");
+    }
 }
 
 #endif // EMERALD_HAS_SQLITE

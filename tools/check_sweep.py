@@ -6,10 +6,13 @@ Inputs are a sweep results DB (written by emerald_sweep's children via
 --stats-out=sqlite:...) and the sweep's manifest.json. Checks:
 
   1. SQLite integrity (PRAGMA integrity_check) and the expected
-     schema (sweep_meta/runs/run_params/stats, schema_version 1).
+     schema (sweep_meta/runs/run_params/stats/run_failures,
+     schema_version 1).
   2. Every manifest point has a committed 'done' run, and every run
      carries stats rows — a killed-and-resumed sweep that silently
-     dropped a point fails here.
+     dropped a point fails here. With --allow-quarantined, a point
+     the orchestrator explicitly quarantined (retry budget exhausted,
+     see docs/resilience.md) is accounted for rather than missing.
   3. Optionally (--reference): the normalized per-config shape
      computed from SQL (gpu_ms grouped by the config axis, normalized
      to BAS) matches the reference figure's *_norm results within an
@@ -28,7 +31,8 @@ import json
 import sqlite3
 import sys
 
-EXPECTED_TABLES = {"sweep_meta", "runs", "run_params", "stats"}
+EXPECTED_TABLES = {"sweep_meta", "runs", "run_params", "stats",
+                   "run_failures"}
 
 
 def fail(msg):
@@ -60,7 +64,8 @@ def check_integrity(con):
     return failures
 
 
-def check_complete(con, manifest_path, git_sha=None):
+def check_complete(con, manifest_path, git_sha=None,
+                   allow_quarantined=False):
     failures = 0
     try:
         with open(manifest_path, encoding="utf-8") as f:
@@ -80,18 +85,37 @@ def check_complete(con, manifest_path, git_sha=None):
             for run_id, fp in con.execute(query, params)}
     stat_counts = dict(con.execute(
         "SELECT run_id, COUNT(*) FROM stats GROUP BY run_id"))
+    qquery = ("SELECT fingerprint FROM runs "
+              "WHERE status='quarantined'")
+    quarantined = {fp for (fp,) in con.execute(qquery, ())}
 
+    accounted = 0
     for point in points:
         fp = point.get("fingerprint", "")
-        if fp not in done:
-            failures += fail(f"point {fp}: no committed run "
+        if fp in done:
+            if not stat_counts.get(done[fp]):
+                failures += fail(f"point {fp}: run committed but has "
+                                 "no stats rows")
+            continue
+        if fp in quarantined:
+            # An explicitly quarantined point is accounted for — its
+            # budget was exhausted and the DB says so (resilience
+            # taxonomy). Only --allow-quarantined accepts that; the
+            # default gate still wants every point green.
+            if allow_quarantined:
+                accounted += 1
+                print(f"note quarantined point {fp} "
+                      f"({json.dumps(point.get('params'))})")
+                continue
+            failures += fail(f"point {fp}: quarantined "
                              f"({json.dumps(point.get('params'))})")
-        elif not stat_counts.get(done[fp]):
-            failures += fail(f"point {fp}: run committed but has no "
-                             "stats rows")
+            continue
+        failures += fail(f"point {fp}: no committed run "
+                         f"({json.dumps(point.get('params'))})")
     if not failures:
-        print(f"OK   completion: {len(points)}/{len(points)} points "
-              "committed with stats")
+        print(f"OK   completion: {len(points) - accounted}/"
+              f"{len(points)} points committed with stats"
+              + (f", {accounted} quarantined" if accounted else ""))
     return failures
 
 
@@ -188,6 +212,10 @@ def main(argv=None):
                         help="max absolute delta per normalized bar "
                              "(default 0.25, matching "
                              "check_replay.py)")
+    parser.add_argument("--allow-quarantined", action="store_true",
+                        help="accept points whose runs.status is "
+                             "'quarantined' (chaos sweeps that "
+                             "deliberately poison a point)")
     parser.add_argument("--git-sha",
                         help="only consider runs recorded under this "
                              "sha — required when the DB accumulates "
@@ -209,7 +237,8 @@ def main(argv=None):
         sys.exit(f"check_sweep: cannot open '{args.db}': {err}")
 
     failures = check_integrity(con)
-    failures += check_complete(con, args.manifest, args.git_sha)
+    failures += check_complete(con, args.manifest, args.git_sha,
+                               args.allow_quarantined)
     if args.reference:
         failures += check_shape(con, args.reference, args.model,
                                 where, args.tolerance, args.git_sha)

@@ -73,6 +73,10 @@ main(int argc, char **argv)
     opts.dryRun = cfg.getBool("dry-run", false);
     opts.benchBin =
         cfg.getString("bench-bin", defaultBenchBin(argv[0]));
+    opts.maxRetries =
+        static_cast<unsigned>(cfg.getU64("retries", 2));
+    opts.backoffBaseMs =
+        static_cast<unsigned>(cfg.getU64("retry-backoff-ms", 200));
 
     std::string hash = specHash(spec);
     inform("sweep: scenario %s, %zu points (spec %s, hash %s)",
@@ -96,6 +100,7 @@ main(int argc, char **argv)
 
     makeDirs(opts.outDir);
     SweepDb db(opts.dbPath);
+    opts.db = &db;
 
     // Resuming into a DB built from a different grid would interleave
     // two sweeps' points; refuse.
@@ -132,8 +137,9 @@ main(int argc, char **argv)
     report.resumed = resumed;
 
     inform("sweep: %zu points — %zu resumed, %zu succeeded, %zu "
-           "failed (db: %s)",
+           "failed (%zu retried, %zu quarantined; db: %s)",
            report.total, report.resumed, report.succeeded,
-           report.failed, opts.dbPath.c_str());
+           report.failed, report.retried, report.quarantined,
+           opts.dbPath.c_str());
     return report.failed ? 1 : 0;
 }

@@ -28,6 +28,11 @@ Subcommands:
       exit 1 when any relative delta exceeds the tolerance. This is
       the regression query CI runs against a nightly sweep DB.
 
+  failures <db> [--class CLS] [--fingerprint FP] [--git-sha SHA]
+      One line per classified point failure from the run_failures
+      journal (docs/resilience.md): class, signal/exit code, attempt
+      number, the checkpoint tick the retry resumed from, and detail.
+
 Exit status: 0 on success, 1 on failed regress check, 2 on usage or
 missing-data errors.
 """
@@ -193,6 +198,35 @@ def cmd_regress(args):
     return 0
 
 
+def cmd_failures(args):
+    con = connect(args.db)
+    try:
+        rows = con.execute(
+            "SELECT bench, fingerprint, git_sha, attempt, class, "
+            "signal, exit_code, recovered_tick, detail, occurred_at "
+            "FROM run_failures ORDER BY failure_id").fetchall()
+    except sqlite3.Error as err:
+        sys.exit(f"sweep_query: no run_failures table in "
+                 f"'{args.db}' ({err}) — the store predates the "
+                 "resilience schema")
+    shown = 0
+    for (bench, fp, sha, attempt, cls, signal, exit_code,
+         recovered_tick, detail, occurred_at) in rows:
+        if args.klass and cls != args.klass:
+            continue
+        if args.fingerprint and fp != args.fingerprint:
+            continue
+        if args.git_sha is not None and sha != args.git_sha:
+            continue
+        how = f"signal={signal}" if signal else f"exit={exit_code}"
+        print(f"{bench} {fp} sha={sha or '-'} attempt={attempt} "
+              f"{cls} {how} recovered_tick={recovered_tick} "
+              f"[{occurred_at or '-'}] {detail}")
+        shown += 1
+    print(f"sweep_query: {shown} failure(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -229,9 +263,21 @@ def main(argv=None):
     p.add_argument("--where", action="append", metavar="k=v")
     p.set_defaults(fn=cmd_regress)
 
+    p = sub.add_parser("failures",
+                       help="list classified point failures")
+    p.add_argument("db")
+    p.add_argument("--class", dest="klass", metavar="CLS")
+    p.add_argument("--fingerprint", metavar="FP")
+    p.add_argument("--git-sha")
+    p.set_defaults(fn=cmd_failures)
+
     args = parser.parse_args(argv)
     return args.fn(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into head & co.; closing stdout is fine.
+        sys.exit(0)
