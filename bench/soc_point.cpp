@@ -9,6 +9,7 @@
  *
  * Axes: --model, --config, --highload, --frames, --prep, --width,
  * --height, --fps (GPU frame period), --channels (DRAM channels),
+ * the --npu-* accelerator axes (soc/configs.hh applyNpuConfig),
  * plus the shared --warp-sched/--mem-sched/--fault-plan/... keys the
  * SimulationBuilder reads.
  */
@@ -73,6 +74,7 @@ runScenario(int argc, char **argv)
     double fps = cfg.getDouble("fps", 0.0);
     if (fps > 0.0)
         p.gpuFramePeriod = ticksFromMs(1000.0 / fps);
+    soc::applyNpuConfig(p, cfg);
 
     // One checkpoint/replay scope per point. The fingerprint-keyed
     // subdir (builderFor) keeps same-label points apart; the replay
@@ -104,6 +106,14 @@ runScenario(int argc, char **argv)
     results.record("event_hash",
                    static_cast<double>(soc.sim().determinismHash() &
                                        ((1ULL << 53) - 1)));
+    if (soc.npuCamera()) {
+        results.record("npu_deadline_misses",
+                       soc.npuCamera()->statDeadlineMisses.value());
+        results.record("npu_dropped",
+                       soc.npuCamera()->statDropped.value());
+        results.record("npu_completed",
+                       soc.npuCamera()->statCompleted.value());
+    }
     results.addSimStats(soc.sim());
 
     std::printf("soc_point %s/%s: gpu %.3f ms, total %.3f ms "
@@ -119,7 +129,9 @@ const RegisterScenario reg{{
     .desc = "one SocTop run, fully parameterized — the sweep unit",
     .axes = {"model", "config", "highload", "frames", "prep", "width",
              "height", "fps", "channels", "warp-sched", "mem-sched",
-             "quick"},
+             "npu", "npu-tile", "npu-model", "npu-fps", "npu-frames",
+             "npu-queue-depth", "npu-dma-outstanding",
+             "npu-scratch-kb", "quick"},
     .expectedShape = "one fully-parameterized design point; no fixed shape",
     .run = runScenario,
     .kind = ScenarioKind::Aux,

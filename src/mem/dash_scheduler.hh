@@ -48,32 +48,57 @@ struct DashParams
 };
 
 /**
+ * Deadline-progress reporting seam between IP models and a QoS
+ * coordinator. IP-side components (display, app, NPU camera) hold
+ * this interface rather than the concrete coordinator, so the shard
+ * partitioner can cut the seam and a scheduler policy without a
+ * coordinator can be swapped in without touching the IP models.
+ */
+class QosProgressPort
+{
+  public:
+    virtual ~QosProgressPort() = default;
+
+    /**
+     * Register an IP block (GPU, display controller, NPU).
+     * @param emergent_threshold progress fraction below which the IP
+     *        becomes urgent (Table 3: 0.8; 0.9 for the GPU).
+     */
+    virtual int registerIp(const std::string &ip_name,
+                           TrafficClass tclass,
+                           double emergent_threshold) = 0;
+
+    /** An IP starts a work period (e.g. one frame). */
+    virtual void beginIpPeriod(int ip, Tick period,
+                               double total_work) = 0;
+
+    /** An IP completed @p work_done more units of its period. */
+    virtual void addIpProgress(int ip, double work_done) = 0;
+
+    /** The IP finished its period early (deactivates urgency). */
+    virtual void endIpPeriod(int ip) = 0;
+};
+
+/**
  * Shared DASH state across all channels: CPU clustering, IP deadline
  * tracking and the probabilistic switch. One coordinator feeds every
  * DashScheduler instance.
  */
-class DashCoordinator : public SimObject
+class DashCoordinator : public SimObject, public QosProgressPort
 {
   public:
     DashCoordinator(Simulation &sim, const std::string &name,
                     const DashParams &params);
 
-    /**
-     * Register an IP block (GPU, display controller).
-     * @param emergent_threshold progress fraction below which the IP
-     *        becomes urgent (Table 3: 0.8; 0.9 for the GPU).
-     */
     int registerIp(const std::string &ip_name, TrafficClass tclass,
-                   double emergent_threshold);
+                   double emergent_threshold) override;
 
-    /** An IP starts a work period (e.g. one frame). */
-    void beginIpPeriod(int ip, Tick period, double total_work);
+    void beginIpPeriod(int ip, Tick period,
+                       double total_work) override;
 
-    /** An IP completed @p work_done more units of its period. */
-    void addIpProgress(int ip, double work_done);
+    void addIpProgress(int ip, double work_done) override;
 
-    /** The IP finished its period early (deactivates urgency). */
-    void endIpPeriod(int ip);
+    void endIpPeriod(int ip) override;
 
     /** Priority level of @p pkt right now; lower is better. */
     int priorityOf(const MemPacket &pkt, Tick now) const;
@@ -113,7 +138,7 @@ class DashCoordinator : public SimObject
 
     DashParams _params;
     std::vector<IpState> _ips;
-    int _ipOfClass[3] = {-1, -1, -1};
+    int _ipOfClass[4] = {-1, -1, -1, -1};
 
     std::vector<std::uint64_t> _cpuBytesThisQuantum;
     std::vector<bool> _cpuIsIntensive;

@@ -37,10 +37,13 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
                          "GPU read latency (ticks)"),
       statReadLatencyDisplay(*this, "read_lat_display",
                              "display read latency (ticks)"),
+      statReadLatencyNpu(*this, "read_lat_npu",
+                         "NPU read latency (ticks)"),
       statBwCpu(*this, "bw_cpu", "CPU bytes per bucket", stats_bucket),
       statBwGpu(*this, "bw_gpu", "GPU bytes per bucket", stats_bucket),
       statBwDisplay(*this, "bw_display", "display bytes per bucket",
                     stats_bucket),
+      statBwNpu(*this, "bw_npu", "NPU bytes per bucket", stats_bucket),
       _geom(geom), _timing(timing), _scheduler(scheduler),
       _queueCapacity(queue_capacity),
       _banks(geom.banksPerChannel()),
@@ -223,6 +226,12 @@ DramChannel::tryIssue()
         statBwDisplay.add(done, pkt->size);
         if (!pkt->write)
             statReadLatencyDisplay.sample(
+                static_cast<double>(done - pkt->issued));
+        break;
+      case TrafficClass::Npu:
+        statBwNpu.add(done, pkt->size);
+        if (!pkt->write)
+            statReadLatencyNpu.sample(
                 static_cast<double>(done - pkt->issued));
         break;
     }

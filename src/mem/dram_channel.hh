@@ -102,9 +102,11 @@ class DramChannel : public SimObject
     Distribution statReadLatencyCpu;
     Distribution statReadLatencyGpu;
     Distribution statReadLatencyDisplay;
+    Distribution statReadLatencyNpu;
     TimeSeries statBwCpu;
     TimeSeries statBwGpu;
     TimeSeries statBwDisplay;
+    TimeSeries statBwNpu;
     /** @} */
 
     /** Row-buffer hit rate over the channel's lifetime. */

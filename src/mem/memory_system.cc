@@ -121,6 +121,10 @@ MemorySystem::bytesFor(TrafficClass tclass) const
             for (double b : ch->statBwDisplay.buckets())
                 bytes += b;
             break;
+          case TrafficClass::Npu:
+            for (double b : ch->statBwNpu.buckets())
+                bytes += b;
+            break;
         }
     }
     return static_cast<std::uint64_t>(bytes);

@@ -1,0 +1,71 @@
+#include "npu/command_queue.hh"
+
+#include "sim/logging.hh"
+#include "sim/serialize/serialize.hh"
+
+namespace emerald::npu
+{
+
+bool
+NpuCommandQueue::push(const NpuCommand &cmd)
+{
+    if (full())
+        return false;
+    _queue.push_back(cmd);
+    return true;
+}
+
+NpuCommand
+NpuCommandQueue::pop()
+{
+    panic_if(_queue.empty(), "npu command queue underflow");
+    NpuCommand cmd = _queue.front();
+    _queue.pop_front();
+    return cmd;
+}
+
+void
+putNpuCommand(CheckpointOut &out, const std::string &prefix,
+              const NpuCommand &cmd)
+{
+    out.putU64(prefix + ".id", cmd.id);
+    out.putU64(prefix + ".frame", cmd.frame);
+    out.putTick(prefix + ".deadline", cmd.deadline);
+    out.putTick(prefix + ".enqueued", cmd.enqueued);
+}
+
+NpuCommand
+getNpuCommand(CheckpointIn &in, const std::string &prefix)
+{
+    NpuCommand cmd;
+    cmd.id = in.getU64(prefix + ".id");
+    cmd.frame = static_cast<std::uint32_t>(
+        in.getU64(prefix + ".frame"));
+    cmd.deadline = in.getTick(prefix + ".deadline");
+    cmd.enqueued = in.getTick(prefix + ".enqueued");
+    return cmd;
+}
+
+void
+NpuCommandQueue::serialize(CheckpointOut &out,
+                           const std::string &prefix) const
+{
+    out.putU64(prefix + ".num", _queue.size());
+    for (std::size_t i = 0; i < _queue.size(); ++i)
+        putNpuCommand(out, strprintf("%s.c%zu", prefix.c_str(), i),
+                      _queue[i]);
+}
+
+void
+NpuCommandQueue::unserialize(CheckpointIn &in,
+                             const std::string &prefix)
+{
+    _queue.clear();
+    std::uint64_t num = in.getU64(prefix + ".num");
+    for (std::uint64_t i = 0; i < num; ++i)
+        _queue.push_back(getNpuCommand(
+            in, strprintf("%s.c%llu", prefix.c_str(),
+                          (unsigned long long)i)));
+}
+
+} // namespace emerald::npu

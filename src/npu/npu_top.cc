@@ -1,0 +1,258 @@
+#include "npu/npu_top.hh"
+
+#include "sim/logging.hh"
+#include "sim/serialize/serialize.hh"
+#include "sim/simulation.hh"
+
+namespace emerald::npu
+{
+
+NpuTop::NpuTop(Simulation &sim, const std::string &name,
+               const NpuParams &params, ClockDomain &clock,
+               MemSink &downstream)
+    : SimObject(sim, name),
+      statCmdsCompleted(*this, "cmds", "inference commands completed"),
+      statCmdsAborted(*this, "cmds_aborted",
+                      "commands abandoned by degrade recovery"),
+      statCmdsRejected(*this, "cmds_rejected",
+                       "submissions refused (queue full)"),
+      statTiles(*this, "tiles", "systolic tiles computed"),
+      statComputeTicks(*this, "compute_ticks",
+                       "ticks the PE grid spent computing"),
+      statCmdTicks(*this, "cmd_ticks",
+                   "command execution latency (ticks)"),
+      statQueueWaitTicks(*this, "queue_wait_ticks",
+                         "command queue wait (ticks)"),
+      _params(params), _clock(clock), _timing(params.systolic),
+      _tiles(_timing.tileWalk(npuModelLayers(params.model),
+                              params.memBase)),
+      _dma(sim, name + ".dma", params.dma, downstream),
+      _queue(params.queueDepth),
+      _computeEvent([this] { computeDone(); }, name + ".compute"),
+      _irqEvent([this] { deliverIrq(); }, name + ".irq")
+{
+    fatal_if(_tiles.empty(), "%s: model '%s' produced no tiles",
+             name.c_str(), params.model.c_str());
+    registerProfileCounters();
+    registerCheckpointEvent(_computeEvent);
+    registerCheckpointEvent(_irqEvent);
+    _dma.setClient(this);
+}
+
+bool
+NpuTop::submit(const NpuCommand &cmd)
+{
+    if (!_queue.push(cmd)) {
+        ++statCmdsRejected;
+        return false;
+    }
+    if (!_active)
+        startNextCommand();
+    return true;
+}
+
+void
+NpuTop::startNextCommand()
+{
+    if (_active || _queue.empty())
+        return;
+    _cmd = _queue.pop();
+    _active = true;
+    _execStart = curTick();
+    ++_execSeq;
+    _loadsIssued = 0;
+    _loadsDone = 0;
+    _tilesComputed = 0;
+    _storesIssued = 0;
+    _storesDone = 0;
+    statQueueWaitTicks.sample(
+        static_cast<double>(curTick() - _cmd.enqueued));
+    pumpLoads();
+}
+
+void
+NpuTop::pumpLoads()
+{
+    if (!_active)
+        return;
+    // Double buffer: the load cursor may run one tile ahead of the
+    // compute cursor (tile t computing while t+1 prefetches).
+    while (_loadsIssued < _tiles.size() &&
+           _loadsIssued - _tilesComputed < 2) {
+        const TileWork &t = _tiles[_loadsIssued];
+        _dma.startTransfer(t.inAddr, t.inBytes, false,
+                           token(_loadsIssued, TokInput));
+        _dma.startTransfer(t.wAddr, t.wBytes, false,
+                           token(_loadsIssued, TokWeight));
+        ++_loadsIssued;
+    }
+}
+
+void
+NpuTop::dmaTransferDone(std::uint64_t token_val)
+{
+    if (!_active || (token_val >> 32) != _execSeq)
+        return;
+    switch (static_cast<TokenKind>((token_val & 0xFFFFFFFFULL) % 3)) {
+      case TokInput:
+        // Input slice landed; the weight slice of the same tile is
+        // still in flight (the DMA completes FIFO), so the tile is
+        // not loaded yet.
+        break;
+      case TokWeight:
+        ++_loadsDone;
+        maybeStartCompute();
+        break;
+      case TokStore:
+        ++_storesDone;
+        checkCommandDone();
+        break;
+    }
+}
+
+void
+NpuTop::dmaTransferAborted(std::uint64_t token_val)
+{
+    // Degrade recovery flushed the DMA queue; the first notification
+    // sheds the active inference, the rest belong to the same dead
+    // generation and drop here.
+    if (!_active || (token_val >> 32) != _execSeq)
+        return;
+    descheduleIfPending(_computeEvent);
+    _computing = false;
+    finishCommand(true);
+}
+
+void
+NpuTop::maybeStartCompute()
+{
+    if (!_active || _computing || _tilesComputed >= _loadsDone)
+        return;
+    _computing = true;
+    scheduleIn(_computeEvent,
+               _clock.cyclesToTicks(_tiles[_tilesComputed].cycles));
+}
+
+void
+NpuTop::computeDone()
+{
+    _computing = false;
+    const TileWork &t = _tiles[_tilesComputed];
+    ++_tilesComputed;
+    ++statTiles;
+    statComputeTicks +=
+        static_cast<double>(_clock.cyclesToTicks(t.cycles));
+    if (_intClient)
+        _intClient->npuCommandProgress(_cmd, 1.0);
+    if (t.outBytes > 0) {
+        _dma.startTransfer(t.outAddr, t.outBytes, true,
+                           token(_tilesComputed - 1, TokStore));
+        ++_storesIssued;
+    }
+    pumpLoads();
+    maybeStartCompute();
+    checkCommandDone();
+}
+
+void
+NpuTop::checkCommandDone()
+{
+    if (_active && _tilesComputed == _tiles.size() &&
+        _storesDone == _storesIssued)
+        finishCommand(false);
+}
+
+void
+NpuTop::finishCommand(bool aborted)
+{
+    if (aborted)
+        ++statCmdsAborted;
+    else
+        ++statCmdsCompleted;
+    statCmdTicks.sample(static_cast<double>(curTick() - _execStart));
+    _active = false;
+    _pendingIrqs.push_back({_cmd, curTick(), aborted});
+    if (!_irqEvent.scheduled())
+        scheduleIn(_irqEvent, _params.irqLatency);
+    startNextCommand();
+}
+
+void
+NpuTop::deliverIrq()
+{
+    panic_if(_pendingIrqs.empty(), "%s: spurious irq",
+             name().c_str());
+    IrqRecord rec = _pendingIrqs.front();
+    _pendingIrqs.pop_front();
+    if (_intClient)
+        _intClient->npuCommandDone(rec.cmd, rec.finished, rec.aborted);
+    if (!_pendingIrqs.empty())
+        scheduleIn(_irqEvent, _params.irqLatency);
+}
+
+void
+NpuTop::hangDiagnostics(std::ostream &os) const
+{
+    if (!_active && _queue.empty())
+        return;
+    os << "active=" << _active << " queued=" << _queue.size()
+       << " loads=" << _loadsDone << "/" << _loadsIssued
+       << " tiles=" << _tilesComputed << "/" << _tiles.size()
+       << " stores=" << _storesDone << "/" << _storesIssued
+       << (_computing ? " COMPUTING" : "");
+}
+
+void
+NpuTop::serialize(CheckpointOut &out) const
+{
+    out.putBool("active", _active);
+    if (_active)
+        putNpuCommand(out, "cmd", _cmd);
+    out.putTick("exec_start", _execStart);
+    out.putU64("exec_seq", _execSeq);
+    out.putU64("loads_issued", _loadsIssued);
+    out.putU64("loads_done", _loadsDone);
+    out.putU64("tiles_computed", _tilesComputed);
+    out.putU64("stores_issued", _storesIssued);
+    out.putU64("stores_done", _storesDone);
+    out.putBool("computing", _computing);
+    _queue.serialize(out, "queue");
+    out.putU64("num_irqs", _pendingIrqs.size());
+    for (std::size_t i = 0; i < _pendingIrqs.size(); ++i) {
+        std::string prefix = strprintf("irq%zu", i);
+        putNpuCommand(out, prefix + ".cmd", _pendingIrqs[i].cmd);
+        out.putTick(prefix + ".finished", _pendingIrqs[i].finished);
+        out.putBool(prefix + ".aborted", _pendingIrqs[i].aborted);
+    }
+}
+
+void
+NpuTop::unserialize(CheckpointIn &in)
+{
+    panic_if(_active || !_queue.empty() || !_pendingIrqs.empty(),
+             "%s: unserialize into a busy device", name().c_str());
+    _active = in.getBool("active");
+    if (_active)
+        _cmd = getNpuCommand(in, "cmd");
+    _execStart = in.getTick("exec_start");
+    _execSeq = in.getU64("exec_seq");
+    _loadsIssued = in.getU64("loads_issued");
+    _loadsDone = in.getU64("loads_done");
+    _tilesComputed = in.getU64("tiles_computed");
+    _storesIssued = in.getU64("stores_issued");
+    _storesDone = in.getU64("stores_done");
+    _computing = in.getBool("computing");
+    _queue.unserialize(in, "queue");
+    std::uint64_t num = in.getU64("num_irqs");
+    for (std::uint64_t i = 0; i < num; ++i) {
+        std::string prefix =
+            strprintf("irq%llu", (unsigned long long)i);
+        IrqRecord rec;
+        rec.cmd = getNpuCommand(in, prefix + ".cmd");
+        rec.finished = in.getTick(prefix + ".finished");
+        rec.aborted = in.getBool(prefix + ".aborted");
+        _pendingIrqs.push_back(rec);
+    }
+}
+
+} // namespace emerald::npu

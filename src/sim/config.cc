@@ -35,9 +35,11 @@ const char *const knownKeys[] = {
     "allow-unknown-args",
     // Benches and examples.
     "alpha", "beta", "channels", "config", "fps", "frames", "gamma",
-    "height", "highload", "maxwt", "model", "n", "name", "out",
-    "outdir", "prep", "quick", "run_frames", "stats", "stats-json",
-    "stats-out", "width", "workload", "wt",
+    "height", "highload", "maxwt", "model", "n", "name", "npu",
+    "npu-dma-outstanding", "npu-fps", "npu-frames", "npu-model",
+    "npu-queue-depth", "npu-scratch-kb", "npu-tile", "out", "outdir",
+    "prep", "quick", "run_frames", "stats", "stats-json", "stats-out",
+    "width", "workload", "wt",
     // Bench registry front end (bench_main) and sweep driver.
     "bench-bin", "ckpt-share-keys", "db", "dry-run", "git-sha",
     "jobs", "list", "retries", "retry-backoff-ms", "run", "spec",

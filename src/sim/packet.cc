@@ -122,6 +122,7 @@ accessKindName(AccessKind kind)
       case AccessKind::Vertex: return "vertex";
       case AccessKind::Display: return "display";
       case AccessKind::Writeback: return "writeback";
+      case AccessKind::NpuData: return "npu_data";
       default: return "unknown";
     }
 }
@@ -133,6 +134,7 @@ trafficClassName(TrafficClass tclass)
       case TrafficClass::Cpu: return "cpu";
       case TrafficClass::Gpu: return "gpu";
       case TrafficClass::Display: return "display";
+      case TrafficClass::Npu: return "npu";
       default: return "unknown";
     }
 }

@@ -39,6 +39,7 @@ enum class TrafficClass : std::uint8_t
     Cpu,
     Gpu,
     Display,
+    Npu,
 };
 
 /** Fine-grained access type, used for per-stream stats and routing. */
@@ -54,6 +55,7 @@ enum class AccessKind : std::uint8_t
     Vertex,
     Display,
     Writeback,
+    NpuData,
     NumKinds,
 };
 

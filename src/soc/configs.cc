@@ -6,6 +6,30 @@
 namespace emerald::soc
 {
 
+void
+applyNpuConfig(SocParams &p, const Config &cfg)
+{
+    p.npuEnabled = cfg.getBool("npu", p.npuEnabled);
+    unsigned tile = static_cast<unsigned>(
+        cfg.getU64("npu-tile", p.npuRows));
+    p.npuRows = tile;
+    p.npuCols = tile;
+    p.npuModel = cfg.getString("npu-model", p.npuModel);
+    double fps = cfg.getDouble("npu-fps", 0.0);
+    if (fps > 0.0)
+        p.npuFramePeriod = ticksFromMs(1000.0 / fps);
+    p.npuFrames = static_cast<unsigned>(
+        cfg.getU64("npu-frames", p.npuFrames));
+    p.npuQueueDepth = static_cast<unsigned>(
+        cfg.getU64("npu-queue-depth", p.npuQueueDepth));
+    p.npuDmaOutstanding = static_cast<unsigned>(
+        cfg.getU64("npu-dma-outstanding", p.npuDmaOutstanding));
+    p.npuScratchKB = static_cast<unsigned>(
+        cfg.getU64("npu-scratch-kb", p.npuScratchKB));
+    fatal_if(p.npuEnabled && (p.npuRows == 0 || p.npuCols == 0),
+             "--npu-tile must be >= 1");
+}
+
 gpu::GpuTopParams
 caseStudy1GpuParams()
 {

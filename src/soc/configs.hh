@@ -14,11 +14,22 @@
 #include "gpu/kernel.hh"
 #include "mem/dash_scheduler.hh"
 #include "mem/memory_system.hh"
+#include "sim/config.hh"
 #include "sim/simulation.hh"
 #include "sim/simulation_builder.hh"
+#include "soc/soc_top.hh"
 
 namespace emerald::soc
 {
+
+/**
+ * Apply the shared --npu-* command-line axes to @p p:
+ * --npu (enable), --npu-tile (PE grid rows=cols), --npu-model,
+ * --npu-fps (camera rate), --npu-frames, --npu-queue-depth,
+ * --npu-dma-outstanding, --npu-scratch-kb. Benches and soc_point
+ * call this so every front end spells the axes identically.
+ */
+void applyNpuConfig(SocParams &p, const Config &cfg);
 
 /** Case study I GPU (paper Table 5): 4 SCs, small caches. */
 gpu::GpuTopParams caseStudy1GpuParams();

@@ -220,10 +220,6 @@ TraceReplayDriver::TraceReplayDriver(
       _pollEvent([this] { pollProgress(); }, name + ".poll")
 {
     registerProfileCounters();
-    fatal_if(trace.numClients() != gpu.numCores(),
-             "replay trace '%s' has %u clients but the GPU has %u "
-             "cores",
-             trace.dir().c_str(), trace.numClients(), gpu.numCores());
     fatal_if(trace.numFrames() < params.frames,
              "replay trace '%s' holds %u frames but the run wants %u",
              trace.dir().c_str(), trace.numFrames(), params.frames);
@@ -231,10 +227,28 @@ TraceReplayDriver::TraceReplayDriver(
         _dashIp = _dash->registerIp(name + ".gpu", TrafficClass::Gpu,
                                     0.9);
     }
+    // Match trace client streams to SIMT cores by name: traces
+    // captured with extra clients (e.g. the NPU DMA boundary) stay
+    // replayable — replay drives only the GPU streams, everything
+    // else in the trace is observational.
     for (unsigned i = 0; i < gpu.numCores(); ++i) {
+        const std::string &core_name = gpu.core(i).name();
+        int client = -1;
+        for (unsigned c = 0; c < trace.numClients(); ++c) {
+            if (trace.clientName(c) == core_name) {
+                client = static_cast<int>(c);
+                break;
+            }
+        }
+        fatal_if(client < 0,
+                 "replay trace '%s' has no client stream for core "
+                 "'%s' (%u clients in trace)",
+                 trace.dir().c_str(), core_name.c_str(),
+                 trace.numClients());
         _ports.push_back(std::make_unique<ReplayPort>(
             sim, name + ".p" + std::to_string(i), *this, gpu.core(i),
-            trace.clientTxns(i), trace.numFrames()));
+            trace.clientTxns(static_cast<unsigned>(client)),
+            trace.numFrames()));
     }
 }
 

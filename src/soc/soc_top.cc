@@ -72,6 +72,21 @@ fingerprintOf(const SocParams &p, const std::string &warp_policy,
     mix(p.statsBucket);
     mix(p.refreshPeriod);
     mix(p.gpuFramePeriod);
+    // NPU parameters shape state only when the NPU exists; mixing
+    // them unconditionally would shift every disabled fingerprint.
+    if (p.npuEnabled) {
+        mix(1);
+        mix(p.npuRows);
+        mix(p.npuCols);
+        mix(static_cast<std::uint64_t>(p.npuClockMHz * 1000.0));
+        for (char c : p.npuModel)
+            mix(static_cast<unsigned char>(c));
+        mix(p.npuFramePeriod);
+        mix(p.npuFrames);
+        mix(p.npuQueueDepth);
+        mix(p.npuDmaOutstanding);
+        mix(p.npuScratchKB);
+    }
     return h;
 }
 
@@ -244,6 +259,41 @@ SocTop::SocTop(const SocParams &params,
     _display = std::make_unique<DisplayController>(
         _sim, "display", dp, *_displayLink, _dashCoordinator.get());
 
+    // NPU: systolic-array accelerator as a fourth memory client, fed
+    // by the camera-inference loop. Entirely absent when disabled so
+    // the event stream (and hashes) of existing configs never move.
+    if (params.npuEnabled) {
+        _npuClock = &_sim.createClockDomain(params.npuClockMHz,
+                                            "npu_clk");
+
+        noc::LinkParams nlp;
+        nlp.latency = ticksFromNs(30.0);
+        nlp.bytesPerSec = 0.0;
+        nlp.queueDepth = 16;
+        _npuLink = std::make_unique<noc::Link>(_sim, "npu.link", nlp);
+        _npuLink->setTarget(*_memory);
+
+        npu::NpuParams np;
+        np.systolic.rows = params.npuRows;
+        np.systolic.cols = params.npuCols;
+        np.systolic.spInputKB = params.npuScratchKB;
+        np.systolic.spWeightKB = params.npuScratchKB;
+        np.systolic.spOutputKB = params.npuScratchKB;
+        np.model = params.npuModel;
+        np.queueDepth = params.npuQueueDepth;
+        np.dma.maxOutstanding = params.npuDmaOutstanding;
+        np.dma.burstBytes = mp.geom.lineSize;
+        _npu = std::make_unique<npu::NpuTop>(_sim, "npu", np,
+                                             *_npuClock, *_npuLink);
+
+        npu::CameraParams camp;
+        camp.framePeriod = params.npuFramePeriod;
+        camp.frames = params.npuFrames;
+        _npuCam = std::make_unique<npu::CameraInferenceModel>(
+            _sim, "npu.cam", camp, *_npu, _dashCoordinator.get());
+        _npu->setInterruptClient(_npuCam.get());
+    }
+
     if (replay_mode) {
         ReplayParams rp;
         rp.gpuFramePeriod = params.gpuFramePeriod;
@@ -285,6 +335,14 @@ SocTop::SocTop(const SocParams &params,
             _gpu->setTrafficCapture(_traceWriter.get());
             _app->setTraceCapture(_traceWriter.get());
         }
+        // NPU DMA boundary rides along as an extra client stream
+        // after the GPU cores; observation only (replay matches
+        // clients by name and skips it).
+        if (_npu) {
+            unsigned client =
+                _traceWriter->addClient(_npu->dma().name());
+            _npu->dma().setTraceCapture(_traceWriter.get(), client);
+        }
     }
 
     // Warm-start: with the whole topology (and its registries) built,
@@ -303,6 +361,8 @@ SocTop::run(Tick limit)
     // display or app again would double-schedule them.
     if (!_sim.restored()) {
         _display->start();
+        if (_npuCam)
+            _npuCam->start();
         if (_replay)
             _replay->start();
         else
@@ -315,6 +375,8 @@ SocTop::run(Tick limit)
     fatal_if(!_done, "SoC simulation hit the safety limit at %.1f ms",
              msFromTicks(_sim.curTick()));
     _display->stop();
+    if (_npuCam)
+        _npuCam->stop();
     if (_traceWriter)
         _traceWriter->finalize();
     if (_dashCoordinator)

@@ -22,6 +22,8 @@
 #include "scenes/workloads.hh"
 #include "sim/simulation.hh"
 #include "sim/simulation_builder.hh"
+#include "npu/camera_model.hh"
+#include "npu/npu_top.hh"
 #include "soc/app_model.hh"
 #include "soc/cpu_traffic.hh"
 #include "soc/display_controller.hh"
@@ -65,6 +67,25 @@ struct SocParams
     Tick statsBucket = ticksFromUs(100.0);
     Tick refreshPeriod = ticksFromMs(16.6);
     Tick gpuFramePeriod = ticksFromMs(33.0);
+
+    /**
+     * @{ NPU accelerator (fourth memory client). Off by default:
+     * disabled runs build no NPU objects and schedule no NPU events,
+     * so their event streams are bit-identical to pre-NPU builds.
+     */
+    bool npuEnabled = false;
+    unsigned npuRows = 16;
+    unsigned npuCols = 16;
+    double npuClockMHz = 800.0;
+    std::string npuModel = "tiny-cnn";
+    Tick npuFramePeriod = ticksFromMs(33.0);
+    /** Camera frames to capture; 0 = free-run until the app ends. */
+    unsigned npuFrames = 0;
+    unsigned npuQueueDepth = 4;
+    unsigned npuDmaOutstanding = 8;
+    /** Per-scratchpad capacity (input/weight/output each). */
+    unsigned npuScratchKB = 32;
+    /** @} */
 };
 
 /**
@@ -95,6 +116,11 @@ class SocTop
     core::GraphicsPipeline &pipeline() { return *_pipeline; }
     gpu::GpuTop &gpu() { return *_gpu; }
     const SocParams &params() const { return _params; }
+
+    /** The NPU device, or null when npuEnabled is false. */
+    npu::NpuTop *npu() { return _npu.get(); }
+    /** The camera-inference model, or null when npuEnabled is false. */
+    npu::CameraInferenceModel *npuCamera() { return _npuCam.get(); }
 
     /** True when this run replays a trace instead of rendering. */
     bool replayMode() const { return _replay != nullptr; }
@@ -130,6 +156,12 @@ class SocTop
     std::unique_ptr<noc::Link> _displayLink;
     std::unique_ptr<DisplayController> _display;
     std::unique_ptr<AppModel> _app;
+
+    /** NPU subsystem (all null when npuEnabled is false). */
+    ClockDomain *_npuClock = nullptr;
+    std::unique_ptr<noc::Link> _npuLink;
+    std::unique_ptr<npu::NpuTop> _npu;
+    std::unique_ptr<npu::CameraInferenceModel> _npuCam;
 
     /** --capture-trace / --replay-trace state (null when unused). */
     std::unique_ptr<mem::TrafficTraceWriter> _traceWriter;
